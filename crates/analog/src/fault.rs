@@ -1,0 +1,168 @@
+//! Analog fault models: parametric deviations and catastrophic faults.
+
+use std::fmt;
+
+use crate::netlist::{Circuit, ElementId};
+
+/// The kind of analog fault injected into an element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AnalogFaultKind {
+    /// Parametric (soft) fault: the element value deviates by the given
+    /// relative amount (`0.10` = +10 %, `-0.10` = −10 %).
+    Deviation {
+        /// Relative deviation as a fraction (may be negative).
+        relative: f64,
+    },
+    /// Catastrophic open circuit (the element effectively disappears).
+    Open,
+    /// Catastrophic short circuit (the element becomes a near-zero
+    /// impedance).
+    Short,
+}
+
+/// A fault bound to a specific element of a circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalogFault {
+    /// The faulty element.
+    pub element: ElementId,
+    /// The fault kind.
+    pub kind: AnalogFaultKind,
+}
+
+impl AnalogFault {
+    /// A parametric deviation fault.
+    pub fn deviation(element: ElementId, relative: f64) -> Self {
+        AnalogFault {
+            element,
+            kind: AnalogFaultKind::Deviation { relative },
+        }
+    }
+
+    /// An open-circuit fault.
+    pub fn open(element: ElementId) -> Self {
+        AnalogFault {
+            element,
+            kind: AnalogFaultKind::Open,
+        }
+    }
+
+    /// A short-circuit fault.
+    pub fn short(element: ElementId) -> Self {
+        AnalogFault {
+            element,
+            kind: AnalogFaultKind::Short,
+        }
+    }
+
+    /// Returns a copy of `circuit` with the fault injected.
+    ///
+    /// Opens and shorts are modelled by scaling the element value by a large
+    /// factor in the direction that increases/decreases its admittance:
+    /// resistors and inductors are opened by multiplying and shorted by
+    /// dividing their value by 10⁹; capacitors behave the other way around
+    /// (a huge capacitor is a short, a tiny one an open).
+    pub fn apply(&self, circuit: &Circuit) -> Circuit {
+        use crate::netlist::ElementKind;
+        let mut faulty = circuit.clone();
+        match self.kind {
+            AnalogFaultKind::Deviation { relative } => {
+                faulty.scale_value(self.element, 1.0 + relative);
+            }
+            AnalogFaultKind::Open | AnalogFaultKind::Short => {
+                let is_capacitor = matches!(
+                    circuit.element(self.element).kind,
+                    ElementKind::Capacitor { .. }
+                );
+                let open = matches!(self.kind, AnalogFaultKind::Open);
+                // For R/L: open = big value, short = tiny value.
+                // For C: open = tiny value, short = big value.
+                let factor = if open != is_capacitor { 1.0e9 } else { 1.0e-9 };
+                faulty.scale_value(self.element, factor);
+            }
+        }
+        faulty
+    }
+}
+
+impl fmt::Display for AnalogFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AnalogFaultKind::Deviation { relative } => {
+                write!(f, "element #{} deviation {:+.1}%", self.element.index(), relative * 100.0)
+            }
+            AnalogFaultKind::Open => write!(f, "element #{} open", self.element.index()),
+            AnalogFaultKind::Short => write!(f, "element #{} short", self.element.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::Mna;
+    use crate::netlist::Circuit;
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 10.0, 1.0);
+        c.resistor("R1", vin, vout, 1.0e3);
+        c.resistor("R2", vout, Circuit::GROUND, 1.0e3);
+        c
+    }
+
+    #[test]
+    fn deviation_fault_shifts_output() {
+        let c = divider();
+        let r2 = c.find_element("R2").unwrap();
+        let faulty = AnalogFault::deviation(r2, 0.5).apply(&c);
+        let vout = c.find_node("vout").unwrap();
+        let nominal = Mna::new(&c).solve_dc().unwrap().voltage(vout).re;
+        let shifted = Mna::new(&faulty).solve_dc().unwrap().voltage(vout).re;
+        assert!((nominal - 5.0).abs() < 1e-9);
+        assert!(shifted > nominal, "increasing R2 raises Vout");
+        // Original circuit untouched.
+        assert_eq!(c.value(r2), 1.0e3);
+    }
+
+    #[test]
+    fn open_and_short_faults_on_resistor() {
+        let c = divider();
+        let r2 = c.find_element("R2").unwrap();
+        let vout = c.find_node("vout").unwrap();
+        let open = AnalogFault::open(r2).apply(&c);
+        let short = AnalogFault::short(r2).apply(&c);
+        let v_open = Mna::new(&open).solve_dc().unwrap().voltage(vout).re;
+        let v_short = Mna::new(&short).solve_dc().unwrap().voltage(vout).re;
+        assert!(v_open > 9.9, "open bottom resistor pulls Vout to Vin");
+        assert!(v_short < 0.1, "short bottom resistor pulls Vout to ground");
+    }
+
+    #[test]
+    fn open_capacitor_behaves_like_removed_capacitor() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("R", vin, vout, 1.0e3);
+        c.capacitor("C", vout, Circuit::GROUND, 159.0e-9);
+        let cap = c.find_element("C").unwrap();
+        let open = AnalogFault::open(cap).apply(&c);
+        // With the capacitor open, the low-pass becomes an all-pass at 10 kHz.
+        let g = Mna::new(&open).gain("Vin", vout, 10_000.0).unwrap();
+        assert!(g > 0.999);
+        let short = AnalogFault::short(cap).apply(&c);
+        let g2 = Mna::new(&short).gain("Vin", vout, 10.0).unwrap();
+        assert!(g2 < 1e-3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = divider();
+        let r2 = c.find_element("R2").unwrap();
+        assert!(format!("{}", AnalogFault::deviation(r2, 0.2)).contains("+20.0%"));
+        assert!(format!("{}", AnalogFault::open(r2)).contains("open"));
+        assert!(format!("{}", AnalogFault::short(r2)).contains("short"));
+    }
+}

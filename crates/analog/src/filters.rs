@@ -1,0 +1,390 @@
+//! The paper's analog circuits: the second-order band-pass filter (Fig. 2),
+//! the fifth-order Chebyshev low-pass filter (Fig. 7) and the state-variable
+//! filter of the discrete validation board (Fig. 8).
+//!
+//! The original schematics give component designators but not values; the
+//! builders below use op-amp filter topologies with the same element lists
+//! and sensible values (band centers / corners near 1 kHz), which preserves
+//! the dependence structure that the paper's tables exercise.
+
+use crate::netlist::{Circuit, NodeId, OpAmpModel};
+use crate::params::{ParameterKind, ParameterSpec};
+use crate::response::SweepConfig;
+
+/// A circuit bundled with its measurable parameters and its analog primary
+/// input/output — everything the mixed-signal ATPG needs to know about an
+/// analog block.
+#[derive(Clone, Debug)]
+pub struct FilterCircuit {
+    name: String,
+    circuit: Circuit,
+    parameters: Vec<ParameterSpec>,
+    input_source: String,
+    output: String,
+}
+
+impl FilterCircuit {
+    /// Human-readable name of the filter.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying circuit netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Mutable access to the netlist (for fault injection).
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
+
+    /// The measurable parameters of this filter.
+    pub fn parameters(&self) -> &[ParameterSpec] {
+        &self.parameters
+    }
+
+    /// Name of the driving source element (the analog primary input).
+    pub fn input_source(&self) -> &str {
+        &self.input_source
+    }
+
+    /// Name of the main output node (the node feeding the conversion block).
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Resolves the main output node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output node name is not present in the circuit (cannot
+    /// happen for the built-in filters).
+    pub fn output_node(&self) -> NodeId {
+        self.circuit
+            .find_node(&self.output)
+            .expect("filter output node exists")
+    }
+}
+
+fn audio_sweep() -> SweepConfig {
+    SweepConfig {
+        start_hz: 1.0,
+        stop_hz: 1.0e6,
+        points_per_decade: 30,
+    }
+}
+
+/// The second-order band-pass filter of Figure 2 (Example 1), built as a
+/// Tow-Thomas biquad with elements `{R1, R2, R3, R4, Rg, Rd, C1, C2}`.
+///
+/// Nominal design: center frequency ≈ 4.2 kHz, center-frequency gain
+/// `A1 = Rd/Rg ≈ 3.2`, measured parameters `{A1, A2, f0, fc1, fc2}` exactly
+/// as in the paper (A2 is the gain at 10 kHz, on the upper skirt of the
+/// response, so that every element influences it as in the paper's
+/// Equation-1 matrix).
+pub fn second_order_band_pass() -> FilterCircuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let s1 = c.node("s1");
+    let v1 = c.node("v1");
+    let s2 = c.node("s2");
+    let v2 = c.node("v2");
+    let s3 = c.node("s3");
+    let v3 = c.node("v3");
+    c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+    // Stage 1: lossy inverting integrator (band-pass output at v1).
+    c.resistor("Rg", vin, s1, 10.0e3);
+    c.resistor("Rd", s1, v1, 31.83e3);
+    c.capacitor("C1", s1, v1, 2.4e-9);
+    c.opamp("A1op", Circuit::GROUND, s1, v1, OpAmpModel::Ideal);
+    // Stage 2: inverting integrator.
+    c.resistor("R2", v1, s2, 15.915e3);
+    c.capacitor("C2", s2, v2, 2.4e-9);
+    c.opamp("A2op", Circuit::GROUND, s2, v2, OpAmpModel::Ideal);
+    // Stage 3: unity inverter closing the loop.
+    c.resistor("R3", v2, s3, 15.915e3);
+    c.resistor("R4", s3, v3, 15.915e3);
+    c.opamp("A3op", Circuit::GROUND, s3, v3, OpAmpModel::Ideal);
+    // Loop closure back into the summing node.
+    c.resistor("R1", v3, s1, 15.915e3);
+
+    let sweep = audio_sweep();
+    let parameters = vec![
+        ParameterSpec::new("A1", ParameterKind::MaxGain, "Vin", "v1").with_sweep(sweep),
+        ParameterSpec::new("A2", ParameterKind::AcGain { freq_hz: 10.0e3 }, "Vin", "v1")
+            .with_sweep(sweep),
+        ParameterSpec::new("f0", ParameterKind::CenterFrequency, "Vin", "v1").with_sweep(sweep),
+        ParameterSpec::new("fc1", ParameterKind::LowCutoff, "Vin", "v1").with_sweep(sweep),
+        ParameterSpec::new("fc2", ParameterKind::HighCutoff, "Vin", "v1").with_sweep(sweep),
+    ];
+    FilterCircuit {
+        name: "second-order band-pass (Fig. 2)".to_owned(),
+        circuit: c,
+        parameters,
+        input_source: "Vin".to_owned(),
+        output: "v1".to_owned(),
+    }
+}
+
+/// The fifth-order Chebyshev low-pass filter of Figure 7 (Example 3).
+///
+/// Built as a cascade of a first-order inverting section, two Sallen-Key
+/// second-order sections (the higher-Q section last) and an output gain
+/// stage, preceded by an input attenuator — 10 resistors and 5 capacitors.
+/// Corner frequency ≈ 1 kHz.
+///
+/// Measured parameters: `Adc`, `fc` (high cut-off) and five AC gains
+/// `A1..A5` spread across the passband and the band edge.
+pub fn fifth_order_chebyshev() -> FilterCircuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let va = c.node("va"); // after input divider
+    let m1 = c.node("m1");
+    let vb = c.node("vb"); // after 1st-order section
+    let x1 = c.node("x1");
+    let y1 = c.node("y1");
+    let vc = c.node("vc"); // after first Sallen-Key section
+    let x2 = c.node("x2");
+    let y2 = c.node("y2");
+    let vd = c.node("vd"); // after second Sallen-Key section
+    let m4 = c.node("m4");
+    let vout = c.node("vout");
+
+    c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+    // Input attenuator.
+    c.resistor("R9", vin, va, 10.0e3);
+    c.resistor("R10", va, Circuit::GROUND, 10.0e3);
+    // First-order inverting low-pass: real pole near 290 Hz, DC gain −1.
+    c.resistor("R1", va, m1, 27.0e3);
+    c.resistor("R2", m1, vb, 27.0e3);
+    c.capacitor("C1", m1, vb, 20.0e-9);
+    c.opamp("A1op", Circuit::GROUND, m1, vb, OpAmpModel::Ideal);
+    // Sallen-Key section, ω0 ≈ 2π·655 Hz, Q ≈ 1.4 (unity gain buffer).
+    c.resistor("R3", vb, x1, 17.0e3);
+    c.resistor("R4", x1, y1, 17.0e3);
+    c.capacitor("C3", y1, Circuit::GROUND, 5.0e-9);
+    c.capacitor("C2", x1, vc, 40.0e-9);
+    c.opamp("A2op", y1, vc, vc, OpAmpModel::Ideal);
+    // Sallen-Key section, ω0 ≈ 2π·994 Hz, Q ≈ 5.6 (unity gain buffer).
+    c.resistor("R5", vc, x2, 14.4e3);
+    c.resistor("R6", x2, y2, 14.4e3);
+    c.capacitor("C5", y2, Circuit::GROUND, 1.0e-9);
+    c.capacitor("C4", x2, vd, 124.0e-9);
+    c.opamp("A3op", y2, vd, vd, OpAmpModel::Ideal);
+    // Output inverting gain stage, gain −2.
+    c.resistor("R7", vd, m4, 10.0e3);
+    c.resistor("R8", m4, vout, 20.0e3);
+    c.opamp("A4op", Circuit::GROUND, m4, vout, OpAmpModel::Ideal);
+
+    let sweep = audio_sweep();
+    let ac = |name: &str, f: f64| {
+        ParameterSpec::new(name, ParameterKind::AcGain { freq_hz: f }, "Vin", "vout")
+            .with_sweep(sweep)
+    };
+    let parameters = vec![
+        ParameterSpec::new("Adc", ParameterKind::DcGain, "Vin", "vout").with_sweep(sweep),
+        ParameterSpec::new("fc", ParameterKind::HighCutoff, "Vin", "vout").with_sweep(sweep),
+        ac("A1", 200.0),
+        ac("A2", 400.0),
+        ac("A3", 700.0),
+        ac("A4", 900.0),
+        ac("A5", 980.0),
+    ];
+    FilterCircuit {
+        name: "fifth-order Chebyshev low-pass (Fig. 7)".to_owned(),
+        circuit: c,
+        parameters,
+        input_source: "Vin".to_owned(),
+        output: "vout".to_owned(),
+    }
+}
+
+/// The state-variable filter of the discrete validation board (Fig. 8),
+/// with elements `{R, R1..R9, C1, C2}` and the three simultaneous outputs
+/// `V1` (high-pass), `V2` (band-pass) and `V3` (low-pass), plus the divided
+/// output `V3'`.
+///
+/// Measured parameters follow Table 8 of the paper: DC gains at the low-pass
+/// outputs, 10 kHz gains at the high-pass/band-pass outputs, the high-pass
+/// plateau gain and the corner frequency of `V1`.
+pub fn state_variable_filter() -> FilterCircuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let s1 = c.node("s1");
+    let v1 = c.node("v1"); // high-pass
+    let s2 = c.node("s2");
+    let v2 = c.node("v2"); // band-pass (inverted)
+    let s4 = c.node("s4");
+    let v2b = c.node("v2b"); // re-inverted band-pass
+    let s3 = c.node("s3");
+    let v3 = c.node("v3"); // low-pass
+    let v3p = c.node("v3p"); // divided low-pass output
+
+    c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+    // Summing amplifier A1 (output V1).
+    c.resistor("R", vin, s1, 10.0e3);
+    c.resistor("R1", v2b, s1, 10.0e3);
+    c.resistor("R2", v3, s1, 10.0e3);
+    c.resistor("R3", s1, v1, 10.0e3);
+    c.opamp("A1op", Circuit::GROUND, s1, v1, OpAmpModel::Ideal);
+    // Integrator A2 (output V2).
+    c.resistor("R8", v1, s2, 15.9e3);
+    c.capacitor("C1", s2, v2, 10.0e-9);
+    c.opamp("A2op", Circuit::GROUND, s2, v2, OpAmpModel::Ideal);
+    // Inverter A4 in the band-pass feedback path.
+    c.resistor("R6", v2, s4, 10.0e3);
+    c.resistor("R7", s4, v2b, 10.0e3);
+    c.opamp("A4op", Circuit::GROUND, s4, v2b, OpAmpModel::Ideal);
+    // Integrator A3 (output V3).
+    c.resistor("R9", v2, s3, 15.9e3);
+    c.capacitor("C2", s3, v3, 10.0e-9);
+    c.opamp("A3op", Circuit::GROUND, s3, v3, OpAmpModel::Ideal);
+    // Output divider (the V3' observation point of Table 8).
+    c.resistor("R4", v3, v3p, 10.0e3);
+    c.resistor("R5", v3p, Circuit::GROUND, 10.0e3);
+
+    let sweep = audio_sweep();
+    let parameters = vec![
+        // High-pass plateau gain (stands in for the paper's A1dc, whose
+        // nominal value would be zero for an ideal high-pass output).
+        ParameterSpec::new("A1hf", ParameterKind::AcGain { freq_hz: 100.0e3 }, "Vin", "v1")
+            .with_sweep(sweep),
+        ParameterSpec::new("A2max", ParameterKind::MaxGain, "Vin", "v2").with_sweep(sweep),
+        ParameterSpec::new("A3dc", ParameterKind::DcGain, "Vin", "v3").with_sweep(sweep),
+        ParameterSpec::new("A3'dc", ParameterKind::DcGain, "Vin", "v3p").with_sweep(sweep),
+        ParameterSpec::new("A1_10k", ParameterKind::AcGain { freq_hz: 10.0e3 }, "Vin", "v1")
+            .with_sweep(sweep),
+        ParameterSpec::new("A2_10k", ParameterKind::AcGain { freq_hz: 10.0e3 }, "Vin", "v2")
+            .with_sweep(sweep),
+        ParameterSpec::new("fh1", ParameterKind::LowCutoff, "Vin", "v1").with_sweep(sweep),
+    ];
+    FilterCircuit {
+        name: "state-variable filter (Fig. 8)".to_owned(),
+        circuit: c,
+        parameters,
+        input_source: "Vin".to_owned(),
+        output: "v3".to_owned(),
+    }
+}
+
+/// A plain first-order RC low-pass filter (used as a small example and in
+/// tests), with the cut-off at `fc_hz`.
+pub fn rc_low_pass(fc_hz: f64) -> FilterCircuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let vout = c.node("vout");
+    c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+    let r = 10.0e3;
+    let cap = 1.0 / (std::f64::consts::TAU * fc_hz * r);
+    c.resistor("R1", vin, vout, r);
+    c.capacitor("C1", vout, Circuit::GROUND, cap);
+    let parameters = vec![
+        ParameterSpec::new("Adc", ParameterKind::DcGain, "Vin", "vout"),
+        ParameterSpec::new("fh", ParameterKind::HighCutoff, "Vin", "vout"),
+    ];
+    FilterCircuit {
+        name: format!("first-order RC low-pass ({fc_hz} Hz)"),
+        circuit: c,
+        parameters,
+        input_source: "Vin".to_owned(),
+        output: "vout".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::measure;
+    use crate::response::ResponseAnalyzer;
+
+    #[test]
+    fn band_pass_nominal_design() {
+        let f = second_order_band_pass();
+        assert!(f.circuit().validate().is_ok());
+        assert_eq!(f.circuit().passive_elements().len(), 8);
+        let an = ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node())
+            .with_sweep(audio_sweep());
+        let (f0, gain) = an.peak().unwrap();
+        assert!((f0 - 4168.0).abs() / 4168.0 < 0.05, "center frequency {f0}");
+        // Center gain = Rd / Rg ≈ 3.18.
+        assert!((gain - 3.183).abs() < 0.05, "center gain {gain}");
+        let fl = an.low_cutoff().unwrap();
+        let fh = an.high_cutoff().unwrap();
+        assert!(fl < f0 && fh > f0);
+    }
+
+    #[test]
+    fn band_pass_parameters_measure() {
+        let f = second_order_band_pass();
+        for p in f.parameters() {
+            let v = measure(f.circuit(), p).unwrap();
+            assert!(v.is_finite() && v > 0.0, "{} = {v}", p.name);
+        }
+    }
+
+    #[test]
+    fn chebyshev_is_a_low_pass_near_1khz() {
+        let f = fifth_order_chebyshev();
+        assert!(f.circuit().validate().is_ok());
+        let an = ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node())
+            .with_sweep(audio_sweep());
+        let dc = an.dc_gain().unwrap();
+        assert!(dc > 0.5, "passband gain {dc}");
+        let g5k = an.gain_at(5.0e3).unwrap();
+        assert!(
+            g5k < dc / 10.0,
+            "5 kHz must be well into the stopband (dc {dc}, 5 kHz {g5k})"
+        );
+        let fc = an.high_cutoff().unwrap();
+        assert!(
+            fc > 400.0 && fc < 2000.0,
+            "corner frequency {fc} should be near 1 kHz"
+        );
+        // Fifth-order roll-off: two decades above the corner the gain is tiny.
+        let g100k = an.gain_at(100.0e3).unwrap();
+        assert!(g100k < 1e-4, "stopband gain {g100k}");
+    }
+
+    #[test]
+    fn state_variable_filter_has_three_characteristic_outputs() {
+        let f = state_variable_filter();
+        assert!(f.circuit().validate().is_ok());
+        assert_eq!(f.circuit().passive_elements().len(), 12);
+        let c = f.circuit();
+        let v1 = c.find_node("v1").unwrap();
+        let v2 = c.find_node("v2").unwrap();
+        let v3 = c.find_node("v3").unwrap();
+        let hp = ResponseAnalyzer::new(c, "Vin", v1).with_sweep(audio_sweep());
+        let bp = ResponseAnalyzer::new(c, "Vin", v2).with_sweep(audio_sweep());
+        let lp = ResponseAnalyzer::new(c, "Vin", v3).with_sweep(audio_sweep());
+        // High-pass: small at DC, ≈1 at high frequency.
+        assert!(hp.gain_at(1.0).unwrap() < 0.01);
+        assert!((hp.gain_at(100.0e3).unwrap() - 1.0).abs() < 0.05);
+        // Low-pass: ≈1 at DC, small at high frequency.
+        assert!((lp.dc_gain().unwrap() - 1.0).abs() < 0.05);
+        assert!(lp.gain_at(100.0e3).unwrap() < 0.01);
+        // Band-pass: peaks near 1 kHz.
+        let (f0, _) = bp.peak().unwrap();
+        assert!(f0 > 500.0 && f0 < 2000.0, "band-pass center {f0}");
+    }
+
+    #[test]
+    fn state_variable_parameters_measure() {
+        let f = state_variable_filter();
+        for p in f.parameters() {
+            let v = measure(f.circuit(), p).unwrap();
+            assert!(v.is_finite(), "{} must measure", p.name);
+        }
+    }
+
+    #[test]
+    fn rc_low_pass_builder() {
+        let f = rc_low_pass(2000.0);
+        let fh = measure(f.circuit(), &f.parameters()[1]).unwrap();
+        assert!((fh - 2000.0).abs() / 2000.0 < 0.02);
+        assert!(f.name().contains("2000"));
+        assert_eq!(f.input_source(), "Vin");
+        assert_eq!(f.output(), "vout");
+    }
+}

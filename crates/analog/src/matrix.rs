@@ -1,0 +1,223 @@
+//! Dense complex matrices and LU factorization with partial pivoting.
+//!
+//! Circuit matrices produced by MNA are small (tens of unknowns for the
+//! paper's filters), so a dense solver is both simple and fast enough.
+
+use crate::complex::Complex;
+use crate::AnalogError;
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Solves the linear system `self * x = b` by LU factorization with
+    /// partial pivoting.  `self` is left unmodified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::SingularMatrix`] when the matrix is (numerically)
+    /// singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len()` does not match.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, AnalogError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<Complex> = b.to_vec();
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_mag = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let mag = a[row * n + col].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(AnalogError::SingularMatrix { pivot: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / pivot;
+                if factor.abs() == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    let v = a[col * n + j];
+                    a[row * n + j] -= factor * v;
+                }
+                let xv = x[col];
+                x[row] -= factor * xv;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex {
+        Complex::from_real(re)
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = Matrix::identity(3);
+        let b = vec![c(1.0), c(2.0), c(3.0)];
+        let x = m.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_small_real_system() {
+        // [2 1; 1 3] x = [3; 5]  ->  x = [0.8, 1.4]
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = c(2.0);
+        m[(0, 1)] = c(1.0);
+        m[(1, 0)] = c(1.0);
+        m[(1, 1)] = c(3.0);
+        let x = m.solve(&[c(3.0), c(5.0)]).unwrap();
+        assert!((x[0].re - 0.8).abs() < 1e-12);
+        assert!((x[1].re - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero on the diagonal forces a row swap.
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = c(0.0);
+        m[(0, 1)] = c(1.0);
+        m[(1, 0)] = c(1.0);
+        m[(1, 1)] = c(0.0);
+        let x = m.solve(&[c(7.0), c(9.0)]).unwrap();
+        assert!((x[0].re - 9.0).abs() < 1e-12);
+        assert!((x[1].re - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_complex_system() {
+        // (1+j) x = 2j  ->  x = 2j / (1+j) = (1 + j)
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = Complex::new(1.0, 1.0);
+        let x = m.solve(&[Complex::new(0.0, 2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-12);
+        assert!((x[0].im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let m = Matrix::zeros(2, 2);
+        let err = m.solve(&[c(1.0), c(1.0)]).unwrap_err();
+        assert!(matches!(err, AnalogError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn solution_satisfies_system() {
+        let mut m = Matrix::zeros(3, 3);
+        let vals = [
+            [4.0, 1.0, 2.0],
+            [1.0, 5.0, 1.0],
+            [2.0, 1.0, 6.0],
+        ];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = c(v);
+            }
+        }
+        let b = vec![c(1.0), c(-2.0), c(0.5)];
+        let x = m.solve(&b).unwrap();
+        let back = m.mul_vec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            assert!((bi.re - bb.re).abs() < 1e-10);
+            assert!((bi.im - bb.im).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Modified nodal analysis (MNA): DC and AC small-signal solutions.
+//!
+//! The solver assembles the complex MNA matrix at a given complex frequency
+//! `s = j·2πf` (or `s = 0` for DC) and solves it with dense LU.  Voltage
+//! sources, VCVSs, op-amps and inductors contribute branch-current unknowns.
+
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use crate::netlist::{Circuit, ElementId, ElementKind, NodeId, OpAmpModel};
+use crate::AnalogError;
+
+/// Which independent sources drive the circuit during a solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Drive {
+    /// Every source uses its own DC value (used by [`Mna::solve_dc`]).
+    AllDc,
+    /// Every source uses its own AC magnitude (used by [`Mna::solve_ac`]).
+    AllAc,
+    /// Only the named source is active, with the given magnitude; all other
+    /// independent sources are zeroed.  This is how transfer functions are
+    /// computed.
+    Single {
+        /// Name of the active source element.
+        source: String,
+        /// Magnitude applied to the source.
+        magnitude: f64,
+    },
+}
+
+/// The result of one MNA solve: node voltages and source/branch currents.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    voltages: Vec<Complex>,
+    branch_currents: HashMap<ElementId, Complex>,
+}
+
+impl Solution {
+    /// Complex voltage at `node` (ground reads as exactly zero).
+    pub fn voltage(&self, node: NodeId) -> Complex {
+        self.voltages[node.index()]
+    }
+
+    /// Voltage difference `V(a) − V(b)`.
+    pub fn voltage_between(&self, a: NodeId, b: NodeId) -> Complex {
+        self.voltage(a) - self.voltage(b)
+    }
+
+    /// Branch current of an element that carries a current unknown (voltage
+    /// sources, VCVS, op-amps, inductors), if present.
+    pub fn branch_current(&self, element: ElementId) -> Option<Complex> {
+        self.branch_currents.get(&element).copied()
+    }
+}
+
+/// The MNA engine bound to one circuit.
+///
+/// # Example
+///
+/// ```
+/// use msatpg_analog::netlist::Circuit;
+/// use msatpg_analog::mna::Mna;
+///
+/// // A simple RC low-pass: fc = 1/(2π·RC) ≈ 1.59 kHz
+/// let mut c = Circuit::new();
+/// let vin = c.node("vin");
+/// let vout = c.node("vout");
+/// c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+/// c.resistor("R", vin, vout, 1.0e3);
+/// c.capacitor("C", vout, Circuit::GROUND, 100.0e-9);
+/// let mna = Mna::new(&c);
+/// let dc = mna.solve_dc().unwrap();
+/// assert!((dc.voltage(vout).abs() - 0.0).abs() < 1e-9); // DC value of source is 0
+/// let ac = mna.solve_ac(1.0).unwrap();
+/// assert!((ac.voltage(vout).abs() - 1.0).abs() < 1e-3); // passband
+/// ```
+pub struct Mna<'a> {
+    circuit: &'a Circuit,
+    /// Elements that contribute a branch-current unknown, in matrix order.
+    branch_elements: Vec<ElementId>,
+}
+
+impl<'a> Mna<'a> {
+    /// Prepares the MNA engine for `circuit`.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        let branch_elements = circuit
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e.kind,
+                    ElementKind::VoltageSource { .. }
+                        | ElementKind::Vcvs { .. }
+                        | ElementKind::OpAmp { .. }
+                        | ElementKind::Inductor { .. }
+                )
+            })
+            .map(|(id, _)| id)
+            .collect();
+        Mna {
+            circuit,
+            branch_elements,
+        }
+    }
+
+    /// Number of unknowns in the MNA system.
+    pub fn unknown_count(&self) -> usize {
+        (self.circuit.node_count() - 1) + self.branch_elements.len()
+    }
+
+    /// Solves the DC operating point (all capacitors open, inductors
+    /// shorted, sources at their DC values).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the MNA matrix is singular.
+    pub fn solve_dc(&self) -> Result<Solution, AnalogError> {
+        self.solve(Complex::ZERO, &Drive::AllDc)
+    }
+
+    /// Solves the AC small-signal response at `freq_hz` with every source at
+    /// its AC magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the MNA matrix is singular.
+    pub fn solve_ac(&self, freq_hz: f64) -> Result<Solution, AnalogError> {
+        self.solve(Complex::new(0.0, TAU * freq_hz), &Drive::AllAc)
+    }
+
+    /// Solves at `freq_hz` with only the named source active at the given
+    /// magnitude (other sources are zeroed); `freq_hz = 0` performs a DC
+    /// solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::UnknownElement`] if the source does not exist,
+    /// or a singular-matrix error.
+    pub fn solve_single_source(
+        &self,
+        source: &str,
+        magnitude: f64,
+        freq_hz: f64,
+    ) -> Result<Solution, AnalogError> {
+        if self.circuit.find_element(source).is_none() {
+            return Err(AnalogError::UnknownElement {
+                name: source.to_owned(),
+            });
+        }
+        let s = Complex::new(0.0, TAU * freq_hz);
+        self.solve(
+            s,
+            &Drive::Single {
+                source: source.to_owned(),
+                magnitude,
+            },
+        )
+    }
+
+    /// Complex transfer function `V(output) / stimulus` from the named
+    /// source to `output` at `freq_hz` (unit-magnitude stimulus).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Mna::solve_single_source`].
+    pub fn transfer(
+        &self,
+        source: &str,
+        output: NodeId,
+        freq_hz: f64,
+    ) -> Result<Complex, AnalogError> {
+        let sol = self.solve_single_source(source, 1.0, freq_hz)?;
+        Ok(sol.voltage(output))
+    }
+
+    /// Gain magnitude `|V(output) / stimulus|` at `freq_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Mna::transfer`].
+    pub fn gain(&self, source: &str, output: NodeId, freq_hz: f64) -> Result<f64, AnalogError> {
+        Ok(self.transfer(source, output, freq_hz)?.abs())
+    }
+
+    fn source_value(&self, id: ElementId, kind: &ElementKind, drive: &Drive) -> f64 {
+        let (dc, ac) = match *kind {
+            ElementKind::VoltageSource { dc, ac } | ElementKind::CurrentSource { dc, ac } => {
+                (dc, ac)
+            }
+            _ => return 0.0,
+        };
+        match drive {
+            Drive::AllDc => dc,
+            Drive::AllAc => ac,
+            Drive::Single { source, magnitude } => {
+                if self.circuit.element(id).name == *source {
+                    *magnitude
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn solve(&self, s: Complex, drive: &Drive) -> Result<Solution, AnalogError> {
+        let n_nodes = self.circuit.node_count() - 1; // excluding ground
+        let n = n_nodes + self.branch_elements.len();
+        if n == 0 {
+            return Ok(Solution {
+                voltages: vec![Complex::ZERO; 1],
+                branch_currents: HashMap::new(),
+            });
+        }
+        let mut a = Matrix::zeros(n, n);
+        let mut b = vec![Complex::ZERO; n];
+
+        // Map: node -> row/column (ground maps to None).
+        let row = |node: NodeId| -> Option<usize> {
+            if node.is_ground() {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+        let branch_row: HashMap<ElementId, usize> = self
+            .branch_elements
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, n_nodes + i))
+            .collect();
+
+        let stamp_admittance = |a: &mut Matrix, na: NodeId, nb: NodeId, y: Complex| {
+            if let Some(i) = row(na) {
+                a[(i, i)] += y;
+                if let Some(j) = row(nb) {
+                    a[(i, j)] -= y;
+                }
+            }
+            if let Some(j) = row(nb) {
+                a[(j, j)] += y;
+                if let Some(i) = row(na) {
+                    a[(j, i)] -= y;
+                }
+            }
+        };
+
+        for (id, e) in self.circuit.iter() {
+            match e.kind {
+                ElementKind::Resistor { value } => {
+                    let y = Complex::from_real(1.0 / value);
+                    stamp_admittance(&mut a, e.nodes[0], e.nodes[1], y);
+                }
+                ElementKind::Capacitor { value } => {
+                    let y = s * value;
+                    stamp_admittance(&mut a, e.nodes[0], e.nodes[1], y);
+                }
+                ElementKind::Inductor { value } => {
+                    // Branch formulation: V(a) − V(b) − s·L·I = 0
+                    let k = branch_row[&id];
+                    let (na, nb) = (e.nodes[0], e.nodes[1]);
+                    if let Some(i) = row(na) {
+                        a[(i, k)] += Complex::ONE;
+                        a[(k, i)] += Complex::ONE;
+                    }
+                    if let Some(j) = row(nb) {
+                        a[(j, k)] -= Complex::ONE;
+                        a[(k, j)] -= Complex::ONE;
+                    }
+                    a[(k, k)] -= s * value;
+                }
+                ElementKind::VoltageSource { .. } => {
+                    let k = branch_row[&id];
+                    let (np, nn) = (e.nodes[0], e.nodes[1]);
+                    if let Some(i) = row(np) {
+                        a[(i, k)] += Complex::ONE;
+                        a[(k, i)] += Complex::ONE;
+                    }
+                    if let Some(j) = row(nn) {
+                        a[(j, k)] -= Complex::ONE;
+                        a[(k, j)] -= Complex::ONE;
+                    }
+                    b[k] = Complex::from_real(self.source_value(id, &e.kind, drive));
+                }
+                ElementKind::CurrentSource { .. } => {
+                    let value = self.source_value(id, &e.kind, drive);
+                    let (np, nn) = (e.nodes[0], e.nodes[1]);
+                    if let Some(i) = row(np) {
+                        b[i] -= Complex::from_real(value);
+                    }
+                    if let Some(j) = row(nn) {
+                        b[j] += Complex::from_real(value);
+                    }
+                }
+                ElementKind::Vcvs { gain } => {
+                    // V(p) − V(n) − gain·(V(cp) − V(cn)) = 0
+                    let k = branch_row[&id];
+                    let (p, nn, cp, cn) = (e.nodes[0], e.nodes[1], e.nodes[2], e.nodes[3]);
+                    if let Some(i) = row(p) {
+                        a[(i, k)] += Complex::ONE;
+                        a[(k, i)] += Complex::ONE;
+                    }
+                    if let Some(j) = row(nn) {
+                        a[(j, k)] -= Complex::ONE;
+                        a[(k, j)] -= Complex::ONE;
+                    }
+                    if let Some(i) = row(cp) {
+                        a[(k, i)] -= Complex::from_real(gain);
+                    }
+                    if let Some(j) = row(cn) {
+                        a[(k, j)] += Complex::from_real(gain);
+                    }
+                }
+                ElementKind::OpAmp { model } => {
+                    // Output current is the branch unknown, injected at `out`.
+                    let k = branch_row[&id];
+                    let (inp, inn, out) = (e.nodes[0], e.nodes[1], e.nodes[2]);
+                    if let Some(o) = row(out) {
+                        a[(o, k)] += Complex::ONE;
+                    }
+                    match model {
+                        OpAmpModel::Ideal => {
+                            // Constraint: V(in+) − V(in−) = 0
+                            if let Some(i) = row(inp) {
+                                a[(k, i)] += Complex::ONE;
+                            }
+                            if let Some(j) = row(inn) {
+                                a[(k, j)] -= Complex::ONE;
+                            }
+                        }
+                        OpAmpModel::FiniteGain { a0, pole_hz } => {
+                            // V(out) = A(s)·(V(in+) − V(in−)),
+                            // A(s) = a0 / (1 + s/(2π·pole_hz))
+                            let denom = Complex::ONE + s / (TAU * pole_hz);
+                            let gain = Complex::from_real(a0) / denom;
+                            if let Some(o) = row(out) {
+                                a[(k, o)] += Complex::ONE;
+                            }
+                            if let Some(i) = row(inp) {
+                                a[(k, i)] -= gain;
+                            }
+                            if let Some(j) = row(inn) {
+                                a[(k, j)] += gain;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let x = a.solve(&b)?;
+        let mut voltages = vec![Complex::ZERO; self.circuit.node_count()];
+        for node_idx in 1..self.circuit.node_count() {
+            voltages[node_idx] = x[node_idx - 1];
+        }
+        let branch_currents = self
+            .branch_elements
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, x[n_nodes + i]))
+            .collect();
+        Ok(Solution {
+            voltages,
+            branch_currents,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::OpAmpModel;
+
+    fn rc_lowpass() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 1.0, 1.0);
+        c.resistor("R", vin, vout, 1.0e3);
+        c.capacitor("C", vout, Circuit::GROUND, 159.154943e-9); // fc ≈ 1 kHz
+        (c, vout)
+    }
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 10.0, 1.0);
+        c.resistor("R1", vin, mid, 2.0e3);
+        c.resistor("R2", mid, Circuit::GROUND, 3.0e3);
+        let sol = Mna::new(&c).solve_dc().unwrap();
+        assert!((sol.voltage(mid).re - 6.0).abs() < 1e-9);
+        // Source current: 10 V across 5 kΩ = 2 mA flowing out of + terminal.
+        let i = sol
+            .branch_current(c.find_element("Vin").unwrap())
+            .unwrap();
+        assert!((i.re.abs() - 2.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_lowpass_cutoff() {
+        let (c, vout) = rc_lowpass();
+        let mna = Mna::new(&c);
+        // Well below cutoff: gain ≈ 1.  At cutoff: 1/sqrt(2).  Well above: small.
+        let g_low = mna.gain("Vin", vout, 1.0).unwrap();
+        let g_fc = mna.gain("Vin", vout, 1000.0).unwrap();
+        let g_high = mna.gain("Vin", vout, 100_000.0).unwrap();
+        assert!((g_low - 1.0).abs() < 1e-3);
+        assert!((g_fc - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!(g_high < 0.02);
+    }
+
+    #[test]
+    fn inverting_amplifier_with_ideal_opamp() {
+        // Gain = -Rf/Rin = -10
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vminus = c.node("vminus");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("Rin", vin, vminus, 1.0e3);
+        c.resistor("Rf", vminus, vout, 10.0e3);
+        c.opamp("A1", Circuit::GROUND, vminus, vout, OpAmpModel::Ideal);
+        let mna = Mna::new(&c);
+        let h = mna.transfer("Vin", vout, 100.0).unwrap();
+        assert!((h.re + 10.0).abs() < 1e-6);
+        assert!(h.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverting_amplifier_with_finite_gain_opamp() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vminus = c.node("vminus");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("Rin", vin, vminus, 1.0e3);
+        c.resistor("Rf", vminus, vout, 10.0e3);
+        c.opamp(
+            "A1",
+            Circuit::GROUND,
+            vminus,
+            vout,
+            OpAmpModel::FiniteGain {
+                a0: 1.0e6,
+                pole_hz: 10.0,
+            },
+        );
+        let mna = Mna::new(&c);
+        let h = mna.transfer("Vin", vout, 1.0).unwrap();
+        // Finite but large gain: very close to -10.
+        assert!((h.abs() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn vcvs_gain_stage() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.vcvs("E1", vout, Circuit::GROUND, vin, Circuit::GROUND, 5.0);
+        c.resistor("Rload", vout, Circuit::GROUND, 1.0e3);
+        let mna = Mna::new(&c);
+        let h = mna.transfer("Vin", vout, 50.0).unwrap();
+        assert!((h.re - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rl_highpass_behaviour() {
+        // Series R from source, inductor to ground: V(out) rises with f.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("R", vin, vout, 1.0e3);
+        c.inductor("L", vout, Circuit::GROUND, 0.1);
+        let mna = Mna::new(&c);
+        let g_low = mna.gain("Vin", vout, 10.0).unwrap();
+        let g_high = mna.gain("Vin", vout, 100_000.0).unwrap();
+        assert!(g_low < 0.01);
+        assert!(g_high > 0.98);
+        // DC: inductor is a short.
+        let dc = mna.solve_dc().unwrap();
+        assert!(dc.voltage(vout).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        c.current_source("I1", Circuit::GROUND, n1, 1.0e-3, 1.0e-3);
+        c.resistor("R1", n1, Circuit::GROUND, 1.0e3);
+        let sol = Mna::new(&c).solve_dc().unwrap();
+        // 1 mA into 1 kΩ = 1 V.
+        assert!((sol.voltage(n1).re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_source_drive_zeroes_other_sources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let bnode = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, 1.0, 1.0);
+        c.voltage_source("V2", bnode, Circuit::GROUND, 1.0, 1.0);
+        c.resistor("R1", a, bnode, 1.0e3);
+        let mna = Mna::new(&c);
+        let sol = mna.solve_single_source("V1", 2.0, 0.0).unwrap();
+        assert!((sol.voltage(a).re - 2.0).abs() < 1e-12);
+        assert!(sol.voltage(bnode).abs() < 1e-12);
+        assert!(mna.solve_single_source("nope", 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn unknown_count_matches_structure() {
+        let (c, _) = rc_lowpass();
+        let mna = Mna::new(&c);
+        // 2 non-ground nodes + 1 voltage-source branch.
+        assert_eq!(mna.unknown_count(), 3);
+    }
+}

@@ -1,0 +1,546 @@
+//! Analog circuit netlists: nodes, elements and a builder-style API.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::AnalogError;
+
+/// Identifier of a circuit node.  Node `0` is always ground.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of an element inside a [`Circuit`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw index of the element.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operational-amplifier models supported by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpAmpModel {
+    /// Nullor model: infinite gain, the two inputs are forced equal.
+    Ideal,
+    /// Single-pole finite-gain model `A(s) = a0 / (1 + s / (2π pole_hz))`.
+    FiniteGain {
+        /// Open-loop DC gain.
+        a0: f64,
+        /// Open-loop −3 dB frequency in hertz.
+        pole_hz: f64,
+    },
+}
+
+/// The electrical behaviour of an element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ElementKind {
+    /// Resistor (value in ohms) between two nodes.
+    Resistor {
+        /// Resistance in ohms.
+        value: f64,
+    },
+    /// Capacitor (value in farads) between two nodes.
+    Capacitor {
+        /// Capacitance in farads.
+        value: f64,
+    },
+    /// Inductor (value in henries) between two nodes.
+    Inductor {
+        /// Inductance in henries.
+        value: f64,
+    },
+    /// Independent voltage source between two nodes (`plus`, `minus`).
+    VoltageSource {
+        /// DC value in volts.
+        dc: f64,
+        /// AC (small-signal) magnitude in volts.
+        ac: f64,
+    },
+    /// Independent current source from `plus` into `minus`.
+    CurrentSource {
+        /// DC value in amperes.
+        dc: f64,
+        /// AC (small-signal) magnitude in amperes.
+        ac: f64,
+    },
+    /// Voltage-controlled voltage source: `V(p, n) = gain · V(cp, cn)`.
+    Vcvs {
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Operational amplifier with inputs `(in+, in−)` and output `out`
+    /// (referenced to ground).
+    OpAmp {
+        /// Op-amp model used during simulation.
+        model: OpAmpModel,
+    },
+}
+
+impl ElementKind {
+    /// The scalar "value" of the element (resistance, capacitance,
+    /// inductance, source magnitude or gain), used for parametric fault
+    /// injection.
+    pub fn value(&self) -> f64 {
+        match *self {
+            ElementKind::Resistor { value }
+            | ElementKind::Capacitor { value }
+            | ElementKind::Inductor { value } => value,
+            ElementKind::VoltageSource { ac, .. } | ElementKind::CurrentSource { ac, .. } => ac,
+            ElementKind::Vcvs { gain } => gain,
+            ElementKind::OpAmp { model } => match model {
+                OpAmpModel::Ideal => f64::INFINITY,
+                OpAmpModel::FiniteGain { a0, .. } => a0,
+            },
+        }
+    }
+
+    /// Returns a copy of the element kind with its scalar value replaced.
+    pub fn with_value(&self, new_value: f64) -> ElementKind {
+        match *self {
+            ElementKind::Resistor { .. } => ElementKind::Resistor { value: new_value },
+            ElementKind::Capacitor { .. } => ElementKind::Capacitor { value: new_value },
+            ElementKind::Inductor { .. } => ElementKind::Inductor { value: new_value },
+            ElementKind::VoltageSource { dc, .. } => ElementKind::VoltageSource {
+                dc,
+                ac: new_value,
+            },
+            ElementKind::CurrentSource { dc, .. } => ElementKind::CurrentSource {
+                dc,
+                ac: new_value,
+            },
+            ElementKind::Vcvs { .. } => ElementKind::Vcvs { gain: new_value },
+            ElementKind::OpAmp { model } => match model {
+                OpAmpModel::Ideal => ElementKind::OpAmp {
+                    model: OpAmpModel::Ideal,
+                },
+                OpAmpModel::FiniteGain { pole_hz, .. } => ElementKind::OpAmp {
+                    model: OpAmpModel::FiniteGain {
+                        a0: new_value,
+                        pole_hz,
+                    },
+                },
+            },
+        }
+    }
+
+    /// True for passive two-terminal elements (R, C, L) — the elements the
+    /// analog fault model targets.
+    pub fn is_passive(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::Resistor { .. } | ElementKind::Capacitor { .. } | ElementKind::Inductor { .. }
+        )
+    }
+}
+
+/// A circuit element: a name, its behaviour and its terminal connections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Element {
+    /// Human-readable element name (e.g. `"Rd"`, `"C1"`).
+    pub name: String,
+    /// Electrical behaviour.
+    pub kind: ElementKind,
+    /// Terminal nodes.  The interpretation depends on [`ElementKind`]:
+    /// two-terminal elements use `[a, b]`, the VCVS uses `[p, n, cp, cn]`,
+    /// and op-amps use `[in+, in−, out]`.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A linear(ised) analog circuit.
+///
+/// Circuits are built with the builder-style `add_*` methods and then handed
+/// to [`crate::mna::Mna`] for DC/AC analysis.
+///
+/// # Example
+///
+/// ```
+/// use msatpg_analog::netlist::Circuit;
+///
+/// let mut c = Circuit::new();
+/// let vin = c.node("vin");
+/// let vout = c.node("vout");
+/// c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+/// c.resistor("R1", vin, vout, 1.0e3);
+/// c.resistor("R2", vout, Circuit::GROUND, 1.0e3);
+/// assert_eq!(c.element_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_by_name: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    element_by_name: HashMap<String, ElementId>,
+}
+
+impl Circuit {
+    /// The ground node, shared by every circuit.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: Vec::new(),
+            node_by_name: HashMap::new(),
+            elements: Vec::new(),
+            element_by_name: HashMap::new(),
+        };
+        c.node_names.push("0".to_owned());
+        c.node_by_name.insert("0".to_owned(), NodeId(0));
+        c
+    }
+
+    /// Returns (creating if necessary) the node with the given name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_owned());
+        self.node_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_by_name.get(name).copied()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Iterates over `(id, element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId(i), e))
+    }
+
+    /// The element with the given id.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Looks up an element by name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.element_by_name.get(name).copied()
+    }
+
+    /// Scalar value of an element (see [`ElementKind::value`]).
+    pub fn value(&self, id: ElementId) -> f64 {
+        self.elements[id.0].kind.value()
+    }
+
+    /// Replaces the scalar value of an element (used for fault injection and
+    /// sensitivity analysis).
+    pub fn set_value(&mut self, id: ElementId, new_value: f64) {
+        let kind = self.elements[id.0].kind.with_value(new_value);
+        self.elements[id.0].kind = kind;
+    }
+
+    /// Multiplies the scalar value of an element by `factor`.
+    pub fn scale_value(&mut self, id: ElementId, factor: f64) {
+        let v = self.value(id);
+        self.set_value(id, v * factor);
+    }
+
+    /// Ids of all passive (R/C/L) elements — the analog fault universe.
+    pub fn passive_elements(&self) -> Vec<ElementId> {
+        self.iter()
+            .filter(|(_, e)| e.kind.is_passive())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn add(&mut self, name: &str, kind: ElementKind, nodes: Vec<NodeId>) -> ElementId {
+        assert!(
+            !self.element_by_name.contains_key(name),
+            "duplicate element name {name}"
+        );
+        let id = ElementId(self.elements.len());
+        self.elements.push(Element {
+            name: name.to_owned(),
+            kind,
+            nodes,
+        });
+        self.element_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or the value is not positive.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.add(name, ElementKind::Resistor { value: ohms }, vec![a, b])
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or the value is not positive.
+    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.add(name, ElementKind::Capacitor { value: farads }, vec![a, b])
+    }
+
+    /// Adds an inductor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or the value is not positive.
+    pub fn inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> ElementId {
+        assert!(henries > 0.0, "inductance must be positive");
+        self.add(name, ElementKind::Inductor { value: henries }, vec![a, b])
+    }
+
+    /// Adds an independent voltage source with `plus`/`minus` terminals.
+    pub fn voltage_source(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        dc: f64,
+        ac: f64,
+    ) -> ElementId {
+        self.add(
+            name,
+            ElementKind::VoltageSource { dc, ac },
+            vec![plus, minus],
+        )
+    }
+
+    /// Adds an independent current source flowing from `plus` to `minus`
+    /// through the source.
+    pub fn current_source(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        dc: f64,
+        ac: f64,
+    ) -> ElementId {
+        self.add(
+            name,
+            ElementKind::CurrentSource { dc, ac },
+            vec![plus, minus],
+        )
+    }
+
+    /// Adds a voltage-controlled voltage source:
+    /// `V(p, n) = gain · V(cp, cn)`.
+    pub fn vcvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> ElementId {
+        self.add(name, ElementKind::Vcvs { gain }, vec![p, n, cp, cn])
+    }
+
+    /// Adds an operational amplifier with inputs `in_plus`, `in_minus` and a
+    /// ground-referenced output `out`.
+    pub fn opamp(
+        &mut self,
+        name: &str,
+        in_plus: NodeId,
+        in_minus: NodeId,
+        out: NodeId,
+        model: OpAmpModel,
+    ) -> ElementId {
+        self.add(name, ElementKind::OpAmp { model }, vec![in_plus, in_minus, out])
+    }
+
+    /// Basic structural validation: every non-ground node must be connected
+    /// to at least two element terminals and at least one source must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidCircuit`] describing the first problem
+    /// found.
+    pub fn validate(&self) -> Result<(), AnalogError> {
+        let mut degree = vec![0usize; self.node_count()];
+        let mut has_source = false;
+        for e in &self.elements {
+            for n in &e.nodes {
+                degree[n.0] += 1;
+            }
+            if matches!(
+                e.kind,
+                ElementKind::VoltageSource { .. } | ElementKind::CurrentSource { .. }
+            ) {
+                has_source = true;
+            }
+        }
+        if !has_source {
+            return Err(AnalogError::InvalidCircuit {
+                reason: "circuit has no independent source".to_owned(),
+            });
+        }
+        for (i, &d) in degree.iter().enumerate().skip(1) {
+            if d < 2 {
+                return Err(AnalogError::InvalidCircuit {
+                    reason: format!(
+                        "node '{}' is connected to {} terminal(s); every node needs at least 2",
+                        self.node_names[i], d
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} nodes, {} elements",
+            self.node_count(),
+            self.element_count()
+        )?;
+        for e in &self.elements {
+            let nodes: Vec<&str> = e.nodes.iter().map(|n| self.node_name(*n)).collect();
+            writeln!(f, "  {} {:?} [{}]", e.name, e.kind, nodes.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_deduplicated() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+        assert!(Circuit::GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn element_lookup_and_value_editing() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, 1.0, 1.0);
+        let r = c.resistor("R1", a, Circuit::GROUND, 100.0);
+        assert_eq!(c.find_element("R1"), Some(r));
+        assert_eq!(c.value(r), 100.0);
+        c.scale_value(r, 1.1);
+        assert!((c.value(r) - 110.0).abs() < 1e-9);
+        c.set_value(r, 50.0);
+        assert_eq!(c.value(r), 50.0);
+        assert_eq!(c.element(r).name, "R1");
+        assert_eq!(c.passive_elements(), vec![r]);
+    }
+
+    #[test]
+    fn validation_catches_dangling_node() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("R1", a, b, 100.0);
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, AnalogError::InvalidCircuit { .. }));
+        // Closing the loop fixes it.
+        c.resistor("R2", b, Circuit::GROUND, 100.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_requires_a_source() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GROUND, 100.0);
+        c.resistor("R2", a, Circuit::GROUND, 100.0);
+        assert!(matches!(
+            c.validate(),
+            Err(AnalogError::InvalidCircuit { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn duplicate_names_panic() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::GROUND, 1.0);
+        c.resistor("R1", a, Circuit::GROUND, 2.0);
+    }
+
+    #[test]
+    fn element_kind_value_roundtrip() {
+        let k = ElementKind::Capacitor { value: 1e-9 };
+        assert_eq!(k.value(), 1e-9);
+        assert_eq!(k.with_value(2e-9).value(), 2e-9);
+        let v = ElementKind::VoltageSource { dc: 1.0, ac: 0.5 };
+        assert_eq!(v.value(), 0.5);
+        let o = ElementKind::OpAmp {
+            model: OpAmpModel::FiniteGain {
+                a0: 1e5,
+                pole_hz: 10.0,
+            },
+        };
+        assert_eq!(o.value(), 1e5);
+        assert!(!o.is_passive());
+        assert!(k.is_passive());
+    }
+
+    #[test]
+    fn display_lists_elements() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("Vin", a, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("R1", a, Circuit::GROUND, 42.0);
+        let s = format!("{c}");
+        assert!(s.contains("R1"));
+        assert!(s.contains("Vin"));
+    }
+}

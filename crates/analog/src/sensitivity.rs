@@ -1,0 +1,450 @@
+//! Sensitivity and worst-case element-deviation analysis (§2.1 of the paper).
+//!
+//! For every pair *(parameter T, element x)* the analysis computes the
+//! smallest relative deviation of *x* that is guaranteed to push *T* out of
+//! its tolerance box — the **element deviation** (E.D.) reported in
+//! Example 1, Table 3 and Table 8 of the paper.  In worst-case mode, all
+//! other (fault-free) elements are allowed to sit anywhere inside their own
+//! tolerance, partially masking the fault, exactly as the paper's
+//! "worst element tolerance" computation.
+
+use crate::netlist::{Circuit, ElementId};
+use crate::params::{measure, ParameterSpec};
+use crate::tolerance::{relative_deviation, Tolerance};
+use crate::AnalogError;
+
+/// Normalized sensitivity `S = (∂T/T) / (∂x/x)` of a parameter with respect
+/// to an element value, estimated by central finite differences.
+///
+/// # Errors
+///
+/// Propagates measurement errors.
+pub fn normalized_sensitivity(
+    circuit: &Circuit,
+    spec: &ParameterSpec,
+    element: ElementId,
+    step: f64,
+) -> Result<f64, AnalogError> {
+    let nominal = measure(circuit, spec)?;
+    if nominal == 0.0 {
+        return Ok(0.0);
+    }
+    let mut up = circuit.clone();
+    up.scale_value(element, 1.0 + step);
+    let mut down = circuit.clone();
+    down.scale_value(element, 1.0 - step);
+    let t_up = measure(&up, spec)?;
+    let t_down = measure(&down, spec)?;
+    Ok(((t_up - t_down) / nominal) / (2.0 * step))
+}
+
+/// One row of a [`DeviationReport`]: the detectable deviation of one element
+/// through one parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviationRow {
+    /// Parameter name.
+    pub parameter: String,
+    /// Element name.
+    pub element: String,
+    /// Element id in the analyzed circuit.
+    pub element_id: ElementId,
+    /// Smallest guaranteed-detectable relative deviation (fraction), or
+    /// `None` when no deviation up to the search cap moves the parameter out
+    /// of its tolerance box (the `0` / dashed entries of the paper's tables).
+    pub detectable_deviation: Option<f64>,
+}
+
+/// Result of a [`WorstCaseAnalysis`] run: the full parameter × element
+/// deviation matrix.
+#[derive(Clone, Debug, Default)]
+pub struct DeviationReport {
+    rows: Vec<DeviationRow>,
+    parameters: Vec<String>,
+    elements: Vec<(ElementId, String)>,
+}
+
+impl DeviationReport {
+    /// All rows (one per parameter × element pair).
+    pub fn rows(&self) -> &[DeviationRow] {
+        &self.rows
+    }
+
+    /// Parameter names, in analysis order.
+    pub fn parameters(&self) -> &[String] {
+        &self.parameters
+    }
+
+    /// Analyzed elements as `(id, name)` pairs.
+    pub fn elements(&self) -> &[(ElementId, String)] {
+        &self.elements
+    }
+
+    /// Looks up the detectable deviation for a `(parameter, element)` pair.
+    pub fn deviation(&self, parameter: &str, element: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.parameter == parameter && r.element == element)
+            .and_then(|r| r.detectable_deviation)
+    }
+
+    /// The element coverage: for each element, the minimum detectable
+    /// deviation over all parameters (`None` if no parameter detects it).
+    pub fn element_coverage(&self) -> Vec<(String, Option<f64>)> {
+        self.elements
+            .iter()
+            .map(|(_, name)| {
+                let best = self
+                    .rows
+                    .iter()
+                    .filter(|r| &r.element == name)
+                    .filter_map(|r| r.detectable_deviation)
+                    .fold(f64::INFINITY, f64::min);
+                (
+                    name.clone(),
+                    if best.is_finite() { Some(best) } else { None },
+                )
+            })
+            .collect()
+    }
+
+    /// Renders the matrix as a plain-text table with deviations in percent
+    /// (the layout of Equation 1 / Table 3 in the paper).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<8}", ""));
+        for (_, e) in &self.elements {
+            out.push_str(&format!("{e:>9}"));
+        }
+        out.push('\n');
+        for p in &self.parameters {
+            out.push_str(&format!("{p:<8}"));
+            for (_, e) in &self.elements {
+                let cell = match self.deviation(p, e) {
+                    Some(d) => format!("{:.1}", d * 100.0),
+                    None => "-".to_owned(),
+                };
+                out.push_str(&format!("{cell:>9}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Worst-case element-deviation analysis.
+///
+/// # Example
+///
+/// ```
+/// use msatpg_analog::filters;
+/// use msatpg_analog::sensitivity::WorstCaseAnalysis;
+///
+/// let filter = filters::second_order_band_pass();
+/// let report = WorstCaseAnalysis::new(filter.circuit(), filter.parameters())
+///     .with_parameter_tolerance(0.05)
+///     .run()
+///     .unwrap();
+/// // The center-frequency gain A1 of the Tow-Thomas band-pass depends only
+/// // on Rd and Rg.
+/// assert!(report.deviation("A1", "Rd").is_some());
+/// assert!(report.deviation("A1", "R1").is_none());
+/// ```
+pub struct WorstCaseAnalysis<'a> {
+    circuit: &'a Circuit,
+    parameters: &'a [ParameterSpec],
+    parameter_tolerance: Tolerance,
+    element_tolerance: Tolerance,
+    worst_case: bool,
+    max_deviation: f64,
+    elements: Option<Vec<ElementId>>,
+}
+
+impl<'a> WorstCaseAnalysis<'a> {
+    /// Creates an analysis of `circuit` over the given parameter set with the
+    /// paper's defaults (±5 % parameter and element tolerances, worst-case
+    /// masking enabled, deviations searched up to 500 %).
+    pub fn new(circuit: &'a Circuit, parameters: &'a [ParameterSpec]) -> Self {
+        WorstCaseAnalysis {
+            circuit,
+            parameters,
+            parameter_tolerance: Tolerance::default(),
+            element_tolerance: Tolerance::default(),
+            worst_case: true,
+            max_deviation: 5.0,
+            elements: None,
+        }
+    }
+
+    /// Sets the parameter tolerance box (fraction, e.g. `0.05`).
+    pub fn with_parameter_tolerance(mut self, fraction: f64) -> Self {
+        self.parameter_tolerance = Tolerance::from_fraction(fraction);
+        self
+    }
+
+    /// Sets the fault-free element tolerance used for worst-case masking.
+    pub fn with_element_tolerance(mut self, fraction: f64) -> Self {
+        self.element_tolerance = Tolerance::from_fraction(fraction);
+        self
+    }
+
+    /// Enables or disables worst-case masking by fault-free elements
+    /// (disabled = "nominal" mode, all other elements at nominal value).
+    pub fn with_worst_case(mut self, enabled: bool) -> Self {
+        self.worst_case = enabled;
+        self
+    }
+
+    /// Sets the largest relative deviation searched (fraction).
+    pub fn with_max_deviation(mut self, fraction: f64) -> Self {
+        self.max_deviation = fraction;
+        self
+    }
+
+    /// Restricts the analysis to a subset of elements (default: all passive
+    /// elements).
+    pub fn with_elements(mut self, elements: Vec<ElementId>) -> Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (singular matrices, unknown nodes,
+    /// missing response features).
+    pub fn run(&self) -> Result<DeviationReport, AnalogError> {
+        let elements = match &self.elements {
+            Some(e) => e.clone(),
+            None => self.circuit.passive_elements(),
+        };
+        let element_names: Vec<(ElementId, String)> = elements
+            .iter()
+            .map(|&id| (id, self.circuit.element(id).name.clone()))
+            .collect();
+        let mut rows = Vec::new();
+        for spec in self.parameters {
+            let nominal = measure(self.circuit, spec)?;
+            // First-order masking margin contributed by fault-free elements.
+            for &element in &elements {
+                let mask = if self.worst_case {
+                    self.masking_margin(spec, element, &elements, nominal)?
+                } else {
+                    0.0
+                };
+                let detectable =
+                    self.minimum_detectable_deviation(spec, element, nominal, mask)?;
+                rows.push(DeviationRow {
+                    parameter: spec.name.clone(),
+                    element: self.circuit.element(element).name.clone(),
+                    element_id: element,
+                    detectable_deviation: detectable,
+                });
+            }
+        }
+        Ok(DeviationReport {
+            rows,
+            parameters: self.parameters.iter().map(|p| p.name.clone()).collect(),
+            elements: element_names,
+        })
+    }
+
+    /// First-order bound on how much the fault-free elements can shift the
+    /// parameter (as a relative deviation) while staying inside their own
+    /// tolerance: `Σ_j |S_j| · tol_element`.
+    fn masking_margin(
+        &self,
+        spec: &ParameterSpec,
+        faulty: ElementId,
+        elements: &[ElementId],
+        nominal: f64,
+    ) -> Result<f64, AnalogError> {
+        if nominal == 0.0 {
+            return Ok(0.0);
+        }
+        let mut margin = 0.0;
+        for &other in elements {
+            if other == faulty {
+                continue;
+            }
+            let s = normalized_sensitivity(self.circuit, spec, other, 0.01)?;
+            margin += s.abs() * self.element_tolerance.fraction();
+        }
+        Ok(margin)
+    }
+
+    /// Finds the smallest deviation (searched in both directions) whose
+    /// effect on the parameter exceeds `tolerance + mask`.  Returns the
+    /// *larger* of the two directional thresholds so that any deviation of
+    /// that magnitude is detectable regardless of sign; `None` when either
+    /// direction stays inside the box up to the cap.
+    fn minimum_detectable_deviation(
+        &self,
+        spec: &ParameterSpec,
+        element: ElementId,
+        nominal: f64,
+        mask: f64,
+    ) -> Result<Option<f64>, AnalogError> {
+        let threshold = self.parameter_tolerance.fraction() + mask;
+        let up = self.directional_threshold(spec, element, nominal, threshold, 1.0)?;
+        let down = self.directional_threshold(spec, element, nominal, threshold, -1.0)?;
+        Ok(match (up, down) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        })
+    }
+
+    fn directional_threshold(
+        &self,
+        spec: &ParameterSpec,
+        element: ElementId,
+        nominal: f64,
+        threshold: f64,
+        sign: f64,
+    ) -> Result<Option<f64>, AnalogError> {
+        let effect = |deviation: f64| -> Result<f64, AnalogError> {
+            let mut faulty = self.circuit.clone();
+            faulty.scale_value(element, 1.0 + sign * deviation);
+            let value = measure(&faulty, spec)?;
+            Ok(relative_deviation(value, nominal).abs())
+        };
+        // Exponential bracketing.
+        let mut lo = 0.0f64;
+        let mut hi = 0.01f64;
+        let mut found = false;
+        while hi <= self.max_deviation {
+            // Negative deviations cannot exceed -100 % (element value would
+            // go non-positive); clamp the search there.
+            if sign < 0.0 && hi >= 0.999 {
+                hi = 0.999;
+            }
+            if effect(hi)? > threshold {
+                found = true;
+                break;
+            }
+            if sign < 0.0 && hi >= 0.999 {
+                break;
+            }
+            lo = hi;
+            hi *= 1.6;
+        }
+        if !found {
+            return Ok(None);
+        }
+        // Bisection refinement.
+        for _ in 0..50 {
+            let mid = 0.5 * (lo + hi);
+            if effect(mid)? > threshold {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(Some(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::params::{ParameterKind, ParameterSpec};
+
+    /// A resistive divider: Vout = Vin · R2/(R1+R2); DC gain = 0.5 nominal.
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("R1", vin, vout, 10.0e3);
+        c.resistor("R2", vout, Circuit::GROUND, 10.0e3);
+        c
+    }
+
+    fn dc_spec() -> ParameterSpec {
+        ParameterSpec::new("Adc", ParameterKind::DcGain, "Vin", "vout")
+    }
+
+    #[test]
+    fn normalized_sensitivity_of_divider() {
+        let c = divider();
+        let spec = dc_spec();
+        let r1 = c.find_element("R1").unwrap();
+        let r2 = c.find_element("R2").unwrap();
+        // d(R2/(R1+R2))/dR1 · R1/T = -R1/(R1+R2) = -0.5 at R1 = R2.
+        let s1 = normalized_sensitivity(&c, &spec, r1, 0.001).unwrap();
+        let s2 = normalized_sensitivity(&c, &spec, r2, 0.001).unwrap();
+        assert!((s1 + 0.5).abs() < 1e-3, "S(R1) = {s1}");
+        assert!((s2 - 0.5).abs() < 1e-3, "S(R2) = {s2}");
+    }
+
+    #[test]
+    fn nominal_mode_threshold_matches_analytic_value() {
+        // In nominal mode (no masking), a 5 % box on the gain and sensitivity
+        // 0.5 means the detectable deviation is about 10 % (slightly more in
+        // the + direction because the function saturates).
+        let c = divider();
+        let specs = vec![dc_spec()];
+        let report = WorstCaseAnalysis::new(&c, &specs)
+            .with_worst_case(false)
+            .run()
+            .unwrap();
+        let d = report.deviation("Adc", "R2").expect("detectable");
+        assert!(d > 0.08 && d < 0.15, "detectable deviation {d}");
+    }
+
+    #[test]
+    fn worst_case_mode_requires_larger_deviation_than_nominal() {
+        let c = divider();
+        let specs = vec![dc_spec()];
+        let nominal = WorstCaseAnalysis::new(&c, &specs)
+            .with_worst_case(false)
+            .run()
+            .unwrap();
+        let worst = WorstCaseAnalysis::new(&c, &specs)
+            .with_worst_case(true)
+            .run()
+            .unwrap();
+        let dn = nominal.deviation("Adc", "R1").unwrap();
+        let dw = worst.deviation("Adc", "R1").unwrap();
+        assert!(
+            dw > dn,
+            "worst-case threshold {dw} must exceed nominal threshold {dn}"
+        );
+    }
+
+    #[test]
+    fn independent_element_is_not_detectable() {
+        // Add a resistor that does not influence the divider output at DC
+        // (dangling branch to a capacitor).
+        let mut c = divider();
+        let vout = c.find_node("vout").unwrap();
+        let extra = c.node("extra");
+        c.resistor("R3", vout, extra, 1.0e3);
+        c.capacitor("C1", extra, Circuit::GROUND, 1.0e-9);
+        let specs = vec![dc_spec()];
+        let report = WorstCaseAnalysis::new(&c, &specs).run().unwrap();
+        assert_eq!(report.deviation("Adc", "R3"), None);
+        let coverage = report.element_coverage();
+        let r3 = coverage.iter().find(|(n, _)| n == "R3").unwrap();
+        assert_eq!(r3.1, None);
+        let r1 = coverage.iter().find(|(n, _)| n == "R1").unwrap();
+        assert!(r1.1.is_some());
+    }
+
+    #[test]
+    fn report_table_renders() {
+        let c = divider();
+        let specs = vec![dc_spec()];
+        let report = WorstCaseAnalysis::new(&c, &specs)
+            .with_worst_case(false)
+            .run()
+            .unwrap();
+        let table = report.to_table();
+        assert!(table.contains("Adc"));
+        assert!(table.contains("R1"));
+        assert_eq!(report.parameters(), &["Adc".to_owned()]);
+        assert_eq!(report.elements().len(), 2);
+        assert_eq!(report.rows().len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tolerances and relative deviations.
+
+use std::fmt;
+
+/// A symmetric relative tolerance box `[-x, +x]` (e.g. `Tolerance::percent(5.0)`
+/// for the paper's ±5 % parameter boxes).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Creates a tolerance from a fractional half-width (`0.05` = ±5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or not finite.
+    pub fn from_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "tolerance must be a finite non-negative fraction"
+        );
+        Tolerance(fraction)
+    }
+
+    /// Creates a tolerance from a percentage (`5.0` = ±5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is negative or not finite.
+    pub fn percent(percent: f64) -> Self {
+        Self::from_fraction(percent / 100.0)
+    }
+
+    /// Half-width of the box as a fraction.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Half-width of the box in percent.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns `true` if the relative deviation `deviation` lies inside the
+    /// tolerance box (inclusive).
+    pub fn contains(self, deviation: f64) -> bool {
+        deviation.abs() <= self.0 + 1e-15
+    }
+}
+
+impl Default for Tolerance {
+    /// The paper's default: ±5 %.
+    fn default() -> Self {
+        Tolerance(0.05)
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "±{:.3}%", self.as_percent())
+    }
+}
+
+/// Relative deviation of a measured value with respect to a reference value.
+///
+/// Returns `0.0` when the reference is zero and the value equals it; returns
+/// `f64::INFINITY` when the reference is zero but the value is not.
+pub fn relative_deviation(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (value - reference) / reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tolerance::percent(5.0);
+        assert!((t.fraction() - 0.05).abs() < 1e-12);
+        assert!((t.as_percent() - 5.0).abs() < 1e-12);
+        assert_eq!(Tolerance::default(), Tolerance::from_fraction(0.05));
+        assert_eq!(format!("{t}"), "±5.000%");
+    }
+
+    #[test]
+    fn containment() {
+        let t = Tolerance::percent(5.0);
+        assert!(t.contains(0.04));
+        assert!(t.contains(-0.05));
+        assert!(!t.contains(0.0501));
+        assert!(!t.contains(-0.10));
+    }
+
+    #[test]
+    fn relative_deviation_behaviour() {
+        assert!((relative_deviation(1.05, 1.0) - 0.05).abs() < 1e-12);
+        assert!((relative_deviation(0.9, 1.0) + 0.1).abs() < 1e-12);
+        assert_eq!(relative_deviation(0.0, 0.0), 0.0);
+        assert_eq!(relative_deviation(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        let _ = Tolerance::percent(-1.0);
+    }
+}

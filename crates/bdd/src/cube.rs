@@ -1,0 +1,270 @@
+//! Partial assignments (cubes) and satisfying-assignment iteration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, VarId};
+
+/// A total-ish assignment of Boolean values to variables.
+///
+/// Variables that were never assigned read back as `None` from
+/// [`Assignment::get`]; [`BddManager::eval`] treats them as `false`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: BTreeMap<VarId, bool>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `var` to `value`.
+    pub fn set(&mut self, var: VarId, value: bool) {
+        self.values.insert(var, value);
+    }
+
+    /// Reads the value of `var`, if assigned.
+    pub fn get(&self, var: VarId) -> Option<bool> {
+        self.values.get(&var).copied()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, bool)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl FromIterator<(VarId, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (VarId, bool)>>(iter: I) -> Self {
+        Assignment {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(VarId, bool)> for Assignment {
+    fn extend<I: IntoIterator<Item = (VarId, bool)>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+/// A cube: a conjunction of literals, i.e. a partial assignment describing a
+/// set of minterms.
+///
+/// Cubes are what the ATPG hands back as test vectors: assigned variables are
+/// required values, unassigned variables are don't-cares (`X` in the paper's
+/// notation, e.g. the vector `{l0,l1,l2,l4} = {0,0,1,X}` of Example 2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cube {
+    literals: BTreeMap<VarId, bool>,
+}
+
+impl Cube {
+    /// Creates the empty cube (the universal set of minterms).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the literal `var = value` to the cube.
+    pub fn set(&mut self, var: VarId, value: bool) {
+        self.literals.insert(var, value);
+    }
+
+    /// Value required for `var`, or `None` when `var` is a don't-care.
+    pub fn get(&self, var: VarId) -> Option<bool> {
+        self.literals.get(&var).copied()
+    }
+
+    /// Number of literals in the cube.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Returns `true` for the empty (universal) cube.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` literals in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, bool)> + '_ {
+        self.literals.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Converts the cube into an [`Assignment`] (don't-cares stay
+    /// unassigned).
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment {
+            values: self.literals.clone(),
+        }
+    }
+
+    /// Renders the cube as a pattern string over the given number of
+    /// variables (`0`, `1`, or `X` per position), as customarily printed by
+    /// ATPG tools.
+    pub fn to_pattern(&self, var_count: usize) -> String {
+        (0..var_count as VarId)
+            .map(|v| match self.get(v) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => 'X',
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "(true)");
+        }
+        let parts: Vec<String> = self
+            .literals
+            .iter()
+            .map(|(v, val)| {
+                if *val {
+                    format!("x{v}")
+                } else {
+                    format!("!x{v}")
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join(" & "))
+    }
+}
+
+impl FromIterator<(VarId, bool)> for Cube {
+    fn from_iter<I: IntoIterator<Item = (VarId, bool)>>(iter: I) -> Self {
+        Cube {
+            literals: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Iterator over the cubes (root-to-one paths) of a BDD.
+///
+/// Produced by [`BddManager::cubes`].
+pub struct CubeIter<'a> {
+    manager: &'a BddManager,
+    stack: Vec<(Bdd, Cube)>,
+}
+
+impl<'a> CubeIter<'a> {
+    pub(crate) fn new(manager: &'a BddManager, f: Bdd) -> Self {
+        let stack = if f.is_zero() {
+            Vec::new()
+        } else {
+            vec![(f, Cube::new())]
+        };
+        CubeIter { manager, stack }
+    }
+}
+
+impl<'a> Iterator for CubeIter<'a> {
+    type Item = Cube;
+
+    fn next(&mut self) -> Option<Cube> {
+        while let Some((node, cube)) = self.stack.pop() {
+            if node.is_one() {
+                return Some(cube);
+            }
+            if node.is_zero() {
+                continue;
+            }
+            let n = self.manager.node(node);
+            let mut low_cube = cube.clone();
+            low_cube.set(n.var, false);
+            let mut high_cube = cube;
+            high_cube.set(n.var, true);
+            if !n.low.is_zero() {
+                self.stack.push((n.low, low_cube));
+            }
+            if !n.high.is_zero() {
+                self.stack.push((n.high, high_cube));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_roundtrip() {
+        let mut a = Assignment::new();
+        assert!(a.is_empty());
+        a.set(3, true);
+        a.set(1, false);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(3), Some(true));
+        assert_eq!(a.get(1), Some(false));
+        assert_eq!(a.get(0), None);
+        let collected: Vec<_> = a.iter().collect();
+        assert_eq!(collected, vec![(1, false), (3, true)]);
+    }
+
+    #[test]
+    fn cube_pattern_rendering() {
+        let mut c = Cube::new();
+        c.set(0, false);
+        c.set(2, true);
+        assert_eq!(c.to_pattern(4), "0X1X");
+        assert_eq!(format!("{c}"), "!x0 & x2");
+        assert_eq!(format!("{}", Cube::new()), "(true)");
+    }
+
+    #[test]
+    fn cube_iteration_covers_on_set() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let cubes: Vec<Cube> = m.cubes(f).collect();
+        assert!(!cubes.is_empty());
+        // Every cube must satisfy f, and together they must count 5 minterms.
+        let mut total = 0u32;
+        for cube in &cubes {
+            let asg = cube.to_assignment();
+            assert!(m.eval(f, &asg), "cube {cube} does not satisfy f");
+            total += 1 << (3 - cube.len());
+        }
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn cube_iter_of_zero_is_empty() {
+        let m = BddManager::new();
+        assert_eq!(m.cubes(Bdd::ZERO).count(), 0);
+        assert_eq!(m.cubes(Bdd::ONE).count(), 1);
+    }
+
+    #[test]
+    fn from_iterator_impls() {
+        let cube: Cube = vec![(0, true), (2, false)].into_iter().collect();
+        assert_eq!(cube.get(0), Some(true));
+        assert_eq!(cube.get(2), Some(false));
+        let asg: Assignment = vec![(1, true)].into_iter().collect();
+        assert_eq!(asg.get(1), Some(true));
+        let mut asg2 = Assignment::new();
+        asg2.extend(vec![(5, false)]);
+        assert_eq!(asg2.get(5), Some(false));
+    }
+}

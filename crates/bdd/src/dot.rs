@@ -1,0 +1,131 @@
+//! Export of BDDs to Graphviz DOT and to an indented text tree.
+//!
+//! Used to regenerate Figure 6 of the paper (the OBDDs of `Vo1`/`Vo2` built
+//! with the composite values `l0 = D`, `l2 = D̄`).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::manager::BddManager;
+use crate::node::Bdd;
+
+/// Renders `f` as a Graphviz DOT digraph.
+///
+/// Solid edges are `high` (variable = 1) edges, dashed edges are `low`
+/// (variable = 0) edges, matching the usual BDD drawing convention.
+pub fn to_dot(m: &BddManager, f: Bdd, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{graph_name}\" {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node0 [label=\"0\", shape=box];");
+    let _ = writeln!(out, "  node1 [label=\"1\", shape=box];");
+    let mut seen: HashSet<Bdd> = HashSet::new();
+    let mut stack = vec![f];
+    while let Some(n) = stack.pop() {
+        if n.is_terminal() || !seen.insert(n) {
+            continue;
+        }
+        let node = m.node(n);
+        let _ = writeln!(
+            out,
+            "  node{} [label=\"{}\", shape=circle];",
+            n.index(),
+            m.var_name(node.var)
+        );
+        let _ = writeln!(
+            out,
+            "  node{} -> node{} [style=dashed];",
+            n.index(),
+            node.low.index()
+        );
+        let _ = writeln!(
+            out,
+            "  node{} -> node{};",
+            n.index(),
+            node.high.index()
+        );
+        stack.push(node.low);
+        stack.push(node.high);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders `f` as an indented text tree (shared nodes are printed once and
+/// referenced by `@id` afterwards), convenient for terminal output.
+pub fn to_text_tree(m: &BddManager, f: Bdd) -> String {
+    let mut out = String::new();
+    let mut printed: HashMap<Bdd, usize> = HashMap::new();
+    fn rec(
+        m: &BddManager,
+        f: Bdd,
+        depth: usize,
+        out: &mut String,
+        printed: &mut HashMap<Bdd, usize>,
+    ) {
+        let indent = "  ".repeat(depth);
+        if f.is_zero() {
+            let _ = writeln!(out, "{indent}0");
+            return;
+        }
+        if f.is_one() {
+            let _ = writeln!(out, "{indent}1");
+            return;
+        }
+        if let Some(id) = printed.get(&f) {
+            let _ = writeln!(out, "{indent}@{id}");
+            return;
+        }
+        let id = printed.len();
+        printed.insert(f, id);
+        let node = m.node(f);
+        let _ = writeln!(out, "{indent}{} (#{id})", m.var_name(node.var));
+        rec(m, node.low, depth + 1, out, printed);
+        rec(m, node.high, depth + 1, out, printed);
+    }
+    rec(m, f, 0, &mut out, &mut printed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_variables() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let f = m.and(a, b);
+        let dot = to_dot(&m, f, "test");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"a\""));
+        assert!(dot.contains("\"b\""));
+        assert!(dot.contains("node0"));
+        assert!(dot.contains("node1"));
+    }
+
+    #[test]
+    fn text_tree_shares_nodes() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        // f = (a AND c) OR (b AND c): the BDD shares the `c` node.
+        let f = {
+            let ac = m.and(a, c);
+            let bc = m.and(b, c);
+            m.or(ac, bc)
+        };
+        let tree = to_text_tree(&m, f);
+        assert!(tree.contains('a'));
+        assert!(tree.contains('@'), "shared node should be referenced");
+    }
+
+    #[test]
+    fn terminals_render() {
+        let m = BddManager::new();
+        assert_eq!(to_text_tree(&m, Bdd::ONE).trim(), "1");
+        assert_eq!(to_text_tree(&m, Bdd::ZERO).trim(), "0");
+    }
+}

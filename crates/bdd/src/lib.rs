@@ -1,0 +1,40 @@
+//! Ordered binary decision diagrams (OBDDs) for the mixed-signal ATPG.
+//!
+//! This crate provides the reduced, ordered BDD package that the
+//! backtrack-free test generator of Ayari, BenHamida & Kaminska (DATE 1995)
+//! relies on.  The central type is [`BddManager`], a hash-consing node store
+//! with memoized `apply`/`ite` operations, cofactoring, quantification,
+//! Boolean difference and satisfying-assignment enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use msatpg_bdd::BddManager;
+//!
+//! let mut m = BddManager::new();
+//! let a = m.var("a");
+//! let b = m.var("b");
+//! let f = m.and(a, b);
+//! // Boolean difference with respect to `a`: df/da = f|a=0 XOR f|a=1 = b.
+//! let diff = m.boolean_difference(f, m.var_index("a").unwrap());
+//! assert_eq!(diff, b);
+//! ```
+//!
+//! The terminals are exposed as [`BddManager::zero`] and [`BddManager::one`];
+//! every other node is created through the manager and is automatically
+//! reduced (no duplicate nodes, no redundant tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod dot;
+mod expr;
+mod manager;
+mod node;
+
+pub use cube::{Assignment, Cube, CubeIter};
+pub use dot::{to_dot, to_text_tree};
+pub use expr::Expr;
+pub use manager::{BddManager, BddStats};
+pub use node::{Bdd, VarId};

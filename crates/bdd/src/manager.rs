@@ -1,0 +1,819 @@
+//! The BDD manager: hash-consed node store and memoized operations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cube::{Assignment, Cube, CubeIter};
+use crate::node::{Bdd, Node, VarId};
+
+/// Binary operation codes used as keys of the apply cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// Statistics about the state of a [`BddManager`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Number of live internal nodes (excluding the two terminals).
+    pub node_count: usize,
+    /// Number of declared variables.
+    pub var_count: usize,
+    /// Number of entries currently stored in the apply cache.
+    pub cache_entries: usize,
+}
+
+impl fmt::Display for BddStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} variables, {} cached results",
+            self.node_count, self.var_count, self.cache_entries
+        )
+    }
+}
+
+/// A reduced ordered BDD node store with memoized Boolean operations.
+///
+/// All [`Bdd`] references handed out by a manager stay valid for the
+/// manager's lifetime; the manager never garbage-collects nodes.  Variables
+/// are declared with [`BddManager::var`] (by name) or
+/// [`BddManager::new_var`], and their declaration order is the global
+/// variable ordering.
+///
+/// # Example
+///
+/// ```
+/// use msatpg_bdd::BddManager;
+///
+/// let mut m = BddManager::new();
+/// let x = m.var("x");
+/// let y = m.var("y");
+/// let f = m.or(x, y);
+/// let g = m.not(f);
+/// let h = m.nor(x, y);
+/// assert_eq!(g, h); // canonical representation
+/// ```
+#[derive(Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("nodes", &self.nodes.len())
+            .field("vars", &self.names.len())
+            .finish()
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        let terminal = Node {
+            var: VarId::MAX,
+            low: Bdd::ZERO,
+            high: Bdd::ONE,
+        };
+        // Index 0 and 1 are reserved for the terminals; their stored contents
+        // are never inspected, but the vector slots must exist.
+        BddManager {
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            ite_cache: HashMap::new(),
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The constant-false function.
+    #[inline]
+    pub fn zero(&self) -> Bdd {
+        Bdd::ZERO
+    }
+
+    /// The constant-true function.
+    #[inline]
+    pub fn one(&self) -> Bdd {
+        Bdd::ONE
+    }
+
+    /// Converts a `bool` into the corresponding terminal.
+    #[inline]
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::ONE
+        } else {
+            Bdd::ZERO
+        }
+    }
+
+    /// Number of declared variables.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns statistics about the manager.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            node_count: self.nodes.len().saturating_sub(2),
+            var_count: self.names.len(),
+            cache_entries: self.apply_cache.len() + self.ite_cache.len(),
+        }
+    }
+
+    /// Declares a new variable with an auto-generated name and returns the
+    /// BDD of its positive literal.
+    pub fn new_var(&mut self) -> Bdd {
+        let name = format!("v{}", self.names.len());
+        self.var(&name)
+    }
+
+    /// Returns the positive literal of the named variable, declaring the
+    /// variable if it does not exist yet.
+    ///
+    /// Variables are ordered by declaration order.
+    pub fn var(&mut self, name: &str) -> Bdd {
+        let id = self.var_id(name);
+        self.literal(id, true)
+    }
+
+    /// Returns (declaring if necessary) the [`VarId`] of the named variable.
+    pub fn var_id(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as VarId;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a variable id by name without declaring it.
+    pub fn var_index(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not declared by this manager.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var as usize]
+    }
+
+    /// Names of all declared variables in ordering position.
+    pub fn var_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Returns the literal `var` (if `positive`) or `!var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` has not been declared.
+    pub fn literal(&mut self, var: VarId, positive: bool) -> Bdd {
+        assert!(
+            (var as usize) < self.names.len(),
+            "literal of undeclared variable {var}"
+        );
+        if positive {
+            self.mk_node(var, Bdd::ZERO, Bdd::ONE)
+        } else {
+            self.mk_node(var, Bdd::ONE, Bdd::ZERO)
+        }
+    }
+
+    /// Level (ordering position) of the root variable of `f`, or `VarId::MAX`
+    /// for terminals.
+    #[inline]
+    pub fn root_var(&self, f: Bdd) -> VarId {
+        if f.is_terminal() {
+            VarId::MAX
+        } else {
+            self.nodes[f.0 as usize].var
+        }
+    }
+
+    /// Low (else) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal nodes have no children");
+        self.nodes[f.0 as usize].low
+    }
+
+    /// High (then) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminal nodes have no children");
+        self.nodes[f.0 as usize].high
+    }
+
+    fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&existing) = self.unique.get(&node) {
+            return existing;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean operations
+    // ------------------------------------------------------------------
+
+    /// Logical negation of `f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// Logical conjunction `f AND g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Logical disjunction `f OR g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or `f XOR g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// `NOT (f AND g)`.
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let t = self.and(f, g);
+        self.not(t)
+    }
+
+    /// `NOT (f OR g)`.
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let t = self.or(f, g);
+        self.not(t)
+    }
+
+    /// `NOT (f XOR g)` (logical equivalence).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let t = self.xor(f, g);
+        self.not(t)
+    }
+
+    /// Logical implication `f -> g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Conjunction of an iterator of functions (`one()` for an empty input).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::ONE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of functions (`zero()` for an empty input).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        let mut acc = Bdd::ZERO;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// If-then-else: `(f AND g) OR (NOT f AND h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .root_var(f)
+            .min(self.root_var(g))
+            .min(self.root_var(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let result = self.mk_node(top, low, high);
+        self.ite_cache.insert((f, g, h), result);
+        result
+    }
+
+    fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
+        if f.is_terminal() || self.root_var(f) != var {
+            (f, f)
+        } else {
+            let n = self.nodes[f.0 as usize];
+            (n.low, n.high)
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal short-circuits.
+        match op {
+            Op::And => {
+                if f.is_zero() || g.is_zero() {
+                    return Bdd::ZERO;
+                }
+                if f.is_one() {
+                    return g;
+                }
+                if g.is_one() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f.is_one() || g.is_one() {
+                    return Bdd::ONE;
+                }
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return Bdd::ZERO;
+                }
+                if f.is_zero() {
+                    return g;
+                }
+                if g.is_zero() {
+                    return f;
+                }
+            }
+        }
+        // Commutative: normalize operand order for better cache hit rate.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            return r;
+        }
+        let top = self.root_var(f).min(self.root_var(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let low = self.apply(op, f0, g0);
+        let high = self.apply(op, f1, g1);
+        let result = self.mk_node(top, low, high);
+        self.apply_cache.insert((op, f, g), result);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Cofactors, composition, quantification
+    // ------------------------------------------------------------------
+
+    /// Restriction (cofactor) of `f` with variable `var` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        let node = self.nodes[f.0 as usize];
+        if node.var > var {
+            return f;
+        }
+        if node.var == var {
+            return if value { node.high } else { node.low };
+        }
+        let low = self.restrict(node.low, var, value);
+        let high = self.restrict(node.high, var, value);
+        self.mk_node(node.var, low, high)
+    }
+
+    /// Restriction of `f` under a partial assignment.
+    pub fn restrict_all(&mut self, f: Bdd, assignment: &Assignment) -> Bdd {
+        let mut acc = f;
+        for (var, value) in assignment.iter() {
+            acc = self.restrict(acc, var, value);
+        }
+        acc
+    }
+
+    /// Functional composition: substitute function `g` for variable `var` in
+    /// `f`, i.e. `f[var := g]`.
+    pub fn compose(&mut self, f: Bdd, var: VarId, g: Bdd) -> Bdd {
+        let f1 = self.restrict(f, var, true);
+        let f0 = self.restrict(f, var, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Existential quantification over `var`: `f|var=0 OR f|var=1`.
+    pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification over `var`: `f|var=0 AND f|var=1`.
+    pub fn forall(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.and(f0, f1)
+    }
+
+    /// Existential quantification over a set of variables.
+    pub fn exists_all(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
+        let mut acc = f;
+        for &v in vars {
+            acc = self.exists(acc, v);
+        }
+        acc
+    }
+
+    /// Boolean difference of `f` with respect to `var`:
+    /// `df/dvar = f|var=0 XOR f|var=1`.
+    ///
+    /// The Boolean difference is `1` exactly for the input combinations under
+    /// which the value of `var` is observable at `f` — the propagation
+    /// condition used by the BDD-based test generator.
+    pub fn boolean_difference(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.xor(f0, f1)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Evaluates `f` under a total assignment (missing variables default to
+    /// `false`).
+    pub fn eval(&self, f: Bdd, assignment: &Assignment) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.0 as usize];
+            let value = assignment.get(node.var).unwrap_or(false);
+            cur = if value { node.high } else { node.low };
+        }
+        cur.is_one()
+    }
+
+    /// Returns `true` if `f` contains a test of variable `var`.
+    pub fn depends_on(&self, f: Bdd, var: VarId) -> bool {
+        self.support(f).contains(&var)
+    }
+
+    /// Set of variables tested anywhere inside `f`, in ordering position.
+    pub fn support(&self, f: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = self.nodes[n.0 as usize];
+            vars.insert(node.var);
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of internal nodes reachable from `f` (the BDD's size).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n.0 as usize];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        count
+    }
+
+    /// Finds one satisfying assignment of `f`, or `None` if `f` is
+    /// unsatisfiable.  Variables not mentioned in the returned [`Cube`] are
+    /// don't-cares.
+    pub fn sat_one(&self, f: Bdd) -> Option<Cube> {
+        if f.is_zero() {
+            return None;
+        }
+        let mut cube = Cube::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.0 as usize];
+            if !node.high.is_zero() {
+                cube.set(node.var, true);
+                cur = node.high;
+            } else {
+                cube.set(node.var, false);
+                cur = node.low;
+            }
+        }
+        Some(cube)
+    }
+
+    /// Counts satisfying assignments of `f` over the full set of declared
+    /// variables.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let n = self.var_count() as u32;
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        self.sat_count_rec(f, 0, n, &mut memo)
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: Bdd,
+        from_level: u32,
+        total_vars: u32,
+        memo: &mut HashMap<Bdd, u128>,
+    ) -> u128 {
+        // Number of assignments below `f` assuming its root is at
+        // `from_level`.
+        let level = if f.is_terminal() {
+            total_vars
+        } else {
+            self.nodes[f.0 as usize].var
+        };
+        let skipped = (level - from_level) as u32;
+        let base = if f.is_zero() {
+            0
+        } else if f.is_one() {
+            1
+        } else if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            let node = self.nodes[f.0 as usize];
+            let low = self.sat_count_rec(node.low, node.var + 1, total_vars, memo);
+            let high = self.sat_count_rec(node.high, node.var + 1, total_vars, memo);
+            let c = low + high;
+            memo.insert(f, c);
+            c
+        };
+        base << skipped
+    }
+
+    /// Iterator over the prime-free cube cover of `f` (one cube per path from
+    /// the root to the `1` terminal).
+    pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
+        CubeIter::new(self, f)
+    }
+
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_vars(m: &mut BddManager) -> (Bdd, Bdd, Bdd) {
+        (m.var("a"), m.var("b"), m.var("c"))
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let mut m = BddManager::new();
+        assert!(m.zero().is_zero());
+        assert!(m.one().is_one());
+        assert_eq!(m.constant(true), m.one());
+        assert_eq!(m.constant(false), m.zero());
+        let a = m.var("a");
+        let not_a = m.not(a);
+        let a_again = m.not(not_a);
+        assert_eq!(a, a_again);
+    }
+
+    #[test]
+    fn and_or_terminal_rules() {
+        let mut m = BddManager::new();
+        let (a, _, _) = three_vars(&mut m);
+        assert_eq!(m.and(a, m.one()), a);
+        assert_eq!(m.and(a, m.zero()), m.zero());
+        assert_eq!(m.or(a, m.zero()), a);
+        assert_eq!(m.or(a, m.one()), m.one());
+        assert_eq!(m.xor(a, a), m.zero());
+        assert_eq!(m.xor(a, m.zero()), a);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let lhs = {
+            let ab = m.and(a, b);
+            m.not(ab)
+        };
+        let rhs = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.or(na, nb)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        let ite = m.ite(a, b, c);
+        let expected = {
+            let ab = m.and(a, b);
+            let na = m.not(a);
+            let nac = m.and(na, c);
+            m.or(ab, nac)
+        };
+        assert_eq!(ite, expected);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let va = m.var_index("a").unwrap();
+        let f_a1 = m.restrict(f, va, true);
+        let expected = m.or(b, c);
+        assert_eq!(f_a1, expected);
+        let f_a0 = m.restrict(f, va, false);
+        assert_eq!(f_a0, c);
+        // compose a := c  gives (c AND b) OR c = c OR (b AND c) = c... careful:
+        let composed = m.compose(f, va, c);
+        let expect2 = {
+            let cb = m.and(c, b);
+            m.or(cb, c)
+        };
+        assert_eq!(composed, expect2);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let f = m.and(a, b);
+        let va = m.var_index("a").unwrap();
+        assert_eq!(m.exists(f, va), b);
+        assert_eq!(m.forall(f, va), m.zero());
+        let g = m.or(a, b);
+        assert_eq!(m.exists(g, va), m.one());
+        assert_eq!(m.forall(g, va), b);
+    }
+
+    #[test]
+    fn boolean_difference_detects_observability() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        // f = (a AND b) OR c : a is observable iff b=1 AND c=0.
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let va = m.var_index("a").unwrap();
+        let diff = m.boolean_difference(f, va);
+        let expected = {
+            let nc = m.not(c);
+            m.and(b, nc)
+        };
+        assert_eq!(diff, expected);
+    }
+
+    #[test]
+    fn eval_and_sat() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let mut asg = Assignment::new();
+        asg.set(0, true);
+        asg.set(1, true);
+        asg.set(2, false);
+        assert!(m.eval(f, &asg));
+        asg.set(1, false);
+        assert!(!m.eval(f, &asg));
+        let cube = m.sat_one(f).expect("satisfiable");
+        let full = cube.to_assignment();
+        assert!(m.eval(f, &full));
+        assert_eq!(m.sat_one(m.zero()), None);
+    }
+
+    #[test]
+    fn sat_count_small_function() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        // Truth table over 3 variables: (a&b)|c has 5 minterms.
+        assert_eq!(m.sat_count(f), 5);
+        assert_eq!(m.sat_count(m.one()), 8);
+        assert_eq!(m.sat_count(m.zero()), 0);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        let _ = c;
+        let f = m.and(a, b);
+        assert_eq!(m.support(f), vec![0, 1]);
+        assert_eq!(m.size(f), 2);
+        assert_eq!(m.size(m.one()), 0);
+        assert!(m.depends_on(f, 0));
+        assert!(!m.depends_on(f, 2));
+    }
+
+    #[test]
+    fn canonical_equality_of_equivalent_formulas() {
+        let mut m = BddManager::new();
+        let (a, b, c) = three_vars(&mut m);
+        // (a XOR b) XOR c is associative/commutative.
+        let l = {
+            let ab = m.xor(a, b);
+            m.xor(ab, c)
+        };
+        let r = {
+            let bc = m.xor(b, c);
+            m.xor(a, bc)
+        };
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn stats_reports_nodes() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let _f = m.and(a, b);
+        let stats = m.stats();
+        assert!(stats.node_count >= 3);
+        assert_eq!(stats.var_count, 3);
+        assert!(format!("{stats}").contains("nodes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn literal_of_undeclared_variable_panics() {
+        let mut m = BddManager::new();
+        let _ = m.literal(3, true);
+    }
+}

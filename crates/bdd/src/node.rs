@@ -1,0 +1,94 @@
+//! Node references and variable identifiers.
+
+use std::fmt;
+
+/// Identifier of a Boolean variable inside a [`crate::BddManager`].
+///
+/// The numeric value of a `VarId` is also its position in the global variable
+/// ordering: smaller ids appear closer to the root of every BDD managed by the
+/// same manager.
+pub type VarId = u32;
+
+/// A reference to a (reduced, ordered) BDD node owned by a
+/// [`crate::BddManager`].
+///
+/// `Bdd` values are plain indices and are only meaningful together with the
+/// manager that created them.  They are cheap to copy and compare; structural
+/// equality of `Bdd` values is semantic equality of the Boolean functions they
+/// denote (canonical form).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false terminal.
+    pub const ZERO: Bdd = Bdd(0);
+    /// The constant-true terminal.
+    pub const ONE: Bdd = Bdd(1);
+
+    /// Returns `true` if this reference denotes the constant `false` function.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Returns `true` if this reference denotes the constant `true` function.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Self::ONE
+    }
+
+    /// Returns `true` if this reference is one of the two terminals.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index of the node inside its manager (stable for the manager's
+    /// lifetime).  Mostly useful for debugging and DOT export.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::ZERO => write!(f, "Bdd(0/FALSE)"),
+            Bdd::ONE => write!(f, "Bdd(1/TRUE)"),
+            Bdd(i) => write!(f, "Bdd({i})"),
+        }
+    }
+}
+
+/// Internal node representation: a variable test with low (var = 0) and high
+/// (var = 1) children.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub var: VarId,
+    pub low: Bdd,
+    pub high: Bdd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_terminal() {
+        assert!(Bdd::ZERO.is_terminal());
+        assert!(Bdd::ONE.is_terminal());
+        assert!(Bdd::ZERO.is_zero());
+        assert!(Bdd::ONE.is_one());
+        assert!(!Bdd::ONE.is_zero());
+        assert!(!Bdd::ZERO.is_one());
+        assert!(!Bdd(5).is_terminal());
+    }
+
+    #[test]
+    fn debug_formatting_names_terminals() {
+        assert!(format!("{:?}", Bdd::ZERO).contains("FALSE"));
+        assert!(format!("{:?}", Bdd::ONE).contains("TRUE"));
+        assert!(format!("{:?}", Bdd(7)).contains('7'));
+    }
+}

@@ -1,0 +1,65 @@
+//! Analog-substrate benchmarks: MNA solves, response-parameter extraction
+//! and the worst-case deviation search behind Tables 3 and 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msatpg_analog::filters;
+use msatpg_analog::mna::Mna;
+use msatpg_analog::params::measure;
+use msatpg_analog::sensitivity::WorstCaseAnalysis;
+
+fn bench_mna_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mna_solve");
+    for filter in [
+        filters::second_order_band_pass(),
+        filters::fifth_order_chebyshev(),
+        filters::state_variable_filter(),
+    ] {
+        let name = filter.name().to_owned();
+        group.bench_function(format!("ac_1khz/{name}"), |b| {
+            let mna = Mna::new(filter.circuit());
+            let out = filter.output_node();
+            b.iter(|| std::hint::black_box(mna.gain("Vin", out, 1000.0).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parameter_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parameter_measurement");
+    group.sample_size(20);
+    let filter = filters::second_order_band_pass();
+    for spec in filter.parameters() {
+        group.bench_function(spec.name.clone(), |b| {
+            b.iter(|| std::hint::black_box(measure(filter.circuit(), spec).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case_single_element(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case_deviation");
+    group.sample_size(10);
+    group.bench_function("band_pass_gain_parameters", |b| {
+        let filter = filters::second_order_band_pass();
+        // Restrict to the two gain parameters (A1, A2) so one iteration stays
+        // in the tens of milliseconds.
+        let params: Vec<_> = filter.parameters()[..2].to_vec();
+        b.iter(|| {
+            std::hint::black_box(
+                WorstCaseAnalysis::new(filter.circuit(), &params)
+                    .with_worst_case(false)
+                    .run()
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mna_solve,
+    bench_parameter_measurement,
+    bench_worst_case_single_element
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! BDD-package micro-benchmarks: the cost of the Boolean manipulation that
+//! every ATPG call in Tables 4 and 5 is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msatpg_bdd::BddManager;
+
+/// Builds the BDD of an n-bit adder's carry-out (a classic BDD stress case
+/// with a good variable ordering).
+fn carry_chain(manager: &mut BddManager, bits: usize) -> msatpg_bdd::Bdd {
+    let mut carry = manager.zero();
+    for i in 0..bits {
+        let a = manager.var(&format!("a{i}"));
+        let b = manager.var(&format!("b{i}"));
+        let ab = manager.and(a, b);
+        let axb = manager.xor(a, b);
+        let ac = manager.and(axb, carry);
+        carry = manager.or(ab, ac);
+    }
+    carry
+}
+
+fn bench_bdd_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_construction");
+    for bits in [8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("carry_chain", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                std::hint::black_box(carry_chain(&mut m, bits))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_boolean_difference(c: &mut Criterion) {
+    c.bench_function("boolean_difference_carry16", |b| {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 16);
+        let var = m.var_index("a7").unwrap();
+        b.iter(|| std::hint::black_box(m.clone().boolean_difference(f, var)));
+    });
+}
+
+fn bench_sat_enumeration(c: &mut Criterion) {
+    c.bench_function("sat_count_carry16", |b| {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 16);
+        b.iter(|| std::hint::black_box(m.sat_count(f)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bdd_construction,
+    bench_boolean_difference,
+    bench_sat_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The Table-4 timing experiment as a Criterion bench: OBDD-based ATPG with
+//! and without the conversion-block constraints (the CPU columns of the
+//! paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msatpg_bench::example3_mixed_circuit;
+use msatpg_core::digital_atpg::DigitalAtpg;
+use msatpg_digital::fault::FaultList;
+
+fn bench_constrained_vs_unconstrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_atpg");
+    group.sample_size(10);
+    for name in ["c432", "c499"] {
+        let mixed = example3_mixed_circuit(name);
+        let digital = mixed.digital().clone();
+        let faults = FaultList::collapsed(&digital);
+        let lines = mixed.constrained_inputs();
+        let codes = mixed.allowed_codes();
+
+        group.bench_with_input(
+            BenchmarkId::new("without_constraints", name),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut atpg = DigitalAtpg::new(&digital);
+                    std::hint::black_box(atpg.run(&faults).unwrap())
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("with_constraints", name), &(), |b, _| {
+            b.iter(|| {
+                let mut atpg = DigitalAtpg::new(&digital)
+                    .with_constraints(&lines, &codes)
+                    .unwrap();
+                std::hint::black_box(atpg.run(&faults).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_fault_generation(c: &mut Criterion) {
+    c.bench_function("single_fault_c880", |b| {
+        let mixed = example3_mixed_circuit("c880");
+        let digital = mixed.digital().clone();
+        let faults = FaultList::collapsed(&digital);
+        let fault = faults.faults()[faults.len() / 2];
+        let mut atpg = DigitalAtpg::new(&digital);
+        b.iter(|| std::hint::black_box(atpg.generate(fault)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_constrained_vs_unconstrained,
+    bench_single_fault_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fault-simulation benchmarks: the cost of the fault-dropping pass used by
+//! the Table-4 runs and of the random-TPG baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msatpg_digital::benchmarks;
+use msatpg_digital::circuits;
+use msatpg_digital::fault::FaultList;
+use msatpg_digital::fault_sim::FaultSimulator;
+use msatpg_digital::random_tpg::RandomPatternGenerator;
+
+fn bench_fault_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_simulation");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let netlist = benchmarks::by_name(name).unwrap();
+        let faults = FaultList::collapsed(&netlist);
+        let mut generator = RandomPatternGenerator::new(&netlist, 1);
+        let patterns = generator.patterns(32);
+        group.bench_with_input(BenchmarkId::new("collapsed_32_patterns", name), &(), |b, _| {
+            let sim = FaultSimulator::new(&netlist);
+            b.iter(|| std::hint::black_box(sim.run(&faults, &patterns).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adder_exhaustive(c: &mut Criterion) {
+    c.bench_function("adder4_exhaustive_fault_sim", |b| {
+        let netlist = circuits::adder4();
+        let faults = FaultList::collapsed(&netlist);
+        let patterns: Vec<Vec<bool>> = (0..512u32)
+            .map(|i| (0..9).map(|bit| (i >> bit) & 1 == 1).collect())
+            .collect();
+        let sim = FaultSimulator::new(&netlist);
+        b.iter(|| std::hint::black_box(sim.run(&faults, &patterns).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_fault_simulation, bench_adder_exhaustive);
+criterion_main!(benches);

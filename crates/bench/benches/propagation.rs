@@ -1,0 +1,36 @@
+//! The Table-5 timing experiment as a Criterion bench: propagating a
+//! composite value from a conversion-block output through the constrained
+//! digital block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msatpg_bench::{example3_mixed_circuit, figure4_mixed_circuit};
+use msatpg_core::AnalogAtpg;
+
+fn bench_comparator_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_propagation_study");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let mixed = example3_mixed_circuit(name);
+        group.bench_with_input(BenchmarkId::new("fifteen_comparators", name), &(), |b, _| {
+            let atpg = AnalogAtpg::new(&mixed);
+            b.iter(|| std::hint::black_box(atpg.comparator_propagation_study().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analog_fault_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analog_fault_test");
+    group.sample_size(10);
+    group.bench_function("figure4_rd_deviation", |b| {
+        let mixed = figure4_mixed_circuit();
+        let atpg = AnalogAtpg::new(&mixed);
+        let rd = mixed.analog().circuit().find_element("Rd").unwrap();
+        let a1 = mixed.analog().parameters()[0].clone();
+        b.iter(|| std::hint::black_box(atpg.test_element_deviation(rd, -0.15, &a1).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_comparator_study, bench_analog_fault_test);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Quick diagnostic: unconstrained OBDD-ATPG fault coverage of every
+//! synthetic ISCAS85 stand-in (the baseline of Table 4).
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin coverage_check`.
+
+fn main() {
+    for name in ["c432", "c499", "c880", "c1355", "c1908"] {
+        let n = msatpg_digital::benchmarks::by_name(name).expect("known benchmark");
+        let faults = msatpg_digital::fault::FaultList::collapsed(&n);
+        let mut atpg = msatpg_core::digital_atpg::DigitalAtpg::new(&n);
+        let r = atpg.run(&faults).expect("ATPG succeeds");
+        println!(
+            "{name}: gates={} faults={} untestable={} vect={} cov={:.3} cpu={:.2}s",
+            n.gate_count(),
+            faults.len(),
+            r.untestable_count(),
+            r.vector_count(),
+            r.coverage(),
+            r.cpu.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Prints the frequency responses of the paper's three analog circuits
+//! (Figures 2, 7 and 8) so the nominal designs can be inspected/plotted.
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin figure_responses`.
+
+use msatpg_analog::filters;
+use msatpg_analog::response::{FrequencyResponse, SweepConfig};
+use msatpg_core::report::TextTable;
+
+fn main() {
+    let sweep = SweepConfig {
+        start_hz: 1.0,
+        stop_hz: 100.0e3,
+        points_per_decade: 4,
+    };
+    let circuits = vec![
+        filters::second_order_band_pass(),
+        filters::fifth_order_chebyshev(),
+        filters::state_variable_filter(),
+    ];
+    for filter in circuits {
+        let output = filter.output_node();
+        let response =
+            FrequencyResponse::sweep(filter.circuit(), filter.input_source(), output, &sweep)
+                .expect("sweep succeeds");
+        let mut table = TextTable::new(
+            &format!("{} — magnitude response at '{}'", filter.name(), filter.output()),
+            &["frequency [Hz]", "|H| [V/V]", "|H| [dB]"],
+        );
+        for &(freq, gain) in response.points() {
+            let db = if gain > 0.0 {
+                20.0 * gain.log10()
+            } else {
+                f64::NEG_INFINITY
+            };
+            table.add_row(vec![
+                format!("{freq:.1}"),
+                format!("{gain:.4}"),
+                format!("{db:.1}"),
+            ]);
+        }
+        println!("{table}");
+        let (f_peak, g_peak) = response.peak();
+        println!("peak gain {g_peak:.3} at {f_peak:.1} Hz\n");
+    }
+}

@@ -1,0 +1,69 @@
+//! Prints Table 1 of the paper: the stimulus-selection rules for each analog
+//! parameter class and deviation direction, plus a concrete instantiation on
+//! the band-pass filter of Example 1.
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin table1_rules`.
+
+use msatpg_analog::filters;
+use msatpg_core::activation::{select_stimulus, table1, DeviationSign};
+use msatpg_core::report::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table 1: test set of the analog circuit parameters",
+        &[
+            "parameter",
+            "test condition",
+            "amplitude",
+            "frequency",
+            "Vd (fault-free)",
+            "Vd (faulty)",
+            "composite",
+        ],
+    );
+    for row in table1() {
+        table.add_row(vec![
+            row.parameter.to_owned(),
+            row.condition.to_owned(),
+            row.amplitude.to_owned(),
+            row.frequency.to_owned(),
+            row.fault_free.to_string(),
+            row.faulty.to_string(),
+            row.composite.to_owned(),
+        ]);
+    }
+    println!("{table}");
+
+    // Concrete instantiation on the band-pass filter: amplitude/frequency
+    // actually chosen for each parameter at a 2 V comparator reference.
+    let filter = filters::second_order_band_pass();
+    let mut concrete = TextTable::new(
+        "Concrete stimuli for the Example-1 band-pass filter (Vref = 2 V, x = 5%)",
+        &["parameter", "direction", "amplitude [V]", "frequency [Hz]", "fault-free Vd"],
+    );
+    for parameter in filter.parameters() {
+        for direction in [DeviationSign::Above, DeviationSign::Below] {
+            match select_stimulus(&filter, parameter, direction, 0.05, 2.0) {
+                Ok(plan) => {
+                    concrete.add_row(vec![
+                        parameter.name.clone(),
+                        direction.to_string(),
+                        format!("{:.4}", plan.stimulus.amplitude),
+                        format!("{:.1}", plan.stimulus.frequency_hz),
+                        if plan.fault_free_value { "1" } else { "0" }.to_owned(),
+                    ]);
+                }
+                Err(err) => {
+                    concrete.add_row(vec![
+                        parameter.name.clone(),
+                        direction.to_string(),
+                        "-".to_owned(),
+                        "-".to_owned(),
+                        format!("({err})"),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{concrete}");
+}

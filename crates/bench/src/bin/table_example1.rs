@@ -1,0 +1,58 @@
+//! Regenerates the Example-1 matrix (Equation 1 of the paper): worst-case
+//! element deviations of the second-order band-pass filter and the selected
+//! analog test set.
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin table_example1`.
+
+use msatpg_analog::coverage::CoverageGraph;
+use msatpg_analog::filters;
+use msatpg_analog::sensitivity::WorstCaseAnalysis;
+use msatpg_core::report::{percent_or_dash, TextTable};
+
+fn main() {
+    let filter = filters::second_order_band_pass();
+    println!("Example 1: {}", filter.name());
+    println!("parameter tolerance ±5%, fault-free element tolerance ±5% (worst case)\n");
+
+    let report = WorstCaseAnalysis::new(filter.circuit(), filter.parameters())
+        .with_parameter_tolerance(0.05)
+        .with_element_tolerance(0.05)
+        .with_worst_case(true)
+        .run()
+        .expect("worst-case analysis succeeds");
+
+    let mut headers: Vec<&str> = vec!["T \\ E"];
+    let element_names: Vec<String> = report.elements().iter().map(|(_, n)| n.clone()).collect();
+    for name in &element_names {
+        headers.push(name);
+    }
+    let mut table = TextTable::new("Worst-case element deviation [%] (Equation 1)", &headers);
+    for parameter in report.parameters() {
+        let mut row = vec![parameter.clone()];
+        for element in &element_names {
+            row.push(percent_or_dash(report.deviation(parameter, element)));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    let graph = CoverageGraph::from_report(&report);
+    let selection = graph.select_test_set();
+    println!(
+        "selected analog test set: {{{}}}",
+        selection.parameters.join(", ")
+    );
+    let mut coverage_table = TextTable::new(
+        "Element coverage achieved by the selected test set",
+        &["element", "detectable deviation [%]"],
+    );
+    for (element, deviation) in &selection.element_coverage {
+        coverage_table.add_row(vec![element.clone(), percent_or_dash(*deviation)]);
+    }
+    println!("{coverage_table}");
+    println!(
+        "coverage: {:.0}% of elements ({} uncoverable)",
+        selection.coverage_ratio() * 100.0,
+        graph.uncoverable_elements().len()
+    );
+}

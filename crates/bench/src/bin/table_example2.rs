@@ -1,0 +1,53 @@
+//! Regenerates Example 2 of the paper: fault coverage of the Figure-3
+//! digital circuit with and without the constraint `Fc = l0 + l2`.
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin table_example2`.
+
+use msatpg_bench::figure4_mixed_circuit;
+use msatpg_core::digital_atpg::DigitalAtpg;
+use msatpg_core::report::TextTable;
+use msatpg_digital::fault::FaultList;
+
+fn main() {
+    let mixed = figure4_mixed_circuit();
+    let digital = mixed.digital().clone();
+    let lines = mixed.constrained_inputs();
+    let codes = mixed.allowed_codes();
+
+    let mut table = TextTable::new(
+        "Example 2: Figure-3 circuit, 18 uncollapsed stuck-at faults",
+        &["case", "#faults", "#undetectable", "undetectable faults"],
+    );
+
+    for (label, constrained, fault_list) in [
+        ("alone (no constraints)", false, FaultList::all(&digital)),
+        ("mixed, uncollapsed", true, FaultList::all(&digital)),
+        ("mixed, collapsed", true, FaultList::collapsed(&digital)),
+    ] {
+        let mut atpg = DigitalAtpg::new(&digital);
+        if constrained {
+            atpg = atpg
+                .with_constraints(&lines, &codes)
+                .expect("constrained lines are primary inputs");
+        }
+        let report = atpg.run(&fault_list).expect("ATPG succeeds");
+        let undetectable: Vec<String> = report
+            .untestable
+            .iter()
+            .map(|f| f.describe(&digital))
+            .collect();
+        table.add_row(vec![
+            label.to_owned(),
+            report.total_faults.to_string(),
+            report.untestable_count().to_string(),
+            undetectable.join(", "),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: fully testable alone; 2 of the 18 uncollapsed faults (l0 s-a-1, l3 s-a-1)\n\
+         become undetectable in the mixed circuit.  Our gate-level realization adds the\n\
+         structurally equivalent fault on the OR output to the same class, so the\n\
+         uncollapsed count is 3 and the collapsed count is 2."
+    );
+}

@@ -1,0 +1,65 @@
+//! Voltage comparators — the analog/digital boundary of the conversion block.
+
+/// A voltage comparator with a reference threshold.
+///
+/// The output is logic `1` when the input voltage is greater than or equal to
+/// the threshold (plus an optional input-referred offset fault).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Comparator {
+    threshold: f64,
+    offset: f64,
+}
+
+impl Comparator {
+    /// Creates a comparator with the given reference threshold (volts).
+    pub fn new(threshold: f64) -> Self {
+        Comparator {
+            threshold,
+            offset: 0.0,
+        }
+    }
+
+    /// Adds an input-referred offset (volts) modelling a comparator fault.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// The nominal threshold voltage.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The effective switching voltage (threshold plus offset).
+    pub fn switching_voltage(&self) -> f64 {
+        self.threshold + self.offset
+    }
+
+    /// Evaluates the comparator on an input voltage.
+    pub fn output(&self, input: f64) -> bool {
+        input >= self.switching_voltage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_at_threshold() {
+        let c = Comparator::new(2.5);
+        assert!(!c.output(2.4));
+        assert!(c.output(2.5));
+        assert!(c.output(3.0));
+        assert_eq!(c.threshold(), 2.5);
+        assert_eq!(c.switching_voltage(), 2.5);
+    }
+
+    #[test]
+    fn offset_shifts_the_switching_point() {
+        let c = Comparator::new(2.5).with_offset(0.2);
+        assert!(!c.output(2.6));
+        assert!(c.output(2.7));
+        assert_eq!(c.switching_voltage(), 2.7);
+    }
+}

@@ -1,0 +1,172 @@
+//! Allowed digital-input codes imposed by the conversion block.
+//!
+//! The digital-circuit inputs connected to the conversion block cannot be set
+//! to arbitrary values: a flash converter can only produce *thermometer*
+//! codes, and a binary converter only produces the codes of a single output
+//! bus value.  These allowed assignments form the paper's constraint function
+//! `Fc`; this module enumerates them so that the ATPG layer can turn them
+//! into an OBDD.
+
+use crate::flash::FlashAdc;
+use crate::sar::SarAdc;
+
+/// A set of allowed assignments to the digital lines driven by a conversion
+/// block (the ON-set of `Fc`, one cube per assignment).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AllowedCodes {
+    width: usize,
+    codes: Vec<Vec<bool>>,
+}
+
+impl AllowedCodes {
+    /// Creates a set of allowed codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a code's width differs from `width`.
+    pub fn new(width: usize, codes: Vec<Vec<bool>>) -> Self {
+        for code in &codes {
+            assert_eq!(code.len(), width, "code width mismatch");
+        }
+        AllowedCodes { width, codes }
+    }
+
+    /// A set that allows every assignment (no constraint, `Fc = 1`).
+    pub fn unconstrained(width: usize) -> Self {
+        AllowedCodes {
+            width,
+            codes: Vec::new(),
+        }
+    }
+
+    /// Number of constrained lines.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns `true` when every assignment is allowed.
+    pub fn is_unconstrained(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The allowed codes (empty when unconstrained).
+    pub fn codes(&self) -> &[Vec<bool>] {
+        &self.codes
+    }
+
+    /// Checks whether a concrete assignment is allowed.
+    pub fn allows(&self, assignment: &[bool]) -> bool {
+        if self.is_unconstrained() {
+            return true;
+        }
+        self.codes.iter().any(|c| c == assignment)
+    }
+
+    /// Fraction of the full assignment space that is allowed (1.0 when
+    /// unconstrained) — a measure of how strongly the conversion block
+    /// constrains the digital block.
+    pub fn density(&self) -> f64 {
+        if self.is_unconstrained() {
+            return 1.0;
+        }
+        let total = 2f64.powi(self.width as i32);
+        self.codes.len() as f64 / total
+    }
+}
+
+/// The thermometer codes a flash converter with `comparators` outputs can
+/// produce (`comparators + 1` codes, from all-zeros to all-ones).
+pub fn thermometer_codes(comparators: usize) -> AllowedCodes {
+    let codes = (0..=comparators)
+        .map(|count| (0..comparators).map(|i| i < count).collect())
+        .collect();
+    AllowedCodes::new(comparators, codes)
+}
+
+/// The allowed codes of a [`FlashAdc`] (its thermometer codes).
+pub fn flash_codes(adc: &FlashAdc) -> AllowedCodes {
+    thermometer_codes(adc.comparator_count())
+}
+
+/// The allowed codes of the low `lines` bits of a binary converter output.
+///
+/// Every binary value of `lines` bits is producible by sweeping the input
+/// voltage, so the result is unconstrained unless fewer lines than the full
+/// bus are connected in a correlated way; the function exists so that
+/// mixed-circuit construction is explicit about binary converters.
+pub fn binary_codes(adc: &SarAdc, lines: usize) -> AllowedCodes {
+    let lines = lines.min(adc.bits() as usize);
+    AllowedCodes::unconstrained(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermometer_codes_enumerate_correctly() {
+        let codes = thermometer_codes(15);
+        assert_eq!(codes.width(), 15);
+        assert_eq!(codes.codes().len(), 16);
+        assert!(!codes.is_unconstrained());
+        // The all-zeros and all-ones codes are allowed; a broken code is not.
+        assert!(codes.allows(&vec![false; 15]));
+        assert!(codes.allows(&vec![true; 15]));
+        let mut broken = vec![false; 15];
+        broken[3] = true; // 1 after a 0 → not a thermometer code
+        assert!(!codes.allows(&broken));
+        // Density: 16 / 2^15.
+        assert!((codes.density() - 16.0 / 32768.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_line_case_matches_the_paper_example() {
+        // Example 2 of the paper: two lines driven by one comparator pair
+        // such that (l0, l2) = (0, 0) cannot be produced.  A 2-comparator
+        // flash block produces exactly the codes 00 is *possible* for a
+        // thermometer code, so the paper's Fc = l0 + l2 corresponds to a
+        // conversion block whose input range never drops below Vt1; we model
+        // that by filtering the code set.
+        let full = thermometer_codes(2);
+        let filtered = AllowedCodes::new(
+            2,
+            full.codes()
+                .iter()
+                .filter(|c| c.iter().any(|&b| b))
+                .cloned()
+                .collect(),
+        );
+        assert_eq!(filtered.codes().len(), 2);
+        assert!(filtered.allows(&[true, false]));
+        assert!(filtered.allows(&[true, true]));
+        assert!(!filtered.allows(&[false, false]));
+    }
+
+    #[test]
+    fn unconstrained_allows_everything() {
+        let codes = AllowedCodes::unconstrained(4);
+        assert!(codes.is_unconstrained());
+        assert!(codes.allows(&[true, false, true, false]));
+        assert_eq!(codes.density(), 1.0);
+    }
+
+    #[test]
+    fn flash_and_binary_helpers() {
+        let adc = FlashAdc::uniform(7, 4.0).unwrap();
+        let codes = flash_codes(&adc);
+        assert_eq!(codes.width(), 7);
+        assert_eq!(codes.codes().len(), 8);
+        let sar = SarAdc::ad7820();
+        let bc = binary_codes(&sar, 4);
+        assert!(bc.is_unconstrained());
+        assert_eq!(bc.width(), 4);
+        let bc_wide = binary_codes(&sar, 12);
+        assert_eq!(bc_wide.width(), 8, "clamped to the converter resolution");
+    }
+
+    #[test]
+    #[should_panic(expected = "code width mismatch")]
+    fn mismatched_code_width_panics() {
+        AllowedCodes::new(3, vec![vec![true, false]]);
+    }
+}

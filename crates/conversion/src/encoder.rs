@@ -1,0 +1,107 @@
+//! Thermometer-to-binary encoders as gate-level netlists.
+//!
+//! Useful when the conversion block's outputs need to be fed to a digital
+//! block that expects a binary code (the 8-bit converter of the validation
+//! board drives the 4-bit adder through such logic).
+
+use msatpg_digital::gate::GateKind;
+use msatpg_digital::netlist::{Netlist, SignalId};
+
+/// Builds a gate-level encoder converting an `n`-bit thermometer code
+/// (`t1..tn`, lowest threshold first) into a `ceil(log2(n+1))`-bit binary
+/// count, LSB first.
+///
+/// The construction is a tree of half/full adders over the thermometer bits
+/// (a population counter), which is correct for arbitrary input codes and in
+/// particular for true thermometer codes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn thermometer_to_binary(n: usize) -> Netlist {
+    assert!(n > 0, "encoder needs at least one thermometer bit");
+    let mut netlist = Netlist::new(&format!("thermo{n}_encoder"));
+    let inputs: Vec<SignalId> = (1..=n).map(|i| netlist.input(&format!("t{i}"))).collect();
+    let mut counter = 0usize;
+    // Represent each intermediate value as a little-endian vector of signal
+    // bits; add the thermometer bits one by one with ripple-carry adders.
+    let mut acc: Vec<SignalId> = vec![inputs[0]];
+    for &bit in &inputs[1..] {
+        // acc = acc + bit
+        let mut next = Vec::with_capacity(acc.len() + 1);
+        let mut carry = bit;
+        for &a in &acc {
+            let sum = netlist.gate(GateKind::Xor, &format!("s{counter}"), &[a, carry]);
+            let new_carry = netlist.gate(GateKind::And, &format!("c{counter}"), &[a, carry]);
+            counter += 1;
+            next.push(sum);
+            carry = new_carry;
+        }
+        next.push(carry);
+        // Trim leading bits that can never be set (value ≤ number of inputs
+        // consumed so far); keeping them is harmless, so only trim when the
+        // width exceeds what is needed for `n`.
+        let needed = usize::BITS as usize - n.leading_zeros() as usize;
+        if next.len() > needed {
+            next.truncate(needed);
+        }
+        acc = next;
+    }
+    for &bit in &acc {
+        netlist.mark_output(bit);
+    }
+    netlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thermometer_pattern(n: usize, count: usize) -> Vec<bool> {
+        (0..n).map(|i| i < count).collect()
+    }
+
+    #[test]
+    fn encodes_all_thermometer_codes_for_15_inputs() {
+        let enc = thermometer_to_binary(15);
+        assert!(enc.validate().is_ok());
+        assert_eq!(enc.primary_inputs().len(), 15);
+        assert_eq!(enc.primary_outputs().len(), 4);
+        for count in 0..=15usize {
+            let pattern = thermometer_pattern(15, count);
+            let out = enc.evaluate(&pattern).unwrap();
+            let mut value = 0usize;
+            for (i, &b) in out.iter().enumerate() {
+                if b {
+                    value |= 1 << i;
+                }
+            }
+            assert_eq!(value, count, "thermometer code with {count} ones");
+        }
+    }
+
+    #[test]
+    fn works_as_a_population_counter_on_arbitrary_codes() {
+        let enc = thermometer_to_binary(7);
+        for code in 0..128u32 {
+            let pattern: Vec<bool> = (0..7).map(|b| (code >> b) & 1 == 1).collect();
+            let expected = code.count_ones() as usize;
+            let out = enc.evaluate(&pattern).unwrap();
+            let mut value = 0usize;
+            for (i, &b) in out.iter().enumerate() {
+                if b {
+                    value |= 1 << i;
+                }
+            }
+            assert_eq!(value, expected);
+        }
+    }
+
+    #[test]
+    fn single_bit_encoder_is_a_wire() {
+        let enc = thermometer_to_binary(1);
+        assert_eq!(enc.primary_outputs().len(), 1);
+        assert_eq!(enc.evaluate(&[true]).unwrap(), vec![true]);
+        assert_eq!(enc.evaluate(&[false]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Conversion-block fault coverage: which ladder-resistor deviation can be
+//! detected at which comparator (Tables 6 and 7 of the paper).
+//!
+//! A ladder resistor is tested by verifying the reference voltage of a
+//! comparator: the deviation is detectable at tap `k` when it moves `Vtk` by
+//! more than the tolerance, measured relative to the tap's distance from the
+//! *nearest rail* (ground for the lower taps, `Vref` for the upper taps) —
+//! the accuracy criterion that reproduces the paper's ∧-shaped coverage
+//! profile, where the mid-ladder resistors are the hardest to test.
+
+use crate::ladder::ResistorLadder;
+use crate::ConversionError;
+
+/// Detectability of one ladder resistor at one comparator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LadderDeviationCell {
+    /// Resistor index (1-based, bottom first).
+    pub resistor: usize,
+    /// Comparator / tap index (1-based).
+    pub comparator: usize,
+    /// Smallest detectable relative deviation (fraction), or `None` when no
+    /// deviation up to the search cap is detectable at this comparator.
+    pub detectable_deviation: Option<f64>,
+}
+
+/// The complete resistor × comparator detectability matrix of a ladder.
+#[derive(Clone, Debug, Default)]
+pub struct LadderCoverage {
+    cells: Vec<LadderDeviationCell>,
+    resistors: usize,
+    comparators: usize,
+}
+
+impl LadderCoverage {
+    /// All matrix cells.
+    pub fn cells(&self) -> &[LadderDeviationCell] {
+        &self.cells
+    }
+
+    /// Number of ladder resistors.
+    pub fn resistor_count(&self) -> usize {
+        self.resistors
+    }
+
+    /// Number of comparators (taps).
+    pub fn comparator_count(&self) -> usize {
+        self.comparators
+    }
+
+    /// Detectable deviation of `resistor` at `comparator` (both 1-based).
+    pub fn deviation(&self, resistor: usize, comparator: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.resistor == resistor && c.comparator == comparator)
+            .and_then(|c| c.detectable_deviation)
+    }
+
+    /// For each resistor, the best comparator restricted to `usable`
+    /// comparators (1-based indices) and the deviation achieved there.
+    /// `None` when the resistor cannot be tested through any usable
+    /// comparator — the dashed cells of Table 7.
+    ///
+    /// Numerically tied comparators (within 1 %) are broken in favour of the
+    /// comparator closest to the resistor, which is also how the paper
+    /// associates each reference voltage with "its" ladder resistor.
+    pub fn best_assignment(&self, usable: &[usize]) -> Vec<(usize, Option<(usize, f64)>)> {
+        (1..=self.resistors)
+            .map(|r| {
+                let candidates: Vec<(usize, f64)> = self
+                    .cells
+                    .iter()
+                    .filter(|c| {
+                        c.resistor == r
+                            && usable.contains(&c.comparator)
+                            && c.detectable_deviation.is_some()
+                    })
+                    .map(|c| (c.comparator, c.detectable_deviation.unwrap_or(f64::INFINITY)))
+                    .collect();
+                let best = candidates
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .fold(f64::INFINITY, f64::min);
+                let chosen = candidates
+                    .into_iter()
+                    .filter(|&(_, d)| d <= best * 1.01)
+                    .min_by_key(|&(k, _)| (k as isize - r as isize).unsigned_abs());
+                (r, chosen)
+            })
+            .collect()
+    }
+
+    /// For each comparator, the resistors for which it is the best detector,
+    /// together with the deviation — the layout of Table 6 of the paper.
+    pub fn table_by_comparator(&self, usable: &[usize]) -> Vec<(usize, Vec<usize>, Option<f64>)> {
+        let assignment = self.best_assignment(usable);
+        (1..=self.comparators)
+            .map(|k| {
+                let resistors: Vec<usize> = assignment
+                    .iter()
+                    .filter(|(_, best)| matches!(best, Some((bk, _)) if *bk == k))
+                    .map(|(r, _)| *r)
+                    .collect();
+                let deviation = assignment
+                    .iter()
+                    .filter(|(_, best)| matches!(best, Some((bk, _)) if *bk == k))
+                    .filter_map(|(_, best)| best.map(|(_, d)| d))
+                    .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.max(d))));
+                (k, resistors, deviation)
+            })
+            .collect()
+    }
+}
+
+/// Computes the ladder coverage matrix.
+///
+/// `tolerance` is the relative accuracy required of each reference voltage
+/// (fraction, the paper uses 5 %); deviations are searched up to
+/// `max_deviation` (fraction, e.g. `20.0` = 2000 %).
+///
+/// # Errors
+///
+/// Propagates ladder errors (cannot occur for a well-formed ladder).
+pub fn ladder_coverage(
+    ladder: &ResistorLadder,
+    tolerance: f64,
+    max_deviation: f64,
+) -> Result<LadderCoverage, ConversionError> {
+    let nominal_taps = ladder.tap_voltages();
+    let v_ref = ladder.v_ref();
+    let mut cells = Vec::new();
+    for resistor in 1..=ladder.resistor_count() {
+        for comparator in 1..=ladder.tap_count() {
+            let nominal = nominal_taps[comparator - 1];
+            // Accuracy requirement relative to the nearest rail.
+            let scale = nominal.min(v_ref - nominal).max(1e-12);
+            let threshold = tolerance * scale;
+            let detectable = minimum_detectable(
+                ladder,
+                resistor,
+                comparator,
+                nominal,
+                threshold,
+                max_deviation,
+            )?;
+            cells.push(LadderDeviationCell {
+                resistor,
+                comparator,
+                detectable_deviation: detectable,
+            });
+        }
+    }
+    Ok(LadderCoverage {
+        cells,
+        resistors: ladder.resistor_count(),
+        comparators: ladder.tap_count(),
+    })
+}
+
+fn minimum_detectable(
+    ladder: &ResistorLadder,
+    resistor: usize,
+    comparator: usize,
+    nominal: f64,
+    threshold: f64,
+    max_deviation: f64,
+) -> Result<Option<f64>, ConversionError> {
+    let shift = |x: f64| -> Result<f64, ConversionError> {
+        let faulty = ladder.with_deviation(resistor, x)?;
+        Ok((faulty.tap_voltage(comparator)? - nominal).abs())
+    };
+    let mut result: Option<f64> = None;
+    for sign in [1.0, -1.0] {
+        let mut lo = 0.0f64;
+        let mut hi = 0.01f64;
+        let mut found = false;
+        while hi <= max_deviation {
+            let mut probe = hi;
+            if sign < 0.0 && probe >= 0.999 {
+                probe = 0.999;
+            }
+            if shift(sign * probe)? > threshold {
+                hi = probe;
+                found = true;
+                break;
+            }
+            if sign < 0.0 && probe >= 0.999 {
+                break;
+            }
+            lo = hi;
+            hi *= 1.5;
+        }
+        if !found {
+            return Ok(None);
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if shift(sign * mid)? > threshold {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        result = Some(match result {
+            None => hi,
+            Some(prev) => prev.max(hi),
+        });
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_ladder() -> ResistorLadder {
+        ResistorLadder::uniform(16, 4.0).unwrap()
+    }
+
+    #[test]
+    fn coverage_profile_peaks_in_the_middle() {
+        let coverage = ladder_coverage(&paper_ladder(), 0.05, 50.0).unwrap();
+        let all = (1..=15usize).collect::<Vec<_>>();
+        let assignment = coverage.best_assignment(&all);
+        // Every resistor is testable through some comparator.
+        assert!(assignment.iter().all(|(_, best)| best.is_some()));
+        let deviations: Vec<f64> = assignment
+            .iter()
+            .map(|(_, best)| best.unwrap().1)
+            .collect();
+        // ∧-shaped: the end resistors are easiest, the middle hardest —
+        // the shape of Table 6 in the paper.
+        let first = deviations[0];
+        let mid = deviations[7];
+        let last = deviations[15];
+        assert!(mid > first * 3.0, "middle {mid} vs first {first}");
+        assert!(mid > last * 3.0, "middle {mid} vs last {last}");
+        assert!(first < 0.2, "first resistor detectable below 20% ({first})");
+        assert!(last < 0.2, "last resistor detectable below 20% ({last})");
+    }
+
+    #[test]
+    fn each_resistor_prefers_a_nearby_comparator() {
+        let coverage = ladder_coverage(&paper_ladder(), 0.05, 50.0).unwrap();
+        let all = (1..=15usize).collect::<Vec<_>>();
+        for (r, best) in coverage.best_assignment(&all) {
+            let (k, _) = best.unwrap();
+            // The best comparator is adjacent to the resistor.
+            assert!(
+                (k as isize - r as isize).abs() <= 1,
+                "resistor {r} best tested at comparator {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_comparators_degrades_or_removes_coverage() {
+        let coverage = ladder_coverage(&paper_ladder(), 0.05, 50.0).unwrap();
+        let all = (1..=15usize).collect::<Vec<_>>();
+        // Only the upper half of the comparators are usable.
+        let upper: Vec<usize> = (8..=15).collect();
+        let full = coverage.best_assignment(&all);
+        let restricted = coverage.best_assignment(&upper);
+        for ((r, best_full), (_, best_restricted)) in full.iter().zip(&restricted) {
+            match (best_full, best_restricted) {
+                (Some((_, d_full)), Some((_, d_restricted))) => {
+                    assert!(
+                        d_restricted >= d_full,
+                        "resistor {r}: restricting comparators cannot improve coverage"
+                    );
+                }
+                (Some(_), None) => {} // lost coverage entirely — allowed
+                (None, Some(_)) => panic!("coverage appeared from nowhere"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn table_layout_groups_resistors_by_comparator() {
+        let coverage = ladder_coverage(&paper_ladder(), 0.05, 50.0).unwrap();
+        let all = (1..=15usize).collect::<Vec<_>>();
+        let table = coverage.table_by_comparator(&all);
+        assert_eq!(table.len(), 15);
+        let assigned: usize = table.iter().map(|(_, rs, _)| rs.len()).sum();
+        assert_eq!(assigned, 16, "all 16 resistors are assigned to some tap");
+        // A mid-ladder tap covers two resistors (the paper's Vt8 ↔ R8,R9).
+        assert!(table.iter().any(|(_, rs, _)| rs.len() == 2));
+    }
+
+    #[test]
+    fn matrix_lookup_is_consistent() {
+        let ladder = ResistorLadder::uniform(4, 4.0).unwrap();
+        let coverage = ladder_coverage(&ladder, 0.05, 50.0).unwrap();
+        assert_eq!(coverage.resistor_count(), 4);
+        assert_eq!(coverage.comparator_count(), 3);
+        assert_eq!(coverage.cells().len(), 12);
+        // Deviation of resistor 1 at comparator 1 exists and is small.
+        let d = coverage.deviation(1, 1).unwrap();
+        assert!(d > 0.0 && d < 0.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Flash (parallel) A/D converter: a resistor ladder plus one comparator per
+//! tap, producing a thermometer code.
+//!
+//! This is the 15-comparator / 16-resistor conversion block of Example 3 in
+//! the paper.
+
+use crate::comparator::Comparator;
+use crate::ladder::ResistorLadder;
+use crate::ConversionError;
+
+/// A flash ADC built from a [`ResistorLadder`] and one [`Comparator`] per
+/// tap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlashAdc {
+    ladder: ResistorLadder,
+    comparators: Vec<Comparator>,
+}
+
+impl FlashAdc {
+    /// Builds a flash converter from a ladder (one comparator per tap, with
+    /// the tap voltage as threshold).
+    pub fn from_ladder(ladder: ResistorLadder) -> Self {
+        let comparators = ladder
+            .tap_voltages()
+            .into_iter()
+            .map(Comparator::new)
+            .collect();
+        FlashAdc {
+            ladder,
+            comparators,
+        }
+    }
+
+    /// Builds the paper's conversion block: `comparators + 1` equal
+    /// resistors between `v_ref` and ground (15 comparators ⇒ 16 resistors).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `comparators` is zero.
+    pub fn uniform(comparators: usize, v_ref: f64) -> Result<Self, ConversionError> {
+        let ladder = ResistorLadder::uniform(comparators + 1, v_ref)?;
+        Ok(Self::from_ladder(ladder))
+    }
+
+    /// The underlying resistor ladder.
+    pub fn ladder(&self) -> &ResistorLadder {
+        &self.ladder
+    }
+
+    /// Number of comparators (output lines).
+    pub fn comparator_count(&self) -> usize {
+        self.comparators.len()
+    }
+
+    /// The comparators in tap order (lowest threshold first).
+    pub fn comparators(&self) -> &[Comparator] {
+        &self.comparators
+    }
+
+    /// Converts an input voltage into the thermometer code
+    /// `[c1, c2, …]` where `ck = (vin ≥ Vtk)`.
+    pub fn convert(&self, vin: f64) -> Vec<bool> {
+        self.comparators.iter().map(|c| c.output(vin)).collect()
+    }
+
+    /// Converts an input voltage into the equivalent binary count (number of
+    /// comparators that trip).
+    pub fn convert_to_count(&self, vin: f64) -> usize {
+        self.convert(vin).iter().filter(|&&b| b).count()
+    }
+
+    /// Returns a copy of the converter with ladder resistor `index` (1-based)
+    /// deviated by `relative`; comparator thresholds are re-derived from the
+    /// faulty ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range resistor index.
+    pub fn with_resistor_deviation(
+        &self,
+        index: usize,
+        relative: f64,
+    ) -> Result<FlashAdc, ConversionError> {
+        Ok(Self::from_ladder(self.ladder.with_deviation(index, relative)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermometer_code_is_monotone() {
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        assert_eq!(adc.comparator_count(), 15);
+        let code = adc.convert(1.3);
+        // Thermometer property: once false, stays false.
+        let mut seen_false = false;
+        for &bit in &code {
+            if !bit {
+                seen_false = true;
+            }
+            if seen_false {
+                assert!(!bit);
+            }
+        }
+        assert_eq!(adc.convert_to_count(1.3), 5); // 1.3 / 0.25 = 5.2 → 5 taps below
+        assert_eq!(adc.convert_to_count(0.0), 0);
+        assert_eq!(adc.convert_to_count(4.0), 15);
+    }
+
+    #[test]
+    fn count_increases_with_input() {
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        let mut prev = 0;
+        for step in 0..=40 {
+            let vin = 4.0 * step as f64 / 40.0;
+            let count = adc.convert_to_count(vin);
+            assert!(count >= prev);
+            prev = count;
+        }
+        assert_eq!(prev, 15);
+    }
+
+    #[test]
+    fn resistor_deviation_moves_a_threshold() {
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        // An input just below Vt8 = 2.0 V trips 7 comparators nominally.
+        let vin = 1.99;
+        assert_eq!(adc.convert_to_count(vin), 7);
+        // Shrinking a bottom resistor lowers Vt8 below the input.
+        let faulty = adc.with_resistor_deviation(1, -0.5).unwrap();
+        assert!(faulty.convert_to_count(vin) >= 8);
+        assert!(adc.with_resistor_deviation(99, 0.1).is_err());
+    }
+
+    #[test]
+    fn from_ladder_uses_tap_thresholds() {
+        let ladder = ResistorLadder::uniform(4, 3.0).unwrap();
+        let adc = FlashAdc::from_ladder(ladder.clone());
+        assert_eq!(adc.comparator_count(), 3);
+        for (c, t) in adc.comparators().iter().zip(ladder.tap_voltages()) {
+            assert!((c.threshold() - t).abs() < 1e-12);
+        }
+        assert_eq!(adc.ladder().resistor_count(), 4);
+    }
+}

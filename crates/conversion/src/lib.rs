@@ -1,0 +1,122 @@
+//! A/D conversion block models for the mixed-signal ATPG.
+//!
+//! The conversion block sits between the analog block and the digital block
+//! of the mixed circuit (Figure 1 of the paper).  This crate provides:
+//!
+//! * [`comparator`] / [`ladder`] / [`flash`] — the 15-comparator /
+//!   16-resistor flash conversion block of Example 3;
+//! * [`sar`] — the behavioural 8-bit converter of the validation board
+//!   (Figure 8);
+//! * [`encoder`] — thermometer-to-binary encoding logic as a gate-level
+//!   netlist;
+//! * [`fault`] — the ladder-resistor coverage analysis behind Tables 6 and 7;
+//! * [`constraints`] — the allowed digital-input codes that become the
+//!   constraint function `Fc`.
+//!
+//! # Example
+//!
+//! ```
+//! use msatpg_conversion::flash::FlashAdc;
+//! use msatpg_conversion::constraints::flash_codes;
+//!
+//! let adc = FlashAdc::uniform(15, 4.0)?;
+//! assert_eq!(adc.convert_to_count(2.0), 8);
+//! let fc = flash_codes(&adc);
+//! assert_eq!(fc.codes().len(), 16); // only thermometer codes are producible
+//! # Ok::<(), msatpg_conversion::ConversionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparator;
+pub mod constraints;
+pub mod encoder;
+pub mod fault;
+pub mod flash;
+pub mod ladder;
+pub mod sar;
+
+pub use comparator::Comparator;
+pub use constraints::AllowedCodes;
+pub use fault::{ladder_coverage, LadderCoverage};
+pub use flash::FlashAdc;
+pub use ladder::ResistorLadder;
+pub use sar::SarAdc;
+
+use std::fmt;
+
+/// Errors produced by the conversion-block models.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConversionError {
+    /// A resistor ladder was constructed with invalid values.
+    InvalidLadder {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A converter was constructed with invalid parameters.
+    InvalidAdc {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A tap index was out of range.
+    TapOutOfRange {
+        /// The requested 1-based tap index.
+        index: usize,
+        /// Number of taps available.
+        taps: usize,
+    },
+    /// A resistor index was out of range.
+    ResistorOutOfRange {
+        /// The requested 1-based resistor index.
+        index: usize,
+        /// Number of resistors available.
+        resistors: usize,
+    },
+}
+
+impl fmt::Display for ConversionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConversionError::InvalidLadder { reason } => write!(f, "invalid ladder: {reason}"),
+            ConversionError::InvalidAdc { reason } => write!(f, "invalid converter: {reason}"),
+            ConversionError::TapOutOfRange { index, taps } => {
+                write!(f, "tap {index} out of range (ladder has {taps} taps)")
+            }
+            ConversionError::ResistorOutOfRange { index, resistors } => write!(
+                f,
+                "resistor {index} out of range (ladder has {resistors} resistors)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConversionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_variants() {
+        let variants = vec![
+            ConversionError::InvalidLadder { reason: "x".into() },
+            ConversionError::InvalidAdc { reason: "y".into() },
+            ConversionError::TapOutOfRange { index: 9, taps: 3 },
+            ConversionError::ResistorOutOfRange {
+                index: 9,
+                resistors: 4,
+            },
+        ];
+        for v in variants {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConversionError>();
+    }
+}

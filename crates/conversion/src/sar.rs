@@ -1,0 +1,144 @@
+//! An 8-bit A/D converter model (the AD7820-class half-flash converter of the
+//! validation board, Figure 8).
+//!
+//! The converter is modelled behaviourally as an ideal uniform quantizer with
+//! an optional gain/offset error, which is what the board-level experiment of
+//! the paper observes through the digital block.
+
+use crate::ConversionError;
+
+/// A behavioural `bits`-bit A/D converter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SarAdc {
+    bits: u32,
+    v_ref: f64,
+    gain_error: f64,
+    offset_volts: f64,
+}
+
+impl SarAdc {
+    /// Creates an ideal `bits`-bit converter with full-scale `v_ref`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `bits` is zero or larger than 16, or `v_ref` is
+    /// not positive.
+    pub fn new(bits: u32, v_ref: f64) -> Result<Self, ConversionError> {
+        if bits == 0 || bits > 16 {
+            return Err(ConversionError::InvalidAdc {
+                reason: format!("unsupported resolution: {bits} bits"),
+            });
+        }
+        if !(v_ref > 0.0) {
+            return Err(ConversionError::InvalidAdc {
+                reason: "reference voltage must be positive".to_owned(),
+            });
+        }
+        Ok(SarAdc {
+            bits,
+            v_ref,
+            gain_error: 0.0,
+            offset_volts: 0.0,
+        })
+    }
+
+    /// The paper's board converter: 8 bits, 5 V full scale.
+    pub fn ad7820() -> Self {
+        Self::new(8, 5.0).expect("fixed parameters are valid")
+    }
+
+    /// Adds a relative gain error (`0.01` = +1 %).
+    pub fn with_gain_error(mut self, relative: f64) -> Self {
+        self.gain_error = relative;
+        self
+    }
+
+    /// Adds an input-referred offset in volts.
+    pub fn with_offset(mut self, volts: f64) -> Self {
+        self.offset_volts = volts;
+        self
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale reference voltage.
+    pub fn v_ref(&self) -> f64 {
+        self.v_ref
+    }
+
+    /// Number of codes (`2^bits`).
+    pub fn code_count(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Size of one LSB in volts.
+    pub fn lsb(&self) -> f64 {
+        self.v_ref / self.code_count() as f64
+    }
+
+    /// Converts an input voltage to an output code (clamped to the code
+    /// range).
+    pub fn convert(&self, vin: f64) -> u32 {
+        let effective = (vin + self.offset_volts) * (1.0 + self.gain_error);
+        let code = (effective / self.lsb()).floor();
+        code.clamp(0.0, (self.code_count() - 1) as f64) as u32
+    }
+
+    /// Converts an input voltage to its output bits, LSB first.
+    pub fn convert_to_bits(&self, vin: f64) -> Vec<bool> {
+        let code = self.convert(vin);
+        (0..self.bits).map(|b| (code >> b) & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_conversion_quantizes_uniformly() {
+        let adc = SarAdc::new(8, 5.0).unwrap();
+        assert_eq!(adc.bits(), 8);
+        assert_eq!(adc.code_count(), 256);
+        assert!((adc.lsb() - 5.0 / 256.0).abs() < 1e-12);
+        assert_eq!(adc.convert(0.0), 0);
+        assert_eq!(adc.convert(2.5), 128);
+        assert_eq!(adc.convert(5.1), 255, "clamped at full scale");
+        assert_eq!(adc.convert(-1.0), 0, "clamped at zero");
+    }
+
+    #[test]
+    fn bits_round_trip_the_code() {
+        let adc = SarAdc::ad7820();
+        let bits = adc.convert_to_bits(3.3);
+        let mut code = 0u32;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                code |= 1 << i;
+            }
+        }
+        assert_eq!(code, adc.convert(3.3));
+        assert_eq!(bits.len(), 8);
+    }
+
+    #[test]
+    fn gain_and_offset_errors_shift_codes() {
+        let ideal = SarAdc::new(8, 5.0).unwrap();
+        let gained = SarAdc::new(8, 5.0).unwrap().with_gain_error(0.10);
+        let offset = SarAdc::new(8, 5.0).unwrap().with_offset(0.1);
+        assert!(gained.convert(2.5) > ideal.convert(2.5));
+        assert!(offset.convert(2.5) > ideal.convert(2.5));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(SarAdc::new(0, 5.0).is_err());
+        assert!(SarAdc::new(20, 5.0).is_err());
+        assert!(SarAdc::new(8, 0.0).is_err());
+        assert!(SarAdc::new(8, -1.0).is_err());
+        assert_eq!(SarAdc::ad7820().v_ref(), 5.0);
+    }
+}

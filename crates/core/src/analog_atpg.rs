@@ -1,0 +1,376 @@
+//! End-to-end test generation for analog faults in a mixed circuit:
+//! activation through the conversion block, then propagation through the
+//! digital block (§2.3 of the paper).
+
+use std::collections::HashMap;
+
+use msatpg_analog::fault::AnalogFault;
+use msatpg_analog::params::ParameterSpec;
+use msatpg_analog::signal::{output_amplitude, SineStimulus};
+use msatpg_analog::ElementId;
+use msatpg_digital::logic::Logic;
+use msatpg_digital::netlist::SignalId;
+
+use crate::activation::{select_stimulus, DeviationSign};
+use crate::mixed_circuit::MixedCircuit;
+use crate::propagation::PropagationEngine;
+use crate::CoreError;
+
+/// A complete test for an analog fault: the stimulus, the digital side
+/// conditions and where the effect is observed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalogTestVector {
+    /// Sine stimulus applied at the analog primary input.
+    pub stimulus: SineStimulus,
+    /// Converter output (0-based) that carries the composite value.
+    pub comparator: usize,
+    /// The composite value on that line (`D` or `D̄`).
+    pub composite: Logic,
+    /// Values of the other constrained digital inputs under this stimulus
+    /// (converter output order, the flipped line included with its
+    /// fault-free value).
+    pub constrained_code: Vec<bool>,
+    /// Required values of the external digital inputs (`None` =
+    /// don't-care).
+    pub external_assignment: Vec<(SignalId, Option<bool>)>,
+    /// Primary output (index) at which the effect is observed.
+    pub observed_output: usize,
+}
+
+/// Why an analog fault could not be tested through the mixed circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalogTestFailure {
+    /// No stimulus flips any conversion-block output for this deviation.
+    ActivationFailed,
+    /// A comparator flips but the effect cannot reach a primary output under
+    /// the constraints.
+    PropagationFailed,
+}
+
+/// The outcome of testing one analog element deviation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalogTestOutcome {
+    /// A full test exists.
+    Tested(AnalogTestVector),
+    /// The deviation cannot be tested through the mixed circuit.
+    Failed(AnalogTestFailure),
+}
+
+impl AnalogTestOutcome {
+    /// Returns `true` when a test was found.
+    pub fn is_tested(&self) -> bool {
+        matches!(self, AnalogTestOutcome::Tested(_))
+    }
+}
+
+/// One row of the analog test plan: an element, the parameter through which
+/// it is tested and the result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalogTestEntry {
+    /// Name of the analog element.
+    pub element: String,
+    /// Name of the measured parameter.
+    pub parameter: String,
+    /// Relative deviation injected for the check (fraction).
+    pub deviation: f64,
+    /// Direction of the deviation.
+    pub direction: DeviationSign,
+    /// The outcome.
+    pub outcome: AnalogTestOutcome,
+}
+
+/// The analog-fault test generator for one mixed circuit.
+pub struct AnalogAtpg<'a> {
+    circuit: &'a MixedCircuit,
+    tolerance: f64,
+}
+
+impl<'a> AnalogAtpg<'a> {
+    /// Creates the generator with the paper's ±5 % parameter tolerance.
+    pub fn new(circuit: &'a MixedCircuit) -> Self {
+        AnalogAtpg {
+            circuit,
+            tolerance: 0.05,
+        }
+    }
+
+    /// Sets the parameter tolerance (fraction).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Attempts to generate a test for a deviation of `deviation` (signed
+    /// fraction) on `element`, observed through `parameter`.
+    ///
+    /// The procedure follows the paper: choose a stimulus per Table 1 for
+    /// each conversion-block output in turn, check that the output actually
+    /// differs between the fault-free and the faulty circuit, then search for
+    /// an external-input assignment that propagates the composite value to a
+    /// primary output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; "no test exists" is reported through
+    /// [`AnalogTestOutcome::Failed`], not as an error.
+    pub fn test_element_deviation(
+        &self,
+        element: ElementId,
+        deviation: f64,
+        parameter: &ParameterSpec,
+    ) -> Result<AnalogTestOutcome, CoreError> {
+        // The sign of the element deviation does not determine the sign of
+        // the parameter deviation (it depends on the sensitivity), so both
+        // tolerance bounds are tried, exactly as the paper tests the upper
+        // and the lower bound of every parameter.
+        let preferred = if deviation >= 0.0 {
+            DeviationSign::Above
+        } else {
+            DeviationSign::Below
+        };
+        let other = match preferred {
+            DeviationSign::Above => DeviationSign::Below,
+            DeviationSign::Below => DeviationSign::Above,
+        };
+        let filter = self.circuit.analog();
+        let fault = AnalogFault::deviation(element, deviation);
+        let faulty_circuit = fault.apply(filter.circuit());
+        let output_node = filter.output_node();
+        let mut any_activation = false;
+
+        for (converter_output, line) in self.circuit.connections() {
+            let Some(threshold) = self.circuit.converter().threshold(converter_output) else {
+                continue;
+            };
+            for direction in [preferred, other] {
+                // Table-1 stimulus selection for this comparator's reference.
+                let plan =
+                    match select_stimulus(filter, parameter, direction, self.tolerance, threshold)
+                    {
+                        Ok(plan) => plan,
+                        Err(_) => continue,
+                    };
+                // Numeric activation check: does this comparator really see
+                // different values in the fault-free and the faulty circuit?
+                let amp_good = output_amplitude(
+                    filter.circuit(),
+                    filter.input_source(),
+                    output_node,
+                    &plan.stimulus,
+                )
+                .map_err(|e| CoreError::Analog(e.to_string()))?;
+                let amp_faulty = output_amplitude(
+                    &faulty_circuit,
+                    filter.input_source(),
+                    output_node,
+                    &plan.stimulus,
+                )
+                .map_err(|e| CoreError::Analog(e.to_string()))?;
+                let code_good = self.circuit.converter().convert(amp_good);
+                let code_faulty = self.circuit.converter().convert(amp_faulty);
+                if code_good[converter_output] == code_faulty[converter_output] {
+                    continue;
+                }
+                any_activation = true;
+                let composite =
+                    Logic::from_pair(code_good[converter_output], code_faulty[converter_output]);
+                // Fix the other constrained lines to their fault-free values.
+                let mut fixed: HashMap<SignalId, bool> = HashMap::new();
+                for (other_output, other_line) in self.circuit.connections() {
+                    if other_output != converter_output {
+                        fixed.insert(other_line, code_good[other_output]);
+                    }
+                }
+                let engine = PropagationEngine::new(self.circuit.digital());
+                if let Some(prop) = engine.find_propagating_assignment(&fixed, line, composite)? {
+                    return Ok(AnalogTestOutcome::Tested(AnalogTestVector {
+                        stimulus: plan.stimulus,
+                        comparator: converter_output,
+                        composite,
+                        constrained_code: code_good,
+                        external_assignment: prop.external_assignment,
+                        observed_output: prop.observed_output,
+                    }));
+                }
+            }
+        }
+        Ok(AnalogTestOutcome::Failed(if any_activation {
+            AnalogTestFailure::PropagationFailed
+        } else {
+            AnalogTestFailure::ActivationFailed
+        }))
+    }
+
+    /// Tests an element deviation through every parameter of the analog
+    /// block (most-sensitive first according to `ranking`), returning the
+    /// first parameter that yields a test, or the last failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn test_element(
+        &self,
+        element: ElementId,
+        deviation: f64,
+        ranking: &[ParameterSpec],
+    ) -> Result<AnalogTestEntry, CoreError> {
+        let element_name = self.circuit.analog().circuit().element(element).name.clone();
+        let direction = if deviation >= 0.0 {
+            DeviationSign::Above
+        } else {
+            DeviationSign::Below
+        };
+        let mut last_failure = AnalogTestOutcome::Failed(AnalogTestFailure::ActivationFailed);
+        for parameter in ranking {
+            let outcome = self.test_element_deviation(element, deviation, parameter)?;
+            if outcome.is_tested() {
+                return Ok(AnalogTestEntry {
+                    element: element_name,
+                    parameter: parameter.name.clone(),
+                    deviation: deviation.abs(),
+                    direction,
+                    outcome,
+                });
+            }
+            last_failure = outcome;
+        }
+        Ok(AnalogTestEntry {
+            element: element_name,
+            parameter: ranking
+                .last()
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|| "-".to_owned()),
+            deviation: deviation.abs(),
+            direction,
+            outcome: last_failure,
+        })
+    }
+
+    /// The Table-5 study: for each conversion-block output, can a composite
+    /// value on that line (other lines held at the adjacent thermometer
+    /// code) be propagated to a primary output?  Returns, for each output,
+    /// `(propagates_d, propagates_dbar)` — `D` corresponds to an amplitude
+    /// deviation below the reference (`deviation less than x%` in the
+    /// paper), `D̄` to one above it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation-engine errors.
+    pub fn comparator_propagation_study(&self) -> Result<Vec<(bool, bool)>, CoreError> {
+        let connections = self.circuit.connections();
+        let n = connections.len();
+        let engine = PropagationEngine::new(self.circuit.digital());
+        let mut results = Vec::with_capacity(n);
+        for (idx, &(converter_output, line)) in connections.iter().enumerate() {
+            let _ = converter_output;
+            // Fault-free code: thermometer with `idx + 1` ones (the input
+            // amplitude sits just above this comparator's reference).
+            let mut fixed_d: HashMap<SignalId, bool> = HashMap::new();
+            let mut fixed_dbar: HashMap<SignalId, bool> = HashMap::new();
+            for (j, &(_, other_line)) in connections.iter().enumerate() {
+                if j == idx {
+                    continue;
+                }
+                // Lines below the flipped comparator are 1, above are 0, in
+                // both scenarios.
+                fixed_d.insert(other_line, j < idx);
+                fixed_dbar.insert(other_line, j < idx);
+            }
+            let d_ok = engine
+                .find_propagating_assignment(&fixed_d, line, Logic::D)?
+                .is_some();
+            let dbar_ok = engine
+                .find_propagating_assignment(&fixed_dbar, line, Logic::Dbar)?
+                .is_some();
+            results.push((d_ok, dbar_ok));
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msatpg_analog::filters;
+    use msatpg_conversion::FlashAdc;
+    use msatpg_digital::circuits;
+
+    use crate::mixed_circuit::ConverterBlock;
+
+    /// The Figure-4 mixed circuit: band-pass filter, 2-comparator conversion
+    /// block, Figure-3 digital circuit.
+    fn figure4() -> MixedCircuit {
+        let analog = filters::second_order_band_pass();
+        // Thresholds inside the reachable output range of the filter
+        // (center gain ≈ 3.2, so a 1 V input can reach ≈ 3.2 V).
+        let adc = FlashAdc::uniform(2, 3.0).unwrap();
+        let digital = circuits::figure3_circuit();
+        let mut mixed = MixedCircuit::new("figure4", analog, ConverterBlock::Flash(adc), digital);
+        mixed.connect_in_order(&["l0", "l2"]).unwrap();
+        mixed
+    }
+
+    #[test]
+    fn rd_deviation_is_testable_through_the_mixed_circuit() {
+        // The paper's walk-through: a deviation on Rd changes the
+        // center-frequency gain A1; a sine at the center frequency with a
+        // suitable amplitude flips a comparator, and setting l1 (or l1 and
+        // l4) propagates the effect to the outputs.
+        let mixed = figure4();
+        let atpg = AnalogAtpg::new(&mixed);
+        let rd = mixed.analog().circuit().find_element("Rd").unwrap();
+        let a1 = mixed.analog().parameters()[0].clone(); // A1 = MaxGain
+        let outcome = atpg
+            .test_element_deviation(rd, -0.15, &a1)
+            .expect("simulation succeeds");
+        match outcome {
+            AnalogTestOutcome::Tested(vector) => {
+                assert!(vector.stimulus.amplitude > 0.0);
+                assert!(vector.composite.is_fault_effect());
+                assert!(vector.constrained_code.len() == 2);
+                assert!(vector.observed_output < 2);
+            }
+            other => panic!("expected a test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_deviation_cannot_be_activated() {
+        // A deviation far below the detectable threshold does not flip any
+        // comparator: activation fails.
+        let mixed = figure4();
+        let atpg = AnalogAtpg::new(&mixed);
+        let rd = mixed.analog().circuit().find_element("Rd").unwrap();
+        let a1 = mixed.analog().parameters()[0].clone();
+        let outcome = atpg.test_element_deviation(rd, 0.001, &a1).unwrap();
+        assert_eq!(
+            outcome,
+            AnalogTestOutcome::Failed(AnalogTestFailure::ActivationFailed)
+        );
+        assert!(!outcome.is_tested());
+    }
+
+    #[test]
+    fn test_element_tries_parameters_in_order() {
+        let mixed = figure4();
+        let atpg = AnalogAtpg::new(&mixed);
+        let rg = mixed.analog().circuit().find_element("Rg").unwrap();
+        let params = mixed.analog().parameters().to_vec();
+        let entry = atpg.test_element(rg, -0.2, &params).unwrap();
+        assert_eq!(entry.element, "Rg");
+        assert!(entry.deviation > 0.19);
+        assert_eq!(entry.direction, DeviationSign::Below);
+        assert!(entry.outcome.is_tested(), "Rg deviation of 20% is testable");
+    }
+
+    #[test]
+    fn comparator_propagation_study_covers_all_connections() {
+        let mixed = figure4();
+        let atpg = AnalogAtpg::new(&mixed);
+        let study = atpg.comparator_propagation_study().unwrap();
+        assert_eq!(study.len(), 2);
+        // In the Figure-3 circuit every constrained line reaches an output
+        // for at least one polarity.
+        assert!(study.iter().any(|&(d, dbar)| d || dbar));
+    }
+}

@@ -1,0 +1,162 @@
+//! Construction of the constraint function `Fc` as an OBDD.
+//!
+//! `Fc` is a sum of product terms, one per assignment the conversion block
+//! can actually produce on the digital lines it drives (§2.2.1 of the
+//! paper).  Any test vector generated for the digital block must satisfy
+//! `Fc = 1`.
+
+use msatpg_bdd::{Bdd, BddManager, VarId};
+use msatpg_conversion::constraints::AllowedCodes;
+use msatpg_digital::netlist::{Netlist, SignalId};
+
+/// Declares one BDD variable per primary input of the netlist, in input
+/// order, named after the signal names; returns the positive literals in
+/// the same order.
+///
+/// The ATPG and the constraint builder must use the same manager so that the
+/// variable ordering is consistent.
+pub fn declare_input_variables(manager: &mut BddManager, netlist: &Netlist) -> Vec<Bdd> {
+    netlist
+        .primary_inputs()
+        .iter()
+        .map(|&pi| {
+            let name = netlist.signal_name(pi).to_owned();
+            manager.var(&name)
+        })
+        .collect()
+}
+
+/// The variable id used for a primary-input signal (the signal's name).
+///
+/// # Panics
+///
+/// Panics if the variable has not been declared yet (call
+/// [`declare_input_variables`] first).
+pub fn input_variable(manager: &BddManager, netlist: &Netlist, signal: SignalId) -> VarId {
+    manager
+        .var_index(netlist.signal_name(signal))
+        .expect("input variable must be declared before use")
+}
+
+/// Builds the constraint function `Fc` over the constrained input lines.
+///
+/// `constrained_lines[i]` is the digital input driven by converter output
+/// `i`; `codes` lists the assignments the converter can produce on those
+/// lines (in the same order).  When `codes` is unconstrained the result is
+/// the constant `1` — "no constraint to satisfy", as the paper puts it.
+pub fn constraint_bdd(
+    manager: &mut BddManager,
+    netlist: &Netlist,
+    constrained_lines: &[SignalId],
+    codes: &AllowedCodes,
+) -> Bdd {
+    if codes.is_unconstrained() {
+        return manager.one();
+    }
+    assert_eq!(
+        codes.width(),
+        constrained_lines.len(),
+        "allowed-code width must match the number of constrained lines"
+    );
+    let mut fc = manager.zero();
+    for code in codes.codes() {
+        let mut term = manager.one();
+        for (line, &value) in constrained_lines.iter().zip(code) {
+            let var = input_variable(manager, netlist, *line);
+            let literal = manager.literal(var, value);
+            term = manager.and(term, literal);
+        }
+        fc = manager.or(fc, term);
+    }
+    fc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msatpg_bdd::Assignment;
+    use msatpg_digital::circuits;
+
+    #[test]
+    fn example2_constraint_is_l0_or_l2() {
+        // The paper's Example 2: Fc = l0 + l2 (the code 00 is impossible).
+        let netlist = circuits::figure3_circuit();
+        let mut m = BddManager::new();
+        declare_input_variables(&mut m, &netlist);
+        let l0 = netlist.find_signal("l0").unwrap();
+        let l2 = netlist.find_signal("l2").unwrap();
+        let codes = AllowedCodes::new(
+            2,
+            vec![vec![true, false], vec![true, true]],
+        );
+        let fc = constraint_bdd(&mut m, &netlist, &[l0, l2], &codes);
+        // Note: the code list above only contains l0=1 codes, so Fc = l0.
+        let l0_var = m.var("l0");
+        assert_eq!(fc, l0_var);
+
+        // With the full thermometer-code set minus (0,0): Fc = l0 + l2... for
+        // a thermometer code on (l0, l2) the possibilities are 10 and 11 and
+        // 01 is impossible; the paper's Fc = l0 + l2 admits 01 as well, which
+        // corresponds to codes observed in either order.  Model it directly:
+        let codes2 = AllowedCodes::new(
+            2,
+            vec![
+                vec![true, false],
+                vec![false, true],
+                vec![true, true],
+            ],
+        );
+        let fc2 = constraint_bdd(&mut m, &netlist, &[l0, l2], &codes2);
+        let l2_var = m.var("l2");
+        let expected = m.or(l0_var, l2_var);
+        assert_eq!(fc2, expected);
+    }
+
+    #[test]
+    fn unconstrained_codes_give_constant_one() {
+        let netlist = circuits::figure3_circuit();
+        let mut m = BddManager::new();
+        declare_input_variables(&mut m, &netlist);
+        let fc = constraint_bdd(&mut m, &netlist, &[], &AllowedCodes::unconstrained(0));
+        assert!(fc.is_one());
+    }
+
+    #[test]
+    fn thermometer_constraint_counts_assignments() {
+        // 4 constrained lines with thermometer codes: exactly 5 of the 16
+        // assignments satisfy Fc.
+        let netlist = circuits::adder4();
+        let mut m = BddManager::new();
+        declare_input_variables(&mut m, &netlist);
+        let lines: Vec<SignalId> = ["a0", "a1", "a2", "a3"]
+            .iter()
+            .map(|n| netlist.find_signal(n).unwrap())
+            .collect();
+        let codes = msatpg_conversion::constraints::thermometer_codes(4);
+        let fc = constraint_bdd(&mut m, &netlist, &lines, &codes);
+        // sat_count is over all 9 declared input variables: 5 codes × 2^5
+        // free assignments of the other inputs.
+        assert_eq!(m.sat_count(fc), 5 * 32);
+        // Spot-check evaluation.
+        let mut asg = Assignment::new();
+        for (i, name) in ["a0", "a1", "a2", "a3"].iter().enumerate() {
+            let var = m.var_index(name).unwrap();
+            asg.set(var, i < 2); // 1100 thermometer code
+        }
+        assert!(m.eval(fc, &asg));
+        let bad_var = m.var_index("a0").unwrap();
+        asg.set(bad_var, false); // 0100 is not a thermometer code
+        assert!(!m.eval(fc, &asg));
+    }
+
+    #[test]
+    fn declared_variables_follow_input_order() {
+        let netlist = circuits::figure3_circuit();
+        let mut m = BddManager::new();
+        let vars = declare_input_variables(&mut m, &netlist);
+        assert_eq!(vars.len(), 4);
+        assert_eq!(m.var_names(), &["l0", "l1", "l2", "l4"]);
+        let l2 = netlist.find_signal("l2").unwrap();
+        assert_eq!(input_variable(&m, &netlist, l2), 2);
+    }
+}

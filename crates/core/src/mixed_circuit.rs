@@ -1,0 +1,407 @@
+//! The mixed-signal circuit model: analog block → conversion block →
+//! digital block (Figure 1 / Figure 4 of the paper).
+
+use std::collections::BTreeMap;
+
+use msatpg_analog::FilterCircuit;
+use msatpg_conversion::constraints::{flash_codes, AllowedCodes};
+use msatpg_conversion::{FlashAdc, SarAdc};
+use msatpg_digital::netlist::{Netlist, SignalId};
+
+use crate::CoreError;
+
+/// The conversion block of a mixed circuit.
+#[derive(Clone, Debug)]
+pub enum ConverterBlock {
+    /// A flash converter: one output line per comparator, thermometer-coded.
+    Flash(FlashAdc),
+    /// A binary (successive-approximation / half-flash) converter with the
+    /// given number of low-order output lines connected to the digital block.
+    Binary {
+        /// The converter model.
+        adc: SarAdc,
+        /// Number of output bits wired to the digital block (LSB first).
+        lines: usize,
+    },
+}
+
+impl ConverterBlock {
+    /// Number of digital lines the conversion block drives.
+    pub fn output_count(&self) -> usize {
+        match self {
+            ConverterBlock::Flash(adc) => adc.comparator_count(),
+            ConverterBlock::Binary { adc, lines } => (*lines).min(adc.bits() as usize),
+        }
+    }
+
+    /// Converts an analog voltage into the digital code driven onto the
+    /// connected lines.
+    pub fn convert(&self, vin: f64) -> Vec<bool> {
+        match self {
+            ConverterBlock::Flash(adc) => adc.convert(vin),
+            ConverterBlock::Binary { adc, lines } => {
+                let bits = adc.convert_to_bits(vin);
+                bits.into_iter().take((*lines).min(adc.bits() as usize)).collect()
+            }
+        }
+    }
+
+    /// The set of codes this converter can produce (the basis of `Fc`).
+    pub fn allowed_codes(&self) -> AllowedCodes {
+        match self {
+            ConverterBlock::Flash(adc) => flash_codes(adc),
+            ConverterBlock::Binary { adc, lines } => {
+                msatpg_conversion::constraints::binary_codes(adc, *lines)
+            }
+        }
+    }
+
+    /// The threshold voltage associated with output line `index` (0-based):
+    /// the comparator threshold for a flash converter, or the input voltage
+    /// at which the given binary output bit first toggles for a binary
+    /// converter.
+    pub fn threshold(&self, index: usize) -> Option<f64> {
+        match self {
+            ConverterBlock::Flash(adc) => {
+                adc.comparators().get(index).map(|c| c.threshold())
+            }
+            ConverterBlock::Binary { adc, .. } => {
+                if index < adc.bits() as usize {
+                    Some(adc.lsb() * (1 << index) as f64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A complete mixed-signal circuit: an analog block whose output feeds a
+/// conversion block whose outputs drive some primary inputs of a digital
+/// block.  The remaining digital inputs stay externally controllable.
+#[derive(Clone, Debug)]
+pub struct MixedCircuit {
+    name: String,
+    analog: FilterCircuit,
+    converter: ConverterBlock,
+    digital: Netlist,
+    /// converter output index → digital primary-input signal
+    connections: BTreeMap<usize, SignalId>,
+    /// Optional override of the converter's allowed codes (used to model
+    /// analog operating ranges that exclude some codes, as in Example 2).
+    allowed_codes_override: Option<AllowedCodes>,
+}
+
+impl MixedCircuit {
+    /// Creates a mixed circuit with no conversion-block/digital connections
+    /// yet.
+    pub fn new(
+        name: &str,
+        analog: FilterCircuit,
+        converter: ConverterBlock,
+        digital: Netlist,
+    ) -> Self {
+        MixedCircuit {
+            name: name.to_owned(),
+            analog,
+            converter,
+            digital,
+            connections: BTreeMap::new(),
+            allowed_codes_override: None,
+        }
+    }
+
+    /// Connects converter output `converter_output` (0-based) to the digital
+    /// primary input named `input_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the output index is out of range, the input does
+    /// not exist or is not a primary input, or either endpoint is already
+    /// connected.
+    pub fn connect(&mut self, converter_output: usize, input_name: &str) -> Result<(), CoreError> {
+        if converter_output >= self.converter.output_count() {
+            return Err(CoreError::InvalidConnection {
+                reason: format!(
+                    "converter output {converter_output} out of range (block has {} outputs)",
+                    self.converter.output_count()
+                ),
+            });
+        }
+        let signal = self.digital.find_signal(input_name).ok_or_else(|| {
+            CoreError::InvalidConnection {
+                reason: format!("digital input '{input_name}' does not exist"),
+            }
+        })?;
+        if !self.digital.is_primary_input(signal) {
+            return Err(CoreError::InvalidConnection {
+                reason: format!("'{input_name}' is not a primary input"),
+            });
+        }
+        if self.connections.contains_key(&converter_output)
+            || self.connections.values().any(|&s| s == signal)
+        {
+            return Err(CoreError::InvalidConnection {
+                reason: format!(
+                    "converter output {converter_output} or input '{input_name}' is already connected"
+                ),
+            });
+        }
+        self.connections.insert(converter_output, signal);
+        Ok(())
+    }
+
+    /// Connects converter outputs 0, 1, … to the given digital inputs in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`MixedCircuit::connect`].
+    pub fn connect_in_order(&mut self, input_names: &[&str]) -> Result<(), CoreError> {
+        for (i, name) in input_names.iter().enumerate() {
+            self.connect(i, name)?;
+        }
+        Ok(())
+    }
+
+    /// Connects every converter output to a deterministically "random"
+    /// selection of digital primary inputs (the paper selects the constrained
+    /// inputs of the ISCAS85 circuits randomly).  The selection is a simple
+    /// seeded shuffle so results are reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the digital block has fewer primary inputs than
+    /// the conversion block has outputs.
+    pub fn connect_randomly(&mut self, seed: u64) -> Result<(), CoreError> {
+        let needed = self.converter.output_count();
+        let pis = self.digital.primary_inputs().to_vec();
+        if pis.len() < needed {
+            return Err(CoreError::InvalidConnection {
+                reason: format!(
+                    "digital block has {} inputs but the conversion block needs {needed}",
+                    pis.len()
+                ),
+            });
+        }
+        // Deterministic Fisher-Yates driven by SplitMix64.
+        let mut order: Vec<usize> = (0..pis.len()).collect();
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        for (converter_output, &pi_index) in order.iter().take(needed).enumerate() {
+            let name = self.digital.signal_name(pis[pi_index]).to_owned();
+            self.connect(converter_output, &name)?;
+        }
+        Ok(())
+    }
+
+    /// Overrides the allowed-code set (the ON-set of `Fc`).  Useful when the
+    /// analog operating range excludes some converter codes, as in Example 2
+    /// of the paper where `(l0, l2) = (0, 0)` can never occur.
+    pub fn set_allowed_codes(&mut self, codes: AllowedCodes) {
+        self.allowed_codes_override = Some(codes);
+    }
+
+    /// Name of the mixed circuit.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The analog block.
+    pub fn analog(&self) -> &FilterCircuit {
+        &self.analog
+    }
+
+    /// The conversion block.
+    pub fn converter(&self) -> &ConverterBlock {
+        &self.converter
+    }
+
+    /// The digital block.
+    pub fn digital(&self) -> &Netlist {
+        &self.digital
+    }
+
+    /// The converter-output → digital-input connections, ordered by converter
+    /// output index.
+    pub fn connections(&self) -> Vec<(usize, SignalId)> {
+        self.connections.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Digital primary inputs driven by the conversion block, in converter
+    /// output order.
+    pub fn constrained_inputs(&self) -> Vec<SignalId> {
+        self.connections.values().copied().collect()
+    }
+
+    /// Digital primary inputs that remain externally controllable.
+    pub fn external_inputs(&self) -> Vec<SignalId> {
+        let constrained = self.constrained_inputs();
+        self.digital
+            .primary_inputs()
+            .iter()
+            .copied()
+            .filter(|s| !constrained.contains(s))
+            .collect()
+    }
+
+    /// The allowed codes on the constrained inputs (the ON-set of `Fc`),
+    /// honouring any override.
+    pub fn allowed_codes(&self) -> AllowedCodes {
+        self.allowed_codes_override
+            .clone()
+            .unwrap_or_else(|| self.converter.allowed_codes())
+    }
+
+    /// The digital input signal driven by converter output `index`, if
+    /// connected.
+    pub fn input_for_converter_output(&self, index: usize) -> Option<SignalId> {
+        self.connections.get(&index).copied()
+    }
+
+    /// Basic consistency check of the assembled mixed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any block fails its own validation or if the
+    /// conversion block drives no digital input at all.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.analog
+            .circuit()
+            .validate()
+            .map_err(|e| CoreError::Analog(e.to_string()))?;
+        self.digital
+            .validate()
+            .map_err(|e| CoreError::Digital(e.to_string()))?;
+        if self.connections.is_empty() {
+            return Err(CoreError::InvalidConnection {
+                reason: "the conversion block drives no digital input".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msatpg_analog::filters;
+    use msatpg_digital::circuits;
+
+    fn example2_circuit() -> MixedCircuit {
+        // Figure 4: band-pass filter + 2-comparator conversion + Figure-3
+        // digital circuit, with l0 and l2 constrained.
+        let analog = filters::second_order_band_pass();
+        let adc = FlashAdc::uniform(2, 4.0).unwrap();
+        let digital = circuits::figure3_circuit();
+        let mut mixed = MixedCircuit::new(
+            "figure4",
+            analog,
+            ConverterBlock::Flash(adc),
+            digital,
+        );
+        mixed.connect_in_order(&["l0", "l2"]).unwrap();
+        mixed
+    }
+
+    #[test]
+    fn connection_bookkeeping() {
+        let mixed = example2_circuit();
+        assert!(mixed.validate().is_ok());
+        assert_eq!(mixed.constrained_inputs().len(), 2);
+        assert_eq!(mixed.external_inputs().len(), 2);
+        let l0 = mixed.digital().find_signal("l0").unwrap();
+        assert_eq!(mixed.input_for_converter_output(0), Some(l0));
+        assert_eq!(mixed.input_for_converter_output(5), None);
+        assert_eq!(mixed.connections().len(), 2);
+        assert_eq!(mixed.name(), "figure4");
+    }
+
+    #[test]
+    fn invalid_connections_are_rejected() {
+        let analog = filters::second_order_band_pass();
+        let adc = FlashAdc::uniform(2, 4.0).unwrap();
+        let digital = circuits::figure3_circuit();
+        let mut mixed =
+            MixedCircuit::new("bad", analog, ConverterBlock::Flash(adc), digital);
+        assert!(mixed.connect(5, "l0").is_err(), "output out of range");
+        assert!(mixed.connect(0, "nope").is_err(), "unknown input");
+        assert!(mixed.connect(0, "Vo1").is_err(), "not a primary input");
+        mixed.connect(0, "l0").unwrap();
+        assert!(mixed.connect(0, "l2").is_err(), "output already used");
+        assert!(mixed.connect(1, "l0").is_err(), "input already used");
+        // Unconnected circuit fails validation.
+        let analog = filters::second_order_band_pass();
+        let adc = FlashAdc::uniform(2, 4.0).unwrap();
+        let digital = circuits::figure3_circuit();
+        let unconnected =
+            MixedCircuit::new("none", analog, ConverterBlock::Flash(adc), digital);
+        assert!(unconnected.validate().is_err());
+    }
+
+    #[test]
+    fn random_connection_is_deterministic_and_complete() {
+        let analog = filters::fifth_order_chebyshev();
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        let digital = msatpg_digital::benchmarks::c432();
+        let mut a = MixedCircuit::new("m1", analog.clone(), ConverterBlock::Flash(adc.clone()), digital.clone());
+        a.connect_randomly(7).unwrap();
+        let mut b = MixedCircuit::new("m2", analog, ConverterBlock::Flash(adc), digital);
+        b.connect_randomly(7).unwrap();
+        assert_eq!(a.constrained_inputs(), b.constrained_inputs());
+        assert_eq!(a.constrained_inputs().len(), 15);
+        assert_eq!(a.external_inputs().len(), 36 - 15);
+    }
+
+    #[test]
+    fn converter_block_behaviour() {
+        let flash = ConverterBlock::Flash(FlashAdc::uniform(15, 4.0).unwrap());
+        assert_eq!(flash.output_count(), 15);
+        assert_eq!(flash.convert(2.0).iter().filter(|&&b| b).count(), 8);
+        assert_eq!(flash.allowed_codes().codes().len(), 16);
+        assert!(flash.threshold(0).unwrap() > 0.0);
+        assert!(flash.threshold(99).is_none());
+
+        let binary = ConverterBlock::Binary {
+            adc: SarAdc::ad7820(),
+            lines: 4,
+        };
+        assert_eq!(binary.output_count(), 4);
+        assert_eq!(binary.convert(2.5).len(), 4);
+        assert!(binary.allowed_codes().is_unconstrained());
+        assert!(binary.threshold(0).unwrap() > 0.0);
+        assert!(binary.threshold(20).is_none());
+    }
+
+    #[test]
+    fn allowed_code_override() {
+        let mut mixed = example2_circuit();
+        // Example 2: the code (0, 0) can never be produced.
+        let codes = AllowedCodes::new(
+            2,
+            vec![vec![true, false], vec![true, true]],
+        );
+        mixed.set_allowed_codes(codes.clone());
+        assert_eq!(mixed.allowed_codes(), codes);
+        assert!(!mixed.allowed_codes().allows(&[false, false]));
+    }
+
+    #[test]
+    fn too_small_digital_block_cannot_take_random_connection() {
+        let analog = filters::second_order_band_pass();
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        let digital = circuits::figure3_circuit(); // only 4 inputs
+        let mut mixed = MixedCircuit::new("m", analog, ConverterBlock::Flash(adc), digital);
+        assert!(mixed.connect_randomly(1).is_err());
+    }
+}

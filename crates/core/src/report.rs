@@ -1,0 +1,137 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The benchmark binaries use these helpers to print tables in the same
+//! layout as the paper (Tables 3–8).
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn add_row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        while cells.len() < self.headers.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("{}\n", self.title));
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a fractional deviation as a percentage with one decimal, or a
+/// dash when absent (the paper's dashed cells).
+pub fn percent_or_dash(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{:.1}", v * 100.0),
+        None => "-".to_owned(),
+    }
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn seconds(duration: std::time::Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new("Table X", &["circuit", "#PI", "#PO"]);
+        t.add_row(vec!["c432".into(), "36".into(), "7".into()]);
+        t.add_row(vec!["c1908".into(), "33".into(), "25".into()]);
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("c432"));
+        assert!(s.contains("c1908"));
+        assert_eq!(t.row_count(), 2);
+        // Header columns aligned: each row has the same prefix width before
+        // the second column.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos_header = lines[1].find("#PI").unwrap();
+        let pos_row = lines[3].find("36").unwrap();
+        assert_eq!(pos_header, pos_row);
+        assert_eq!(format!("{t}"), s);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("", &["a", "b", "c"]);
+        t.add_row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(percent_or_dash(Some(0.113)), "11.3");
+        assert_eq!(percent_or_dash(None), "-");
+        assert_eq!(seconds(std::time::Duration::from_millis(1500)), "1.50");
+    }
+}

@@ -1,0 +1,368 @@
+//! The end-to-end mixed-signal test-generation flow: analog element tests,
+//! conversion-block tests and constrained digital stuck-at tests combined
+//! into one [`TestPlan`].
+
+use msatpg_analog::coverage::CoverageGraph;
+use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
+use msatpg_conversion::fault::ladder_coverage;
+use msatpg_digital::fault::FaultList;
+
+use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry};
+use crate::digital_atpg::{AtpgReport, DigitalAtpg};
+use crate::mixed_circuit::{ConverterBlock, MixedCircuit};
+use crate::CoreError;
+
+/// Options controlling a [`MixedSignalAtpg`] run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AtpgOptions {
+    /// Parameter tolerance box (fraction), ±5 % in the paper.
+    pub parameter_tolerance: f64,
+    /// Fault-free element tolerance used for worst-case masking.
+    pub element_tolerance: f64,
+    /// Use worst-case masking (true) or nominal-only analysis (false).
+    pub worst_case: bool,
+    /// Largest element deviation searched (fraction).
+    pub max_deviation: f64,
+    /// Use the collapsed stuck-at fault list (true) or the full one (false).
+    pub collapse_faults: bool,
+}
+
+impl Default for AtpgOptions {
+    fn default() -> Self {
+        AtpgOptions {
+            parameter_tolerance: 0.05,
+            element_tolerance: 0.05,
+            worst_case: false,
+            max_deviation: 5.0,
+            collapse_faults: true,
+        }
+    }
+}
+
+/// Coverage of one conversion-block ladder resistor inside the mixed
+/// circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConversionTestEntry {
+    /// 1-based resistor index (bottom of the ladder first).
+    pub resistor: usize,
+    /// 1-based comparator through which it is best tested, or `None` when no
+    /// usable comparator can test it (the dashed cells of Table 7).
+    pub comparator: Option<usize>,
+    /// Detectable deviation (fraction) through that comparator.
+    pub detectable_deviation: Option<f64>,
+}
+
+/// The complete output of the mixed-signal ATPG.
+#[derive(Clone, Debug)]
+pub struct TestPlan {
+    /// Constrained stuck-at ATPG results for the digital block.
+    pub digital: AtpgReport,
+    /// Unconstrained results for comparison (the paper's "case 1").
+    pub digital_unconstrained: AtpgReport,
+    /// Analog element tests (one entry per element, at its detectable
+    /// deviation).
+    pub analog: Vec<AnalogTestEntry>,
+    /// Element-deviation report of the analog block (the E.D. columns of
+    /// Tables 3 and 8).
+    pub analog_deviations: DeviationReport,
+    /// Conversion-block ladder coverage inside the mixed circuit (Table 7)
+    /// — empty for binary converters.
+    pub conversion: Vec<ConversionTestEntry>,
+}
+
+impl TestPlan {
+    /// Number of analog elements for which a complete test was found.
+    pub fn analog_tested_count(&self) -> usize {
+        self.analog.iter().filter(|e| e.outcome.is_tested()).count()
+    }
+
+    /// Fraction of analog elements with a complete test.
+    pub fn analog_coverage(&self) -> f64 {
+        if self.analog.is_empty() {
+            return 1.0;
+        }
+        self.analog_tested_count() as f64 / self.analog.len() as f64
+    }
+}
+
+/// The top-level mixed-signal test generator.
+///
+/// # Example
+///
+/// ```no_run
+/// use msatpg_core::{MixedCircuit, MixedSignalAtpg, ConverterBlock};
+/// use msatpg_analog::filters;
+/// use msatpg_conversion::FlashAdc;
+/// use msatpg_digital::circuits;
+///
+/// let mut mixed = MixedCircuit::new(
+///     "figure4",
+///     filters::second_order_band_pass(),
+///     ConverterBlock::Flash(FlashAdc::uniform(2, 3.0)?),
+///     circuits::figure3_circuit(),
+/// );
+/// mixed.connect_in_order(&["l0", "l2"])?;
+/// let plan = MixedSignalAtpg::new(mixed).run()?;
+/// println!("analog coverage: {:.0}%", plan.analog_coverage() * 100.0);
+/// println!("untestable digital faults: {}", plan.digital.untestable_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MixedSignalAtpg {
+    circuit: MixedCircuit,
+    options: AtpgOptions,
+}
+
+impl MixedSignalAtpg {
+    /// Creates the generator with default options.
+    pub fn new(circuit: MixedCircuit) -> Self {
+        MixedSignalAtpg {
+            circuit,
+            options: AtpgOptions::default(),
+        }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: AtpgOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The mixed circuit under test.
+    pub fn circuit(&self) -> &MixedCircuit {
+        &self.circuit
+    }
+
+    /// Runs the constrained digital ATPG (the paper's "case 2").
+    ///
+    /// # Errors
+    ///
+    /// Propagates ATPG errors.
+    pub fn digital_constrained(&self) -> Result<AtpgReport, CoreError> {
+        let faults = self.fault_list();
+        let lines = self.circuit.constrained_inputs();
+        let codes = self.circuit.allowed_codes();
+        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_constraints(&lines, &codes)?;
+        atpg.run(&faults)
+    }
+
+    /// Runs the unconstrained digital ATPG (the paper's "case 1", every
+    /// block accessed directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ATPG errors.
+    pub fn digital_unconstrained(&self) -> Result<AtpgReport, CoreError> {
+        let faults = self.fault_list();
+        let mut atpg = DigitalAtpg::new(self.circuit.digital());
+        atpg.run(&faults)
+    }
+
+    /// Computes the analog element-deviation report (worst-case or nominal
+    /// per the options).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analog measurement errors.
+    pub fn analog_deviation_report(&self) -> Result<DeviationReport, CoreError> {
+        WorstCaseAnalysis::new(
+            self.circuit.analog().circuit(),
+            self.circuit.analog().parameters(),
+        )
+        .with_parameter_tolerance(self.options.parameter_tolerance)
+        .with_element_tolerance(self.options.element_tolerance)
+        .with_worst_case(self.options.worst_case)
+        .with_max_deviation(self.options.max_deviation)
+        .run()
+        .map_err(|e| CoreError::Analog(e.to_string()))
+    }
+
+    /// Generates analog element tests from a precomputed deviation report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn analog_tests(
+        &self,
+        deviations: &DeviationReport,
+    ) -> Result<Vec<AnalogTestEntry>, CoreError> {
+        let atpg = AnalogAtpg::new(&self.circuit).with_tolerance(self.options.parameter_tolerance);
+        let graph = CoverageGraph::from_report(deviations);
+        let analog = self.circuit.analog();
+        let mut entries = Vec::new();
+        for (element_id, element_name) in deviations.elements() {
+            // Rank the parameters for this element by detectable deviation
+            // (the paper tests "the parameter that is the most sensitive to a
+            // deviation in the element" first).
+            let mut ranked: Vec<(String, f64)> = deviations
+                .rows()
+                .iter()
+                .filter(|r| &r.element == element_name)
+                .filter_map(|r| r.detectable_deviation.map(|d| (r.parameter.clone(), d)))
+                .collect();
+            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let ranking: Vec<_> = ranked
+                .iter()
+                .filter_map(|(name, _)| {
+                    analog.parameters().iter().find(|p| &p.name == name).cloned()
+                })
+                .collect();
+            let Some(best) = graph.best_deviation(element_name) else {
+                entries.push(AnalogTestEntry {
+                    element: element_name.clone(),
+                    parameter: "-".to_owned(),
+                    deviation: f64::NAN,
+                    direction: crate::activation::DeviationSign::Below,
+                    outcome: crate::analog_atpg::AnalogTestOutcome::Failed(
+                        crate::analog_atpg::AnalogTestFailure::ActivationFailed,
+                    ),
+                });
+                continue;
+            };
+            // Inject a deviation 20 % beyond the detectable threshold, in the
+            // negative direction (component value drops), as on the paper's
+            // validation board.
+            let injected = -(best * 1.2).min(0.95);
+            entries.push(atpg.test_element(*element_id, injected, &ranking)?);
+        }
+        Ok(entries)
+    }
+
+    /// Computes the conversion-block ladder coverage inside the mixed
+    /// circuit (Table 7): each ladder resistor is tested through the best
+    /// comparator whose flip can still be propagated through the constrained
+    /// digital block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation errors.
+    pub fn conversion_tests(&self) -> Result<Vec<ConversionTestEntry>, CoreError> {
+        let ConverterBlock::Flash(adc) = self.circuit.converter() else {
+            return Ok(Vec::new());
+        };
+        let coverage = ladder_coverage(adc.ladder(), self.options.parameter_tolerance, 50.0)
+            .map_err(|e| CoreError::Conversion(e.to_string()))?;
+        // Which comparators can propagate a flip through the digital block?
+        let atpg = AnalogAtpg::new(&self.circuit);
+        let study = atpg.comparator_propagation_study()?;
+        let usable: Vec<usize> = study
+            .iter()
+            .enumerate()
+            .filter(|(_, &(d, dbar))| d || dbar)
+            .map(|(i, _)| i + 1)
+            .collect();
+        let assignment = coverage.best_assignment(&usable);
+        Ok(assignment
+            .into_iter()
+            .map(|(resistor, best)| ConversionTestEntry {
+                resistor,
+                comparator: best.map(|(k, _)| k),
+                detectable_deviation: best.map(|(_, d)| d),
+            })
+            .collect())
+    }
+
+    /// Runs the complete flow and assembles the [`TestPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any of the stages.
+    pub fn run(&self) -> Result<TestPlan, CoreError> {
+        self.circuit.validate()?;
+        let digital = self.digital_constrained()?;
+        let digital_unconstrained = self.digital_unconstrained()?;
+        let analog_deviations = self.analog_deviation_report()?;
+        let analog = self.analog_tests(&analog_deviations)?;
+        let conversion = self.conversion_tests()?;
+        Ok(TestPlan {
+            digital,
+            digital_unconstrained,
+            analog,
+            analog_deviations,
+            conversion,
+        })
+    }
+
+    fn fault_list(&self) -> FaultList {
+        if self.options.collapse_faults {
+            FaultList::collapsed(self.circuit.digital())
+        } else {
+            FaultList::all(self.circuit.digital())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msatpg_analog::filters;
+    use msatpg_conversion::constraints::AllowedCodes;
+    use msatpg_conversion::FlashAdc;
+    use msatpg_digital::circuits;
+
+    fn figure4() -> MixedCircuit {
+        let analog = filters::second_order_band_pass();
+        let adc = FlashAdc::uniform(2, 3.0).unwrap();
+        let digital = circuits::figure3_circuit();
+        let mut mixed = MixedCircuit::new("figure4", analog, ConverterBlock::Flash(adc), digital);
+        mixed.connect_in_order(&["l0", "l2"]).unwrap();
+        // Example 2: the code (0,0) can never be produced by the analog
+        // block in its operating range.
+        mixed.set_allowed_codes(AllowedCodes::new(
+            2,
+            vec![vec![true, false], vec![false, true], vec![true, true]],
+        ));
+        mixed
+    }
+
+    #[test]
+    fn digital_case1_vs_case2_matches_example2() {
+        // Collapsed fault list: fully testable when accessed directly,
+        // 2 undetectable faults inside the mixed circuit (the paper's
+        // Example 2 count).
+        let atpg = MixedSignalAtpg::new(figure4());
+        let unconstrained = atpg.digital_unconstrained().unwrap();
+        let constrained = atpg.digital_constrained().unwrap();
+        assert_eq!(unconstrained.untestable_count(), 0);
+        assert_eq!(constrained.untestable_count(), 2);
+        // The uncollapsed universe of the Figure-3 circuit has 18 faults.
+        let uncollapsed = MixedSignalAtpg::new(figure4()).with_options(AtpgOptions {
+            collapse_faults: false,
+            ..AtpgOptions::default()
+        });
+        assert_eq!(uncollapsed.digital_unconstrained().unwrap().total_faults, 18);
+    }
+
+    #[test]
+    fn full_run_produces_a_complete_plan() {
+        let atpg = MixedSignalAtpg::new(figure4());
+        let plan = atpg.run().unwrap();
+        // All 8 passive elements of the band-pass filter are analyzed.
+        assert_eq!(plan.analog.len(), 8);
+        // Most elements are testable through the mixed circuit.
+        assert!(
+            plan.analog_coverage() > 0.5,
+            "coverage {}",
+            plan.analog_coverage()
+        );
+        // The conversion block of this small example has 2 ladder+1... the
+        // flash block has 3 resistors; coverage entries exist for each.
+        assert_eq!(plan.conversion.len(), 3);
+        assert!(plan.digital.constrained);
+        assert!(!plan.digital_unconstrained.constrained);
+        assert!(!plan.analog_deviations.rows().is_empty());
+    }
+
+    #[test]
+    fn options_builder_is_respected() {
+        let opts = AtpgOptions {
+            parameter_tolerance: 0.1,
+            worst_case: true,
+            ..AtpgOptions::default()
+        };
+        let atpg = MixedSignalAtpg::new(figure4()).with_options(opts);
+        assert_eq!(atpg.options.parameter_tolerance, 0.1);
+        assert!(atpg.options.worst_case);
+        assert_eq!(atpg.circuit().name(), "figure4");
+        assert_eq!(AtpgOptions::default().parameter_tolerance, 0.05);
+    }
+}

@@ -1,0 +1,237 @@
+//! Reader and writer for the ISCAS85 `.bench` netlist format.
+//!
+//! The format consists of `INPUT(name)`, `OUTPUT(name)` and
+//! `name = GATE(in1, in2, ...)` lines, with `#` comments.  If real ISCAS85
+//! netlists are available locally they can be loaded with
+//! [`parse`] and used everywhere a synthetic benchmark is used.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, SignalId};
+use crate::DigitalError;
+
+/// Parses a `.bench` netlist.
+///
+/// # Errors
+///
+/// Returns [`DigitalError::ParseError`] describing the offending line when
+/// the text is not well-formed, references undefined signals, or contains
+/// unsupported gates (`DFF` is rejected: this reproduction handles
+/// combinational circuits only).
+pub fn parse(name: &str, text: &str) -> Result<Netlist, DigitalError> {
+    struct GateLine {
+        output: String,
+        kind: GateKind,
+        inputs: Vec<String>,
+    }
+    let mut input_names = Vec::new();
+    let mut output_names = Vec::new();
+    let mut gate_lines = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| DigitalError::ParseError {
+            line: lineno + 1,
+            reason: msg.to_owned(),
+        };
+        if let Some(rest) = line.strip_prefix("INPUT(") {
+            let name = rest.strip_suffix(')').ok_or_else(|| err("missing ')'"))?;
+            input_names.push(name.trim().to_owned());
+        } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
+            let name = rest.strip_suffix(')').ok_or_else(|| err("missing ')'"))?;
+            output_names.push(name.trim().to_owned());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let output = lhs.trim().to_owned();
+            let rhs = rhs.trim();
+            let open = rhs.find('(').ok_or_else(|| err("missing '(' in gate"))?;
+            let close = rhs.rfind(')').ok_or_else(|| err("missing ')' in gate"))?;
+            let keyword = rhs[..open].trim();
+            if keyword.eq_ignore_ascii_case("DFF") {
+                return Err(err("sequential element DFF is not supported"));
+            }
+            let kind = GateKind::from_bench_keyword(keyword)
+                .ok_or_else(|| err(&format!("unknown gate '{keyword}'")))?;
+            let inputs: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if inputs.is_empty() {
+                return Err(err("gate with no inputs"));
+            }
+            gate_lines.push(GateLine {
+                output,
+                kind,
+                inputs,
+            });
+        } else {
+            return Err(err("unrecognized line"));
+        }
+    }
+
+    // Build the netlist in dependency order (gate lines may be out of order
+    // in the file).
+    let mut netlist = Netlist::new(name);
+    let mut resolved: HashMap<String, SignalId> = HashMap::new();
+    for input in &input_names {
+        let id = netlist.input(input);
+        resolved.insert(input.clone(), id);
+    }
+    let mut remaining: Vec<GateLine> = gate_lines;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|g| {
+            if g.inputs.iter().all(|i| resolved.contains_key(i)) {
+                let ids: Vec<SignalId> = g.inputs.iter().map(|i| resolved[i]).collect();
+                let out = netlist.gate(g.kind, &g.output, &ids);
+                resolved.insert(g.output.clone(), out);
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.len() == before {
+            return Err(DigitalError::ParseError {
+                line: 0,
+                reason: format!(
+                    "could not resolve {} gate(s); undefined or cyclic signals (first: '{}')",
+                    remaining.len(),
+                    remaining[0].output
+                ),
+            });
+        }
+    }
+    for output in &output_names {
+        let id = resolved
+            .get(output)
+            .copied()
+            .ok_or_else(|| DigitalError::ParseError {
+                line: 0,
+                reason: format!("OUTPUT({output}) is never defined"),
+            })?;
+        netlist.mark_output(id);
+    }
+    Ok(netlist)
+}
+
+/// Writes a netlist in `.bench` format.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        netlist.primary_inputs().len(),
+        netlist.primary_outputs().len(),
+        netlist.gate_count()
+    ));
+    for &pi in netlist.primary_inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.signal_name(pi)));
+    }
+    for &po in netlist.primary_outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.signal_name(po)));
+    }
+    for gate in netlist.gates() {
+        let inputs: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|i| netlist.signal_name(*i))
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            netlist.signal_name(gate.output),
+            gate.kind.bench_keyword(),
+            inputs.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    const SAMPLE: &str = "
+# a tiny circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t1 = AND(a, b)
+y = OR(t1, c)
+";
+
+    #[test]
+    fn parse_simple_circuit() {
+        let n = parse("tiny", SAMPLE).unwrap();
+        assert_eq!(n.primary_inputs().len(), 3);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.evaluate(&[true, true, false]).unwrap(), vec![true]);
+        assert_eq!(n.evaluate(&[false, true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_handles_out_of_order_definitions() {
+        let text = "
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NOT(t1)
+t1 = NAND(a, b)
+";
+        let n = parse("ooo", text).unwrap();
+        assert_eq!(n.evaluate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(n.evaluate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let original = circuits::adder4();
+        let text = write(&original);
+        let reparsed = parse("adder4", &text).unwrap();
+        assert_eq!(
+            reparsed.primary_inputs().len(),
+            original.primary_inputs().len()
+        );
+        assert_eq!(
+            reparsed.primary_outputs().len(),
+            original.primary_outputs().len()
+        );
+        assert_eq!(reparsed.gate_count(), original.gate_count());
+        // Behaviour must be identical on a few patterns.
+        for i in 0..16u32 {
+            let pattern: Vec<bool> = (0..9).map(|b| (i >> (b % 4)) & 1 == 1).collect();
+            assert_eq!(
+                original.evaluate(&pattern).unwrap(),
+                reparsed.evaluate(&pattern).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_context() {
+        assert!(matches!(
+            parse("bad", "FROB(a)"),
+            Err(DigitalError::ParseError { .. })
+        ));
+        assert!(matches!(
+            parse("bad", "INPUT(a)\ny = MYSTERY(a)"),
+            Err(DigitalError::ParseError { .. })
+        ));
+        assert!(matches!(
+            parse("bad", "INPUT(a)\nOUTPUT(y)\ny = DFF(a)"),
+            Err(DigitalError::ParseError { .. })
+        ));
+        assert!(matches!(
+            parse("bad", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)"),
+            Err(DigitalError::ParseError { .. })
+        ));
+        let err = parse("bad", "INPUT(a)\nOUTPUT(y)").unwrap_err();
+        assert!(format!("{err}").contains("never defined"));
+    }
+}

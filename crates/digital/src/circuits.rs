@@ -1,0 +1,278 @@
+//! Hand-built circuits: the paper's Figure-3 example, the 4-bit adder of the
+//! validation board (74LS283) and a few generic building blocks used in
+//! tests and examples.
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, SignalId};
+
+/// The two-output digital circuit of Figure 3 / Example 2 of the paper.
+///
+/// Lines: primary inputs `l0`, `l1`, `l2`, `l4` (`l0` and `l2` are driven by
+/// the conversion block in the mixed circuit), fanout branch `l3` of `l2`,
+/// internal lines `l6`, `l7`, and the outputs `Vo1`, `Vo2`:
+///
+/// ```text
+/// l3  = BUF(l2)          (fanout branch)
+/// l6  = OR(l0, l3)
+/// l7  = OR(l1, l2)
+/// Vo1 = AND(l6, l7)
+/// Vo2 = AND(l6, l4)
+/// ```
+///
+/// The circuit has 9 lines → 18 uncollapsed stuck-at faults.  Considered
+/// alone it is fully testable; under the constraint `Fc = l0 + l2` the faults
+/// `l0 s-a-1` and `l3 s-a-1` become untestable, exactly as reported in the
+/// paper.
+pub fn figure3_circuit() -> Netlist {
+    let mut n = Netlist::new("figure3");
+    let l0 = n.input("l0");
+    let l1 = n.input("l1");
+    let l2 = n.input("l2");
+    let l4 = n.input("l4");
+    let l3 = n.gate(GateKind::Buf, "l3", &[l2]);
+    let l6 = n.gate(GateKind::Or, "l6", &[l0, l3]);
+    let l7 = n.gate(GateKind::Or, "l7", &[l1, l2]);
+    let vo1 = n.gate(GateKind::And, "Vo1", &[l6, l7]);
+    let vo2 = n.gate(GateKind::And, "Vo2", &[l6, l4]);
+    n.mark_output(vo1);
+    n.mark_output(vo2);
+    n
+}
+
+/// A 1-bit full adder; returns `(sum, carry_out)`.
+fn full_adder(
+    n: &mut Netlist,
+    prefix: &str,
+    a: SignalId,
+    b: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let axb = n.gate(GateKind::Xor, &format!("{prefix}_axb"), &[a, b]);
+    let sum = n.gate(GateKind::Xor, &format!("{prefix}_sum"), &[axb, cin]);
+    let ab = n.gate(GateKind::And, &format!("{prefix}_ab"), &[a, b]);
+    let axb_c = n.gate(GateKind::And, &format!("{prefix}_axbc"), &[axb, cin]);
+    let cout = n.gate(GateKind::Or, &format!("{prefix}_cout"), &[ab, axb_c]);
+    (sum, cout)
+}
+
+/// The 4-bit ripple-carry binary adder used on the validation board
+/// (a 74LS283 equivalent): inputs `a0..a3`, `b0..b3`, `cin`; outputs
+/// `s0..s3`, `cout`.
+pub fn adder4() -> Netlist {
+    let mut n = Netlist::new("adder4");
+    let a: Vec<SignalId> = (0..4).map(|i| n.input(&format!("a{i}"))).collect();
+    let b: Vec<SignalId> = (0..4).map(|i| n.input(&format!("b{i}"))).collect();
+    let cin = n.input("cin");
+    let mut carry = cin;
+    for i in 0..4 {
+        let (sum, cout) = full_adder(&mut n, &format!("fa{i}"), a[i], b[i], carry);
+        n.mark_output(sum);
+        carry = cout;
+    }
+    n.mark_output(carry);
+    n
+}
+
+/// An `n`-bit even-parity tree: output is 1 when an odd number of inputs are
+/// high.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn parity(bits: usize) -> Netlist {
+    assert!(bits > 0, "parity needs at least one input");
+    let mut n = Netlist::new(&format!("parity{bits}"));
+    let mut layer: Vec<SignalId> = (0..bits).map(|i| n.input(&format!("x{i}"))).collect();
+    let mut stage = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(n.gate(
+                    GateKind::Xor,
+                    &format!("p{stage}_{j}"),
+                    &[pair[0], pair[1]],
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        stage += 1;
+    }
+    n.mark_output(layer[0]);
+    n
+}
+
+/// A `2^sel`-to-1 multiplexer with `sel` select lines.
+///
+/// # Panics
+///
+/// Panics if `sel` is zero.
+pub fn multiplexer(sel: usize) -> Netlist {
+    assert!(sel > 0, "multiplexer needs at least one select line");
+    let mut n = Netlist::new(&format!("mux{}", 1 << sel));
+    let data: Vec<SignalId> = (0..1usize << sel).map(|i| n.input(&format!("d{i}"))).collect();
+    let selects: Vec<SignalId> = (0..sel).map(|i| n.input(&format!("s{i}"))).collect();
+    let select_bars: Vec<SignalId> = selects
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| n.gate(GateKind::Not, &format!("sn{i}"), &[s]))
+        .collect();
+    let mut terms = Vec::new();
+    for (i, &d) in data.iter().enumerate() {
+        let mut inputs = vec![d];
+        for (b, (&s, &sb)) in selects.iter().zip(&select_bars).enumerate() {
+            inputs.push(if (i >> b) & 1 == 1 { s } else { sb });
+        }
+        terms.push(n.gate(GateKind::And, &format!("t{i}"), &inputs));
+    }
+    let out = n.gate(GateKind::Or, "y", &terms);
+    n.mark_output(out);
+    n
+}
+
+/// An `n`-bit equality comparator: output is 1 when `a == b`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn comparator(bits: usize) -> Netlist {
+    assert!(bits > 0, "comparator needs at least one bit");
+    let mut n = Netlist::new(&format!("cmp{bits}"));
+    let a: Vec<SignalId> = (0..bits).map(|i| n.input(&format!("a{i}"))).collect();
+    let b: Vec<SignalId> = (0..bits).map(|i| n.input(&format!("b{i}"))).collect();
+    let eq_bits: Vec<SignalId> = (0..bits)
+        .map(|i| n.gate(GateKind::Xnor, &format!("eq{i}"), &[a[i], b[i]]))
+        .collect();
+    let out = n.gate(GateKind::And, "equal", &eq_bits);
+    n.mark_output(out);
+    n
+}
+
+/// A `sel`-to-`2^sel` decoder (one-hot outputs).
+///
+/// # Panics
+///
+/// Panics if `sel` is zero.
+pub fn decoder(sel: usize) -> Netlist {
+    assert!(sel > 0, "decoder needs at least one select line");
+    let mut n = Netlist::new(&format!("dec{sel}"));
+    let selects: Vec<SignalId> = (0..sel).map(|i| n.input(&format!("s{i}"))).collect();
+    let select_bars: Vec<SignalId> = selects
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| n.gate(GateKind::Not, &format!("sn{i}"), &[s]))
+        .collect();
+    for i in 0..1usize << sel {
+        let inputs: Vec<SignalId> = (0..sel)
+            .map(|b| {
+                if (i >> b) & 1 == 1 {
+                    selects[b]
+                } else {
+                    select_bars[b]
+                }
+            })
+            .collect();
+        let o = n.gate(GateKind::And, &format!("y{i}"), &inputs);
+        n.mark_output(o);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_structure_matches_paper() {
+        let n = figure3_circuit();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.primary_inputs().len(), 4);
+        assert_eq!(n.primary_outputs().len(), 2);
+        assert_eq!(n.signal_count(), 9);
+        // Vo1 = (l0 + l2)(l1 + l2); with l0=0, l1=0, l2=1 both outputs follow
+        // the paper's example values.
+        let out = n.evaluate(&[false, false, true, false]).unwrap();
+        assert_eq!(out, vec![true, false]); // Vo1 = 1, Vo2 = l4 = 0
+    }
+
+    #[test]
+    fn adder4_adds() {
+        let n = adder4();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.primary_inputs().len(), 9);
+        assert_eq!(n.primary_outputs().len(), 5);
+        for (a, b, cin) in [(3u32, 5u32, 0u32), (15, 15, 1), (9, 6, 1), (0, 0, 0)] {
+            let mut pattern = Vec::new();
+            for i in 0..4 {
+                pattern.push((a >> i) & 1 == 1);
+            }
+            for i in 0..4 {
+                pattern.push((b >> i) & 1 == 1);
+            }
+            pattern.push(cin == 1);
+            let out = n.evaluate(&pattern).unwrap();
+            let mut result = 0u32;
+            for i in 0..4 {
+                if out[i] {
+                    result |= 1 << i;
+                }
+            }
+            if out[4] {
+                result |= 1 << 4;
+            }
+            assert_eq!(result, a + b + cin, "{a} + {b} + {cin}");
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let n = parity(5);
+        assert!(n.validate().is_ok());
+        let out = n.evaluate(&[true, true, true, false, false]).unwrap();
+        assert_eq!(out[0], true);
+        let out = n.evaluate(&[true, true, false, false, false]).unwrap();
+        assert_eq!(out[0], false);
+    }
+
+    #[test]
+    fn multiplexer_selects() {
+        let n = multiplexer(2);
+        assert!(n.validate().is_ok());
+        // d = [d0..d3], s = [s0, s1]; select index 2 (s0=0, s1=1) → d2.
+        let out = n
+            .evaluate(&[false, false, true, false, false, true])
+            .unwrap();
+        assert_eq!(out[0], true);
+        let out = n
+            .evaluate(&[true, false, false, false, false, true])
+            .unwrap();
+        assert_eq!(out[0], false);
+    }
+
+    #[test]
+    fn comparator_detects_equality() {
+        let n = comparator(3);
+        assert!(n.validate().is_ok());
+        let out = n
+            .evaluate(&[true, false, true, true, false, true])
+            .unwrap();
+        assert_eq!(out[0], true);
+        let out = n
+            .evaluate(&[true, false, true, true, true, true])
+            .unwrap();
+        assert_eq!(out[0], false);
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let n = decoder(3);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.primary_outputs().len(), 8);
+        let out = n.evaluate(&[true, false, true]).unwrap(); // index 5
+        let ones = out.iter().filter(|&&b| b).count();
+        assert_eq!(ones, 1);
+        assert!(out[5]);
+    }
+}

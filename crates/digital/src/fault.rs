@@ -1,0 +1,241 @@
+//! Single stuck-at faults, fault universes and structural fault collapsing.
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, SignalId};
+
+/// A single stuck-at fault on a line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StuckAtFault {
+    /// The faulty line.
+    pub signal: SignalId,
+    /// The stuck value (`true` = s-a-1, `false` = s-a-0).
+    pub stuck_at: bool,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at-0 fault.
+    pub fn sa0(signal: SignalId) -> Self {
+        StuckAtFault {
+            signal,
+            stuck_at: false,
+        }
+    }
+
+    /// Creates a stuck-at-1 fault.
+    pub fn sa1(signal: SignalId) -> Self {
+        StuckAtFault {
+            signal,
+            stuck_at: true,
+        }
+    }
+
+    /// Renders the fault with the netlist's signal names
+    /// (e.g. `"l3 s-a-0"`).
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        format!(
+            "{} s-a-{}",
+            netlist.signal_name(self.signal),
+            if self.stuck_at { 1 } else { 0 }
+        )
+    }
+}
+
+impl fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signal#{} s-a-{}",
+            self.signal.index(),
+            if self.stuck_at { 1 } else { 0 }
+        )
+    }
+}
+
+/// A list of stuck-at faults over one netlist.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultList {
+    faults: Vec<StuckAtFault>,
+}
+
+impl FaultList {
+    /// The complete (uncollapsed) single stuck-at fault universe: two faults
+    /// per line.
+    pub fn all(netlist: &Netlist) -> Self {
+        let mut faults = Vec::with_capacity(netlist.signal_count() * 2);
+        for signal in netlist.signals() {
+            faults.push(StuckAtFault::sa0(signal));
+            faults.push(StuckAtFault::sa1(signal));
+        }
+        FaultList { faults }
+    }
+
+    /// A structurally collapsed fault list using gate-level fault
+    /// equivalence:
+    ///
+    /// * for AND/NAND gates, an input s-a-0 is equivalent to the output
+    ///   s-a-0 (NAND: output s-a-1) and is dropped;
+    /// * for OR/NOR gates, an input s-a-1 is equivalent to the output s-a-1
+    ///   (NOR: output s-a-0) and is dropped;
+    /// * for NOT/BUF gates, both input faults are equivalent to output
+    ///   faults and are dropped (unless the input is a primary input that
+    ///   fans out nowhere else).
+    ///
+    /// Faults on primary inputs and fanout stems are always kept, matching
+    /// the usual checkpoint-style collapsing.
+    pub fn collapsed(netlist: &Netlist) -> Self {
+        let mut keep = vec![[true, true]; netlist.signal_count()];
+        // Count fanout of each signal (how many gate inputs it feeds).
+        let mut fanout = vec![0usize; netlist.signal_count()];
+        for gate in netlist.gates() {
+            for i in &gate.inputs {
+                fanout[i.index()] += 1;
+            }
+        }
+        for gate in netlist.gates() {
+            for &input in &gate.inputs {
+                // Only collapse fanout-free connections: if the signal feeds
+                // several gates, its faults are distinct fault sites.
+                if fanout[input.index()] != 1 || netlist.is_primary_output(input) {
+                    continue;
+                }
+                match gate.kind {
+                    GateKind::And | GateKind::Nand => {
+                        keep[input.index()][0] = false; // s-a-0 equivalent to output fault
+                    }
+                    GateKind::Or | GateKind::Nor => {
+                        keep[input.index()][1] = false; // s-a-1 equivalent to output fault
+                    }
+                    GateKind::Buf | GateKind::Not => {
+                        keep[input.index()][0] = false;
+                        keep[input.index()][1] = false;
+                    }
+                    GateKind::Xor | GateKind::Xnor => {}
+                }
+            }
+        }
+        // Primary inputs always stay in the list (they are the checkpoints).
+        for &pi in netlist.primary_inputs() {
+            keep[pi.index()] = [true, true];
+        }
+        let mut faults = Vec::new();
+        for signal in netlist.signals() {
+            if keep[signal.index()][0] {
+                faults.push(StuckAtFault::sa0(signal));
+            }
+            if keep[signal.index()][1] {
+                faults.push(StuckAtFault::sa1(signal));
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Creates a fault list from an explicit set of faults.
+    pub fn from_faults(faults: Vec<StuckAtFault>) -> Self {
+        FaultList { faults }
+    }
+
+    /// The faults in the list.
+    pub fn faults(&self) -> &[StuckAtFault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Restricts the list to faults on the given signals.
+    pub fn restricted_to(&self, signals: &[SignalId]) -> Self {
+        FaultList {
+            faults: self
+                .faults
+                .iter()
+                .copied()
+                .filter(|f| signals.contains(&f.signal))
+                .collect(),
+        }
+    }
+}
+
+impl IntoIterator for FaultList {
+    type Item = StuckAtFault;
+    type IntoIter = std::vec::IntoIter<StuckAtFault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a StuckAtFault;
+    type IntoIter = std::slice::Iter<'a, StuckAtFault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+impl FromIterator<StuckAtFault> for FaultList {
+    fn from_iter<I: IntoIterator<Item = StuckAtFault>>(iter: I) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    #[test]
+    fn full_fault_universe_has_two_faults_per_line() {
+        let n = circuits::figure3_circuit();
+        let all = FaultList::all(&n);
+        assert_eq!(all.len(), n.signal_count() * 2);
+        // The Figure-3 circuit has 9 lines → 18 uncollapsed faults, as in the
+        // paper's Example 2.
+        assert_eq!(all.len(), 18);
+    }
+
+    #[test]
+    fn collapsing_reduces_but_keeps_primary_inputs() {
+        let n = circuits::adder4();
+        let all = FaultList::all(&n);
+        let collapsed = FaultList::collapsed(&n);
+        assert!(collapsed.len() < all.len());
+        for &pi in n.primary_inputs() {
+            assert!(collapsed.faults().contains(&StuckAtFault::sa0(pi)));
+            assert!(collapsed.faults().contains(&StuckAtFault::sa1(pi)));
+        }
+    }
+
+    #[test]
+    fn describe_uses_signal_names() {
+        let n = circuits::figure3_circuit();
+        let l3 = n.find_signal("l3").unwrap();
+        let f = StuckAtFault::sa0(l3);
+        assert_eq!(f.describe(&n), "l3 s-a-0");
+        assert!(format!("{f}").contains("s-a-0"));
+        assert_eq!(StuckAtFault::sa1(l3).describe(&n), "l3 s-a-1");
+    }
+
+    #[test]
+    fn restriction_and_iteration() {
+        let n = circuits::figure3_circuit();
+        let all = FaultList::all(&n);
+        let pis = n.primary_inputs().to_vec();
+        let pi_faults = all.restricted_to(&pis);
+        assert_eq!(pi_faults.len(), pis.len() * 2);
+        assert!(!pi_faults.is_empty());
+        let collected: FaultList = pi_faults.faults().iter().copied().collect();
+        assert_eq!(collected.len(), pi_faults.len());
+        let count = (&all).into_iter().count();
+        assert_eq!(count, all.len());
+    }
+}

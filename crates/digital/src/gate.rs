@@ -1,0 +1,183 @@
+//! Gate types of the combinational gate-level netlist.
+
+use std::fmt;
+
+/// The logic function of a gate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// Buffer (identity); also used to model fanout branches as distinct
+    /// lines, which is how the paper treats fault sites such as `l3` in
+    /// Example 2.
+    Buf,
+    /// Inverter.
+    Not,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR.
+    Xor,
+    /// Logical XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, useful for random circuit generation.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Evaluates the gate on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has more than one element for
+    /// single-input gates.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "Buf takes exactly one input");
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "Not takes exactly one input");
+                !inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+
+    /// Evaluates the gate on 64 packed patterns per input word.
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Or => inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Nor => !inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Xnor => !inputs.iter().fold(0, |acc, &w| acc ^ w),
+        }
+    }
+
+    /// Returns `true` for single-input gates (`Buf`, `Not`).
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Buf | GateKind::Not)
+    }
+
+    /// The `.bench`-format keyword for this gate.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench`-format keyword (case-insensitive).
+    pub fn from_bench_keyword(kw: &str) -> Option<GateKind> {
+        match kw.to_ascii_uppercase().as_str() {
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bench_keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_evaluation_tables() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(!GateKind::Nor.eval(&[false, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(GateKind::Xor.eval(&[true, false, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::Not.eval(&[false]));
+    }
+
+    #[test]
+    fn word_evaluation_matches_scalar() {
+        // Patterns 0b00, 0b01, 0b10, 0b11 packed in two words.
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            let word = kind.eval_word(&[a, b]);
+            for bit in 0..4 {
+                let scalar = kind.eval(&[(a >> bit) & 1 == 1, (b >> bit) & 1 == 1]);
+                assert_eq!((word >> bit) & 1 == 1, scalar, "{kind} bit {bit}");
+            }
+        }
+        assert_eq!(GateKind::Not.eval_word(&[a]) & 0xF, !a & 0xF);
+        assert_eq!(GateKind::Buf.eval_word(&[a]), a);
+    }
+
+    #[test]
+    fn bench_keyword_roundtrip() {
+        for kind in GateKind::ALL {
+            assert_eq!(
+                GateKind::from_bench_keyword(kind.bench_keyword()),
+                Some(kind)
+            );
+        }
+        assert_eq!(GateKind::from_bench_keyword("INV"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_keyword("bogus"), None);
+        assert!(GateKind::Not.is_unary());
+        assert!(!GateKind::And.is_unary());
+        assert_eq!(format!("{}", GateKind::Nand), "NAND");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one input")]
+    fn unary_gate_with_two_inputs_panics() {
+        GateKind::Not.eval(&[true, false]);
+    }
+}

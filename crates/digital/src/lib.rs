@@ -1,0 +1,151 @@
+//! Gate-level digital netlists, fault models, simulation and benchmark
+//! circuits.
+//!
+//! This crate is the digital substrate of the mixed-signal ATPG
+//! reproduction:
+//!
+//! * [`netlist`] / [`gate`] — combinational gate-level netlists;
+//! * [`logic`] / [`sim`] — two-valued, 64-way parallel-pattern and
+//!   five-valued (D-algebra) simulation;
+//! * [`fault`] / [`fault_sim`] — single stuck-at faults, structural
+//!   collapsing and fault simulation;
+//! * [`circuits`] — the paper's Figure-3 circuit, the 4-bit adder of the
+//!   validation board and generic building blocks;
+//! * [`benchmarks`] — deterministic synthetic stand-ins for the ISCAS85
+//!   circuits used in Tables 4, 5 and 7;
+//! * [`bench_format`] — `.bench` reader/writer for loading real netlists;
+//! * [`random_tpg`] — the random test-generation baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use msatpg_digital::circuits;
+//! use msatpg_digital::fault::FaultList;
+//! use msatpg_digital::fault_sim::FaultSimulator;
+//!
+//! let adder = circuits::adder4();
+//! let faults = FaultList::collapsed(&adder);
+//! let sim = FaultSimulator::new(&adder);
+//! let patterns = vec![vec![true; 9], vec![false; 9]];
+//! let result = sim.run(&faults, &patterns)?;
+//! assert!(result.coverage() > 0.0);
+//! # Ok::<(), msatpg_digital::DigitalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+pub mod benchmarks;
+pub mod circuits;
+pub mod fault;
+pub mod fault_sim;
+pub mod gate;
+pub mod logic;
+pub mod netlist;
+pub mod random_tpg;
+pub mod sim;
+
+pub use fault::{FaultList, StuckAtFault};
+pub use fault_sim::{FaultSimResult, FaultSimulator};
+pub use gate::GateKind;
+pub use logic::Logic;
+pub use netlist::{Gate, GateId, Netlist, SignalId};
+pub use sim::{CompositeSimulator, Simulator};
+
+use std::fmt;
+
+/// Errors produced by the digital netlist and simulation layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DigitalError {
+    /// The netlist failed structural validation.
+    InvalidNetlist {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A test pattern has the wrong number of bits.
+    PatternWidthMismatch {
+        /// Expected number of primary inputs.
+        expected: usize,
+        /// Actual pattern width.
+        actual: usize,
+    },
+    /// More patterns were supplied than the parallel simulator can pack.
+    TooManyPatterns {
+        /// Maximum number of patterns per call.
+        max: usize,
+        /// Number of patterns supplied.
+        actual: usize,
+    },
+    /// A `.bench` file could not be parsed.
+    ParseError {
+        /// 1-based line number (0 when the problem is global).
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DigitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigitalError::InvalidNetlist { reason } => write!(f, "invalid netlist: {reason}"),
+            DigitalError::PatternWidthMismatch { expected, actual } => write!(
+                f,
+                "pattern width mismatch: expected {expected} bits, got {actual}"
+            ),
+            DigitalError::TooManyPatterns { max, actual } => {
+                write!(f, "too many patterns: {actual} supplied, at most {max} allowed")
+            }
+            DigitalError::ParseError { line, reason } => {
+                if *line == 0 {
+                    write!(f, "bench parse error: {reason}")
+                } else {
+                    write!(f, "bench parse error at line {line}: {reason}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for DigitalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_variants() {
+        let variants = vec![
+            DigitalError::InvalidNetlist {
+                reason: "x".into(),
+            },
+            DigitalError::PatternWidthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            DigitalError::TooManyPatterns {
+                max: 64,
+                actual: 100,
+            },
+            DigitalError::ParseError {
+                line: 3,
+                reason: "bad".into(),
+            },
+            DigitalError::ParseError {
+                line: 0,
+                reason: "global".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DigitalError>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Five-valued logic (Roth's D-algebra): `0`, `1`, `X`, `D`, `D̄`.
+//!
+//! `D` represents a line that is `1` in the fault-free circuit and `0` in the
+//! faulty circuit; `D̄` the opposite.  The paper uses composite values to
+//! describe the effect of an analog fault on the comparator outputs of the
+//! conversion block and to propagate that effect through the digital block.
+
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// A value of the five-valued D-algebra.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Logic {
+    /// Logic zero in both the good and the faulty circuit.
+    Zero,
+    /// Logic one in both the good and the faulty circuit.
+    One,
+    /// Unknown / unassigned.
+    #[default]
+    X,
+    /// One in the good circuit, zero in the faulty circuit.
+    D,
+    /// Zero in the good circuit, one in the faulty circuit.
+    Dbar,
+}
+
+impl Logic {
+    /// Builds a composite value from the pair `(good, faulty)`.
+    pub fn from_pair(good: bool, faulty: bool) -> Logic {
+        match (good, faulty) {
+            (false, false) => Logic::Zero,
+            (true, true) => Logic::One,
+            (true, false) => Logic::D,
+            (false, true) => Logic::Dbar,
+        }
+    }
+
+    /// Value seen in the fault-free circuit (`None` for `X`).
+    pub fn good(self) -> Option<bool> {
+        match self {
+            Logic::Zero | Logic::Dbar => Some(false),
+            Logic::One | Logic::D => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Value seen in the faulty circuit (`None` for `X`).
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            Logic::Zero | Logic::D => Some(false),
+            Logic::One | Logic::Dbar => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Returns `true` for `D` or `D̄` — a fault effect is present.
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, Logic::D | Logic::Dbar)
+    }
+
+    /// Logical negation in the D-algebra.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+            Logic::D => Logic::Dbar,
+            Logic::Dbar => Logic::D,
+        }
+    }
+
+    /// Logical AND in the D-algebra.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.good(), other.good(), self.faulty(), other.faulty()) {
+            (Some(g1), Some(g2), Some(f1), Some(f2)) => Logic::from_pair(g1 && g2, f1 && f2),
+            _ => {
+                // X handling: 0 AND anything = 0; otherwise X.
+                if self == Logic::Zero || other == Logic::Zero {
+                    Logic::Zero
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+
+    /// Logical OR in the D-algebra.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.good(), other.good(), self.faulty(), other.faulty()) {
+            (Some(g1), Some(g2), Some(f1), Some(f2)) => Logic::from_pair(g1 || g2, f1 || f2),
+            _ => {
+                if self == Logic::One || other == Logic::One {
+                    Logic::One
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+
+    /// Logical XOR in the D-algebra.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.good(), other.good(), self.faulty(), other.faulty()) {
+            (Some(g1), Some(g2), Some(f1), Some(f2)) => Logic::from_pair(g1 ^ g2, f1 ^ f2),
+            _ => Logic::X,
+        }
+    }
+
+    /// Evaluates an arbitrary gate on D-algebra inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a unary gate receives more than one input.
+    pub fn eval_gate(kind: GateKind, inputs: &[Logic]) -> Logic {
+        match kind {
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1);
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1);
+                inputs[0].not()
+            }
+            GateKind::And => inputs.iter().fold(Logic::One, |a, &b| a.and(b)),
+            GateKind::Nand => inputs.iter().fold(Logic::One, |a, &b| a.and(b)).not(),
+            GateKind::Or => inputs.iter().fold(Logic::Zero, |a, &b| a.or(b)),
+            GateKind::Nor => inputs.iter().fold(Logic::Zero, |a, &b| a.or(b)).not(),
+            GateKind::Xor => inputs.iter().fold(Logic::Zero, |a, &b| a.xor(b)),
+            GateKind::Xnor => inputs.iter().fold(Logic::Zero, |a, &b| a.xor(b)).not(),
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "X",
+            Logic::D => "D",
+            Logic::Dbar => "D'",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_pair_roundtrip() {
+        assert_eq!(Logic::from_pair(true, false), Logic::D);
+        assert_eq!(Logic::from_pair(false, true), Logic::Dbar);
+        assert_eq!(Logic::from_pair(true, true), Logic::One);
+        assert_eq!(Logic::from_pair(false, false), Logic::Zero);
+        assert_eq!(Logic::D.good(), Some(true));
+        assert_eq!(Logic::D.faulty(), Some(false));
+        assert_eq!(Logic::X.good(), None);
+        assert!(Logic::D.is_fault_effect());
+        assert!(Logic::Dbar.is_fault_effect());
+        assert!(!Logic::One.is_fault_effect());
+    }
+
+    #[test]
+    fn d_algebra_and_or() {
+        // D AND 1 = D, D AND 0 = 0, D AND D' = 0.
+        assert_eq!(Logic::D.and(Logic::One), Logic::D);
+        assert_eq!(Logic::D.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::D.and(Logic::Dbar), Logic::Zero);
+        // D OR 0 = D, D OR 1 = 1, D OR D' = 1.
+        assert_eq!(Logic::D.or(Logic::Zero), Logic::D);
+        assert_eq!(Logic::D.or(Logic::One), Logic::One);
+        assert_eq!(Logic::D.or(Logic::Dbar), Logic::One);
+        // NOT D = D'.
+        assert_eq!(Logic::D.not(), Logic::Dbar);
+        assert_eq!(Logic::Dbar.not(), Logic::D);
+    }
+
+    #[test]
+    fn x_propagation_rules() {
+        assert_eq!(Logic::X.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::X.and(Logic::One), Logic::X);
+        assert_eq!(Logic::X.or(Logic::One), Logic::One);
+        assert_eq!(Logic::X.or(Logic::Zero), Logic::X);
+        assert_eq!(Logic::X.xor(Logic::One), Logic::X);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::X.and(Logic::D), Logic::X);
+    }
+
+    #[test]
+    fn xor_with_fault_effects() {
+        // D XOR D = 0 (both circuits agree), D XOR D' = 1.
+        assert_eq!(Logic::D.xor(Logic::D), Logic::Zero);
+        assert_eq!(Logic::D.xor(Logic::Dbar), Logic::One);
+        assert_eq!(Logic::D.xor(Logic::Zero), Logic::D);
+        assert_eq!(Logic::D.xor(Logic::One), Logic::Dbar);
+    }
+
+    #[test]
+    fn gate_evaluation_in_d_algebra() {
+        assert_eq!(
+            Logic::eval_gate(GateKind::And, &[Logic::D, Logic::One, Logic::One]),
+            Logic::D
+        );
+        assert_eq!(
+            Logic::eval_gate(GateKind::Nor, &[Logic::Zero, Logic::D]),
+            Logic::Dbar
+        );
+        assert_eq!(
+            Logic::eval_gate(GateKind::Nand, &[Logic::D, Logic::Dbar]),
+            Logic::One
+        );
+        assert_eq!(Logic::eval_gate(GateKind::Not, &[Logic::Dbar]), Logic::D);
+        assert_eq!(Logic::eval_gate(GateKind::Buf, &[Logic::X]), Logic::X);
+        assert_eq!(
+            Logic::eval_gate(GateKind::Xnor, &[Logic::D, Logic::Zero]),
+            Logic::Dbar
+        );
+    }
+
+    #[test]
+    fn display_and_from_bool() {
+        assert_eq!(format!("{}", Logic::Dbar), "D'");
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

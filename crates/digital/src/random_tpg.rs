@@ -1,0 +1,150 @@
+//! Random test-pattern generation (the baseline the paper contrasts against).
+//!
+//! Without constraints, random patterns detect most stuck-at faults cheaply.
+//! With the conversion-block constraints of a mixed circuit, random patterns
+//! must be filtered against the constraint function first — the reason the
+//! paper generates its vectors deterministically in the constrained case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::FaultList;
+use crate::fault_sim::{FaultSimResult, FaultSimulator};
+use crate::netlist::Netlist;
+use crate::DigitalError;
+
+/// A seeded random pattern generator for a specific netlist.
+#[derive(Clone, Debug)]
+pub struct RandomPatternGenerator {
+    width: usize,
+    rng: StdRng,
+}
+
+impl RandomPatternGenerator {
+    /// Creates a generator producing patterns as wide as the netlist's
+    /// primary-input count.
+    pub fn new(netlist: &Netlist, seed: u64) -> Self {
+        RandomPatternGenerator {
+            width: netlist.primary_inputs().len(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of bits per pattern.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Generates one random pattern.
+    pub fn pattern(&mut self) -> Vec<bool> {
+        (0..self.width).map(|_| self.rng.gen()).collect()
+    }
+
+    /// Generates `count` random patterns.
+    pub fn patterns(&mut self, count: usize) -> Vec<Vec<bool>> {
+        (0..count).map(|_| self.pattern()).collect()
+    }
+
+    /// Generates up to `count` patterns that satisfy `constraint`, trying at
+    /// most `max_attempts` random draws.  Returns the accepted patterns and
+    /// the number of attempts used, which measures how strongly the
+    /// constraint function restricts the input space.
+    pub fn constrained_patterns<F>(
+        &mut self,
+        count: usize,
+        max_attempts: usize,
+        mut constraint: F,
+    ) -> (Vec<Vec<bool>>, usize)
+    where
+        F: FnMut(&[bool]) -> bool,
+    {
+        let mut accepted = Vec::new();
+        let mut attempts = 0usize;
+        while accepted.len() < count && attempts < max_attempts {
+            let p = self.pattern();
+            attempts += 1;
+            if constraint(&p) {
+                accepted.push(p);
+            }
+        }
+        (accepted, attempts)
+    }
+}
+
+/// Outcome of a random test-generation campaign.
+#[derive(Clone, Debug)]
+pub struct RandomTpgReport {
+    /// Fault-simulation result of the generated pattern set.
+    pub result: FaultSimResult,
+    /// Number of patterns generated (before any constraint filtering).
+    pub patterns_generated: usize,
+}
+
+/// Runs random TPG: generate `pattern_count` random patterns and fault
+/// simulate them against `faults`.
+///
+/// # Errors
+///
+/// Propagates fault-simulation errors.
+pub fn random_tpg(
+    netlist: &Netlist,
+    faults: &FaultList,
+    pattern_count: usize,
+    seed: u64,
+) -> Result<RandomTpgReport, DigitalError> {
+    let mut generator = RandomPatternGenerator::new(netlist, seed);
+    let patterns = generator.patterns(pattern_count);
+    let result = FaultSimulator::new(netlist).run(faults, &patterns)?;
+    Ok(RandomTpgReport {
+        result,
+        patterns_generated: pattern_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    #[test]
+    fn generator_is_seeded_and_deterministic() {
+        let n = circuits::adder4();
+        let mut a = RandomPatternGenerator::new(&n, 7);
+        let mut b = RandomPatternGenerator::new(&n, 7);
+        assert_eq!(a.patterns(10), b.patterns(10));
+        assert_eq!(a.width(), 9);
+        let mut c = RandomPatternGenerator::new(&n, 8);
+        assert_ne!(a.patterns(10), c.patterns(10));
+    }
+
+    #[test]
+    fn random_patterns_achieve_high_coverage_on_the_adder() {
+        let n = circuits::adder4();
+        let faults = FaultList::collapsed(&n);
+        let report = random_tpg(&n, &faults, 200, 1).unwrap();
+        assert!(
+            report.result.coverage() > 0.95,
+            "coverage {}",
+            report.result.coverage()
+        );
+        assert_eq!(report.patterns_generated, 200);
+    }
+
+    #[test]
+    fn constraint_filtering_reports_attempts() {
+        let n = circuits::figure3_circuit();
+        let mut generator = RandomPatternGenerator::new(&n, 3);
+        // Constraint of Example 2: l0 OR l2 (inputs are l0,l1,l2,l4).
+        let (accepted, attempts) =
+            generator.constrained_patterns(20, 10_000, |p| p[0] || p[2]);
+        assert_eq!(accepted.len(), 20);
+        assert!(attempts >= 20);
+        for p in &accepted {
+            assert!(p[0] || p[2]);
+        }
+        // An unsatisfiable constraint exhausts the attempt budget.
+        let (none, attempts) = generator.constrained_patterns(5, 100, |_| false);
+        assert!(none.is_empty());
+        assert_eq!(attempts, 100);
+    }
+}

@@ -1,0 +1,68 @@
+//! Example 3 of the paper (reduced): the fifth-order Chebyshev filter feeds a
+//! 15-comparator conversion block whose outputs drive 15 randomly selected
+//! inputs of an ISCAS85-class digital circuit.  The example runs the
+//! constrained digital ATPG and the comparator-propagation study for the
+//! c432 stand-in.
+//!
+//! Run with `cargo run --release --example chebyshev_mixed`.
+
+use msatpg::analog::filters;
+use msatpg::conversion::FlashAdc;
+use msatpg::core::digital_atpg::DigitalAtpg;
+use msatpg::core::{AnalogAtpg, ConverterBlock};
+use msatpg::digital::benchmarks;
+use msatpg::digital::fault::FaultList;
+use msatpg::MixedCircuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analog = filters::fifth_order_chebyshev();
+    let converter = ConverterBlock::Flash(FlashAdc::uniform(15, 4.0)?);
+    let digital = benchmarks::c432();
+    println!("analog block : {}", analog.name());
+    println!("digital block: {digital}");
+
+    let mut mixed = MixedCircuit::new("example3-c432", analog, converter, digital);
+    mixed.connect_randomly(1995)?;
+    println!(
+        "constrained digital inputs: {:?}\n",
+        mixed
+            .constrained_inputs()
+            .iter()
+            .map(|&s| mixed.digital().signal_name(s).to_owned())
+            .collect::<Vec<_>>()
+    );
+
+    // Constrained vs unconstrained stuck-at ATPG on the digital block.
+    let faults = FaultList::collapsed(mixed.digital());
+    let mut free = DigitalAtpg::new(mixed.digital());
+    let report_free = free.run(&faults)?;
+    let mut constrained = DigitalAtpg::new(mixed.digital())
+        .with_constraints(&mixed.constrained_inputs(), &mixed.allowed_codes())?;
+    let report_constrained = constrained.run(&faults)?;
+    println!(
+        "digital ATPG without constraints: {} untestable, {} vectors, {:.2} s",
+        report_free.untestable_count(),
+        report_free.vector_count(),
+        report_free.cpu.as_secs_f64()
+    );
+    println!(
+        "digital ATPG with constraints   : {} untestable, {} vectors, {:.2} s",
+        report_constrained.untestable_count(),
+        report_constrained.vector_count(),
+        report_constrained.cpu.as_secs_f64()
+    );
+
+    // Which comparators can propagate an analog fault effect?
+    let study = AnalogAtpg::new(&mixed).comparator_propagation_study()?;
+    let blocked_d = study.iter().filter(|&&(d, _)| !d).count();
+    let blocked_dbar = study.iter().filter(|&&(_, dbar)| !dbar).count();
+    println!(
+        "\ncomparators through which a D cannot be propagated : {blocked_d} of {}",
+        study.len()
+    );
+    println!(
+        "comparators through which a D' cannot be propagated: {blocked_dbar} of {}",
+        study.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: assemble the paper's Figure-4 mixed circuit (band-pass filter
+//! → 2-comparator conversion block → Figure-3 digital circuit) and run the
+//! complete mixed-signal test-generation flow.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use msatpg::analog::filters;
+use msatpg::conversion::constraints::AllowedCodes;
+use msatpg::conversion::FlashAdc;
+use msatpg::core::{AtpgOptions, ConverterBlock};
+use msatpg::digital::circuits;
+use msatpg::{MixedCircuit, MixedSignalAtpg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Assemble the mixed circuit of Figure 4.
+    let analog = filters::second_order_band_pass();
+    let converter = ConverterBlock::Flash(FlashAdc::uniform(2, 3.0)?);
+    let digital = circuits::figure3_circuit();
+    let mut mixed = MixedCircuit::new("figure4", analog, converter, digital);
+    mixed.connect_in_order(&["l0", "l2"])?;
+    // The analog operating range never produces the code (0, 0) — the
+    // constraint Fc = l0 + l2 of Example 2.
+    mixed.set_allowed_codes(AllowedCodes::new(
+        2,
+        vec![vec![true, false], vec![false, true], vec![true, true]],
+    ));
+
+    // 2. Run the whole flow: analog element tests, conversion-block tests and
+    //    constrained digital stuck-at ATPG.
+    let atpg = MixedSignalAtpg::new(mixed).with_options(AtpgOptions::default());
+    let plan = atpg.run()?;
+    let digital_netlist = atpg.circuit().digital();
+
+    // 3. Report.
+    println!("== digital block ==");
+    println!(
+        "  alone        : {}/{} faults detected, {} untestable, {} vectors",
+        plan.digital_unconstrained.detected,
+        plan.digital_unconstrained.total_faults,
+        plan.digital_unconstrained.untestable_count(),
+        plan.digital_unconstrained.vector_count()
+    );
+    println!(
+        "  in the mixed circuit: {}/{} faults detected, {} untestable, {} vectors",
+        plan.digital.detected,
+        plan.digital.total_faults,
+        plan.digital.untestable_count(),
+        plan.digital.vector_count()
+    );
+    for vector in &plan.digital.vectors {
+        println!(
+            "    {} tests {}",
+            vector.to_pattern_string(),
+            vector.fault.describe(digital_netlist)
+        );
+    }
+
+    println!("\n== analog block ==");
+    for entry in &plan.analog {
+        let status = if entry.outcome.is_tested() { "tested" } else { "NOT testable" };
+        println!(
+            "  {:<4} via {:<5} deviation {:>5.1}% : {}",
+            entry.element,
+            entry.parameter,
+            entry.deviation * 100.0,
+            status
+        );
+    }
+    println!(
+        "  analog coverage: {:.0}%",
+        plan.analog_coverage() * 100.0
+    );
+
+    println!("\n== conversion block ==");
+    for entry in &plan.conversion {
+        match (entry.comparator, entry.detectable_deviation) {
+            (Some(k), Some(d)) => println!(
+                "  R{} tested through Vt{} at {:.1}% deviation",
+                entry.resistor,
+                k,
+                d * 100.0
+            ),
+            _ => println!("  R{} cannot be tested", entry.resistor),
+        }
+    }
+    Ok(())
+}

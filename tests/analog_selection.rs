@@ -1,0 +1,107 @@
+//! Integration tests of the analog test-selection chain (Example 1 and the
+//! Table-6 ladder coverage) across the analog and conversion crates.
+
+use msatpg::analog::coverage::CoverageGraph;
+use msatpg::analog::filters;
+use msatpg::analog::params::measure;
+use msatpg::analog::sensitivity::WorstCaseAnalysis;
+use msatpg::conversion::fault::ladder_coverage;
+use msatpg::conversion::ResistorLadder;
+
+#[test]
+fn band_pass_center_gain_depends_only_on_rd_and_rg() {
+    // The Example-1 structure: the center-frequency gain A1 = Rd/Rg, so only
+    // Rd and Rg deviations are detectable through A1, while A2 (gain at
+    // 10 kHz, off-center) depends on every element.
+    let filter = filters::second_order_band_pass();
+    let gains = &filter.parameters()[..2]; // A1, A2
+    let report = WorstCaseAnalysis::new(filter.circuit(), gains)
+        .with_worst_case(false)
+        .run()
+        .unwrap();
+    for element in ["R1", "R2", "R3", "R4", "C1", "C2"] {
+        assert_eq!(
+            report.deviation("A1", element),
+            None,
+            "A1 must not depend on {element}"
+        );
+    }
+    assert!(report.deviation("A1", "Rd").is_some());
+    assert!(report.deviation("A1", "Rg").is_some());
+    // A2 (the 10 kHz gain, on the upper skirt) detects deviations in the
+    // frequency-setting elements and in the input resistor; Rd only shapes
+    // the damping and is covered through A1 instead.
+    for element in ["R1", "R2", "R3", "R4", "Rg", "C1", "C2"] {
+        assert!(
+            report.deviation("A2", element).is_some(),
+            "A2 must depend on {element}"
+        );
+    }
+    // The two gains together cover every element (the paper's selected test
+    // set {A1, A2}).
+    let graph = CoverageGraph::from_report(&report);
+    assert!(graph.uncoverable_elements().is_empty());
+    let selection = graph.select_test_set();
+    assert!((selection.coverage_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn band_pass_nominal_parameters_match_the_design() {
+    let filter = filters::second_order_band_pass();
+    let values: Vec<(String, f64)> = filter
+        .parameters()
+        .iter()
+        .map(|p| (p.name.clone(), measure(filter.circuit(), p).unwrap()))
+        .collect();
+    let get = |name: &str| values.iter().find(|(n, _)| n == name).unwrap().1;
+    // Center-frequency gain = Rd/Rg ≈ 3.18, center frequency ≈ 4.2 kHz, and
+    // the cut-offs bracket the center frequency.
+    assert!((get("A1") - 3.18).abs() < 0.1);
+    assert!((get("f0") - 4168.0).abs() / 4168.0 < 0.05);
+    assert!(get("fc1") < get("f0"));
+    assert!(get("fc2") > get("f0"));
+    assert!(get("A2") < get("A1"), "the 10 kHz gain is below the peak gain");
+}
+
+#[test]
+fn ladder_coverage_reproduces_table6_shape() {
+    // Table 6: the detectable resistor deviation rises from both ends of the
+    // ladder toward the middle.
+    let ladder = ResistorLadder::uniform(16, 4.0).unwrap();
+    let coverage = ladder_coverage(&ladder, 0.05, 50.0).unwrap();
+    let all: Vec<usize> = (1..=15).collect();
+    let assignment = coverage.best_assignment(&all);
+    let deviations: Vec<f64> = assignment
+        .iter()
+        .map(|(_, best)| best.expect("all resistors coverable").1)
+        .collect();
+    // Monotone non-decreasing up to the middle, non-increasing afterwards
+    // (allow small numerical slack).
+    for window in deviations[..8].windows(2) {
+        assert!(window[1] >= window[0] * 0.98, "rising half: {window:?}");
+    }
+    for window in deviations[8..].windows(2) {
+        assert!(window[1] <= window[0] * 1.02, "falling half: {window:?}");
+    }
+    // The middle is several times harder than the ends.
+    assert!(deviations[7] > deviations[0] * 3.0);
+    assert!(deviations[7] > deviations[15] * 3.0);
+}
+
+#[test]
+fn chebyshev_filter_parameters_are_measurable_and_sensible() {
+    let filter = filters::fifth_order_chebyshev();
+    let adc = measure(filter.circuit(), &filter.parameters()[0]).unwrap();
+    let fc = measure(filter.circuit(), &filter.parameters()[1]).unwrap();
+    assert!(adc > 0.5, "pass-band gain {adc}");
+    assert!(fc > 400.0 && fc < 2000.0, "corner frequency {fc}");
+    // The AC gains A1..A5 decrease monotonically in the transition band
+    // region sampled near the corner... at least the last one is the
+    // smallest of the passband samples.
+    let gains: Vec<f64> = filter.parameters()[2..]
+        .iter()
+        .map(|p| measure(filter.circuit(), p).unwrap())
+        .collect();
+    assert_eq!(gains.len(), 5);
+    assert!(gains.iter().all(|&g| g.is_finite() && g > 0.0));
+}

@@ -1,0 +1,260 @@
+//! Property-based tests on the core substrates: BDD algebra against
+//! brute-force truth tables, ATPG vectors against fault simulation, logic
+//! simulation against the D-algebra, analog solver against circuit theory,
+//! and the conversion block's code space.
+
+use proptest::prelude::*;
+
+use msatpg::bdd::{Assignment, BddManager};
+use msatpg::conversion::constraints::thermometer_codes;
+use msatpg::conversion::{FlashAdc, ResistorLadder};
+use msatpg::core::digital_atpg::{DigitalAtpg, TestOutcome};
+use msatpg::digital::circuits;
+use msatpg::digital::fault::{FaultList, StuckAtFault};
+use msatpg::digital::fault_sim::FaultSimulator;
+use msatpg::digital::logic::Logic;
+use msatpg::digital::sim::{CompositeSimulator, Simulator};
+
+/// A tiny Boolean expression AST for generating random formulas.
+#[derive(Clone, Debug)]
+enum Formula {
+    Var(usize),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Xor(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            Formula::Var(i) => inputs[*i],
+            Formula::Not(a) => !a.eval(inputs),
+            Formula::And(a, b) => a.eval(inputs) && b.eval(inputs),
+            Formula::Or(a, b) => a.eval(inputs) || b.eval(inputs),
+            Formula::Xor(a, b) => a.eval(inputs) ^ b.eval(inputs),
+        }
+    }
+
+    fn build(&self, m: &mut BddManager) -> msatpg::bdd::Bdd {
+        match self {
+            Formula::Var(i) => m.var(&format!("x{i}")),
+            Formula::Not(a) => {
+                let ba = a.build(m);
+                m.not(ba)
+            }
+            Formula::And(a, b) => {
+                let (ba, bb) = (a.build(m), b.build(m));
+                m.and(ba, bb)
+            }
+            Formula::Or(a, b) => {
+                let (ba, bb) = (a.build(m), b.build(m));
+                m.or(ba, bb)
+            }
+            Formula::Xor(a, b) => {
+                let (ba, bb) = (a.build(m), b.build(m));
+                m.xor(ba, bb)
+            }
+        }
+    }
+}
+
+fn formula_strategy(vars: usize) -> impl Strategy<Value = Formula> {
+    let leaf = (0..vars).prop_map(Formula::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+const FORMULA_VARS: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BDD of a random formula agrees with brute-force evaluation on
+    /// every input assignment, and its satisfying-assignment count matches.
+    #[test]
+    fn bdd_matches_truth_table(formula in formula_strategy(FORMULA_VARS)) {
+        let mut m = BddManager::new();
+        // Declare variables in a fixed order so eval positions match.
+        for i in 0..FORMULA_VARS {
+            m.var(&format!("x{i}"));
+        }
+        let bdd = formula.build(&mut m);
+        let mut count = 0u128;
+        for bits in 0..1u32 << FORMULA_VARS {
+            let inputs: Vec<bool> = (0..FORMULA_VARS).map(|b| (bits >> b) & 1 == 1).collect();
+            let mut asg = Assignment::new();
+            for (i, &v) in inputs.iter().enumerate() {
+                asg.set(i as u32, v);
+            }
+            let expected = formula.eval(&inputs);
+            prop_assert_eq!(m.eval(bdd, &asg), expected);
+            if expected {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(m.sat_count(bdd), count);
+        // Every cube of the BDD satisfies the formula.
+        for cube in m.cubes(bdd) {
+            let mut inputs = vec![false; FORMULA_VARS];
+            for (var, value) in cube.iter() {
+                inputs[var as usize] = value;
+            }
+            prop_assert!(formula.eval(&inputs));
+        }
+    }
+
+    /// Shannon expansion: f = (x AND f|x=1) OR (!x AND f|x=0) for every
+    /// variable.
+    #[test]
+    fn bdd_shannon_expansion(formula in formula_strategy(FORMULA_VARS), var in 0..FORMULA_VARS) {
+        let mut m = BddManager::new();
+        for i in 0..FORMULA_VARS {
+            m.var(&format!("x{i}"));
+        }
+        let f = formula.build(&mut m);
+        let v = var as u32;
+        let f1 = m.restrict(f, v, true);
+        let f0 = m.restrict(f, v, false);
+        let x = m.literal(v, true);
+        let nx = m.literal(v, false);
+        let left = m.and(x, f1);
+        let right = m.and(nx, f0);
+        let rebuilt = m.or(left, right);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// The 4-bit adder circuit computes a + b + cin for all operands.
+    #[test]
+    fn adder_matches_arithmetic(a in 0u32..16, b in 0u32..16, cin in 0u32..2) {
+        let adder = circuits::adder4();
+        let mut pattern = Vec::new();
+        for i in 0..4 {
+            pattern.push((a >> i) & 1 == 1);
+        }
+        for i in 0..4 {
+            pattern.push((b >> i) & 1 == 1);
+        }
+        pattern.push(cin == 1);
+        let out = adder.evaluate(&pattern).unwrap();
+        let mut value = 0u32;
+        for (i, &bit) in out.iter().enumerate() {
+            if bit {
+                value |= 1 << i;
+            }
+        }
+        prop_assert_eq!(value, a + b + cin);
+    }
+
+    /// Parallel-pattern simulation agrees with serial simulation on the
+    /// Figure-3 circuit for arbitrary pattern batches.
+    #[test]
+    fn parallel_simulation_matches_serial(patterns in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..32)) {
+        let circuit = circuits::figure3_circuit();
+        let sim = Simulator::new(&circuit);
+        let words = sim.run_parallel(&patterns).unwrap();
+        for (p, pattern) in patterns.iter().enumerate() {
+            let serial = sim.run(pattern).unwrap();
+            for (o, &word) in words.iter().enumerate() {
+                prop_assert_eq!((word >> p) & 1 == 1, serial[o]);
+            }
+        }
+    }
+
+    /// The five-valued composite simulation is consistent with running the
+    /// good and the faulty two-valued simulations separately.
+    #[test]
+    fn composite_simulation_matches_good_and_faulty(pattern in prop::collection::vec(any::<bool>(), 4), line in 0usize..9, stuck in any::<bool>()) {
+        let circuit = circuits::figure3_circuit();
+        let signal = circuit.signals()[line];
+        // Good and faulty two-valued simulations.
+        let good = circuit.evaluate_all(&pattern).unwrap();
+        let fault = if stuck { StuckAtFault::sa1(signal) } else { StuckAtFault::sa0(signal) };
+        let detected = FaultSimulator::new(&circuit).detects(fault, &pattern).unwrap();
+        // Composite simulation: force the composite value corresponding to
+        // (good value, stuck value) on the line.
+        let good_at_line = good[line];
+        prop_assume!(good_at_line != stuck); // only activated faults are interesting
+        let composite = Logic::from_pair(good_at_line, stuck);
+        let mut sim = CompositeSimulator::new(&circuit);
+        sim.force(signal, composite);
+        let inputs: Vec<Logic> = pattern.iter().map(|&b| Logic::from(b)).collect();
+        let propagates = sim.propagates_fault(&inputs).unwrap();
+        prop_assert_eq!(propagates, detected);
+    }
+
+    /// Every vector produced by the OBDD ATPG for a random fault of the
+    /// Figure-3 circuit is confirmed by fault simulation.
+    #[test]
+    fn atpg_vectors_are_confirmed_by_simulation(fault_index in 0usize..18) {
+        let circuit = circuits::figure3_circuit();
+        let faults = FaultList::all(&circuit);
+        let fault = faults.faults()[fault_index];
+        let mut atpg = DigitalAtpg::new(&circuit);
+        match atpg.generate(fault) {
+            TestOutcome::Detected(vector) => {
+                let sim = FaultSimulator::new(&circuit);
+                prop_assert!(sim.detects(fault, &vector.concretize(false)).unwrap());
+                prop_assert!(sim.detects(fault, &vector.concretize(true)).unwrap());
+            }
+            TestOutcome::Untestable => {
+                // The stand-alone Figure-3 circuit is fully testable.
+                prop_assert!(false, "unexpected untestable fault");
+            }
+            TestOutcome::PreviouslyDetected => {}
+        }
+    }
+
+    /// Flash-converter output codes are always thermometer codes and are
+    /// monotone in the input voltage.
+    #[test]
+    fn flash_codes_are_thermometer_and_monotone(vin_a in 0.0f64..4.0, vin_b in 0.0f64..4.0) {
+        let adc = FlashAdc::uniform(15, 4.0).unwrap();
+        let codes = thermometer_codes(15);
+        let code_a = adc.convert(vin_a);
+        let code_b = adc.convert(vin_b);
+        prop_assert!(codes.allows(&code_a));
+        prop_assert!(codes.allows(&code_b));
+        if vin_a <= vin_b {
+            prop_assert!(adc.convert_to_count(vin_a) <= adc.convert_to_count(vin_b));
+        }
+    }
+
+    /// Ladder tap voltages are strictly increasing and bounded by the rails,
+    /// for arbitrary positive resistor values.
+    #[test]
+    fn ladder_taps_are_monotone(resistors in prop::collection::vec(1.0f64..100.0, 2..12)) {
+        let ladder = ResistorLadder::new(resistors, 5.0).unwrap();
+        let taps = ladder.tap_voltages();
+        for window in taps.windows(2) {
+            prop_assert!(window[0] < window[1]);
+        }
+        prop_assert!(taps.first().copied().unwrap_or(0.1) > 0.0);
+        prop_assert!(taps.last().copied().unwrap_or(0.0) < 5.0);
+    }
+
+    /// Voltage-divider DC analysis matches the analytic expression for
+    /// arbitrary resistor values.
+    #[test]
+    fn mna_divider_matches_theory(r1 in 10.0f64..1.0e6, r2 in 10.0f64..1.0e6) {
+        use msatpg::analog::netlist::Circuit;
+        use msatpg::analog::mna::Mna;
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 1.0, 1.0);
+        c.resistor("R1", vin, vout, r1);
+        c.resistor("R2", vout, Circuit::GROUND, r2);
+        let sol = Mna::new(&c).solve_dc().unwrap();
+        let expected = r2 / (r1 + r2);
+        prop_assert!((sol.voltage(vout).re - expected).abs() < 1e-9);
+    }
+}
