@@ -1,14 +1,39 @@
 //! Modified nodal analysis (MNA): DC and AC small-signal solutions.
 //!
-//! The solver assembles the complex MNA matrix at a given complex frequency
-//! `s = j·2πf` (or `s = 0` for DC) and solves it with dense LU.  Voltage
-//! sources, VCVSs, op-amps and inductors contribute branch-current unknowns.
+//! ## Engine layout
+//!
+//! Every stamp of the MNA system is linear in the complex frequency, so the
+//! engine splits the system as `A(s) = G + s·C` with **real** matrices `G`
+//! and `C`.  [`Mna::new`] walks the circuit **once**, recording for every
+//! element the list of `(matrix, row, col, coefficient)` entries it
+//! contributes — the *structural stamp pattern* — and assembles `G` and `C`
+//! from it.  After that:
+//!
+//! * a solve at frequency `f` assembles `A = G + j·2πf·C` into a cached
+//!   per-frequency system, LU-factors it once ([`crate::matrix::LuFactor`],
+//!   storage reused), and answers any number of right-hand sides (drives)
+//!   against the same factorization — repeated sweeps over the same grid
+//!   (peak search, −3 dB bisection) hit the cache and skip both assembly and
+//!   factorization;
+//! * a parameter deviation ([`Mna::set_value`] / [`Mna::scale_value`])
+//!   patches only the few `G`/`C` entries its element touches — including
+//!   inside every cached per-frequency system — instead of re-stamping the
+//!   whole matrix, so a deviation analysis re-uses all structural work
+//!   across its thousands of probe solves.
+//!
+//! The single-pole op-amp model `A(s) = a0/(1 + s/ω)` is folded into the
+//! `G + s·C` form by multiplying its constraint row through by the
+//! denominator, which leaves the solution unchanged.
+//!
+//! Voltage sources, VCVSs, op-amps and inductors contribute branch-current
+//! unknowns.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::f64::consts::TAU;
 
 use crate::complex::Complex;
-use crate::matrix::Matrix;
+use crate::matrix::LuFactor;
 use crate::netlist::{Circuit, ElementId, ElementKind, NodeId, OpAmpModel};
 use crate::AnalogError;
 
@@ -55,6 +80,101 @@ impl Solution {
     }
 }
 
+/// Counters exposing how much work the sweep-reuse machinery avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total linear solves performed.
+    pub solves: u64,
+    /// Full `G + sC` assemblies (one per distinct frequency since the last
+    /// cache clear; everything else was served from the system cache).
+    pub assemblies: u64,
+    /// LU factorizations performed (re-done after a value patch, reused for
+    /// repeated solves at an unchanged frequency).
+    pub factorizations: u64,
+    /// Element-value patches applied.
+    pub patches: u64,
+}
+
+/// Which of the two real matrices an entry belongs to.
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    G,
+    C,
+}
+
+/// How a stamp entry's numeric contribution derives from the element value.
+#[derive(Clone, Copy, Debug)]
+enum Dep {
+    /// `factor` (independent of the element value).
+    Const,
+    /// `factor · value` (capacitors, inductor impedance, gains).
+    Value,
+    /// `factor / value` (resistor conductance).
+    Inverse,
+}
+
+/// One `(matrix, row, col)` entry of an element's structural stamp pattern.
+#[derive(Clone, Copy, Debug)]
+struct Stamp {
+    target: Target,
+    row: u32,
+    col: u32,
+    factor: f64,
+    dep: Dep,
+}
+
+impl Stamp {
+    #[inline]
+    fn contribution(&self, value: f64) -> f64 {
+        match self.dep {
+            Dep::Const => self.factor,
+            Dep::Value => self.factor * value,
+            Dep::Inverse => self.factor / value,
+        }
+    }
+}
+
+/// How an independent source contributes to the right-hand side.
+#[derive(Clone, Copy, Debug)]
+enum RhsStamp {
+    /// Voltage source: `b[row] = value`.
+    Branch { row: u32 },
+    /// Current source: `b[plus] -= value`, `b[minus] += value`.
+    Nodal {
+        plus: Option<u32>,
+        minus: Option<u32>,
+    },
+}
+
+/// A fully assembled system at one frequency; `lu.is_factored()` says
+/// whether the stored factorization still matches `a`.
+struct CachedSystem {
+    /// `G + s·C`, row-major.
+    a: Vec<Complex>,
+    lu: LuFactor,
+}
+
+/// Bound on the number of per-frequency systems kept alive; reaching it
+/// clears the cache so arbitrarily fine peak/bisection searches cannot grow
+/// memory without limit.
+const MAX_CACHED_SYSTEMS: usize = 512;
+
+struct Engine {
+    /// Real part (conductance) matrix, row-major `n × n`.
+    g: Vec<f64>,
+    /// Frequency-proportional (susceptance) matrix, row-major `n × n`.
+    c: Vec<f64>,
+    /// Current (possibly patched) scalar value per element.
+    values: Vec<f64>,
+    /// Nominal values from the circuit, for [`Mna::reset_values`].
+    nominal: Vec<f64>,
+    /// Per-frequency assembled systems, keyed by `f64::to_bits(freq_hz)`.
+    systems: HashMap<u64, CachedSystem>,
+    /// Reusable right-hand-side / solution buffer.
+    rhs: Vec<Complex>,
+    stats: SolverStats,
+}
+
 /// The MNA engine bound to one circuit.
 ///
 /// # Example
@@ -69,23 +189,39 @@ impl Solution {
 /// let vout = c.node("vout");
 /// c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
 /// c.resistor("R", vin, vout, 1.0e3);
-/// c.capacitor("C", vout, Circuit::GROUND, 100.0e-9);
+/// let cap = c.capacitor("C", vout, Circuit::GROUND, 100.0e-9);
 /// let mna = Mna::new(&c);
 /// let dc = mna.solve_dc().unwrap();
 /// assert!((dc.voltage(vout).abs() - 0.0).abs() < 1e-9); // DC value of source is 0
 /// let ac = mna.solve_ac(1.0).unwrap();
 /// assert!((ac.voltage(vout).abs() - 1.0).abs() < 1e-3); // passband
+/// // Parameter deviations patch the stamped system instead of rebuilding it:
+/// mna.scale_value(cap, 10.0);
+/// let shifted = mna.solve_ac(1.0e4).unwrap();
+/// mna.reset_values();
+/// assert!(shifted.voltage(vout).abs() < mna.solve_ac(1.0e4).unwrap().voltage(vout).abs());
 /// ```
 pub struct Mna<'a> {
     circuit: &'a Circuit,
     /// Elements that contribute a branch-current unknown, in matrix order.
     branch_elements: Vec<ElementId>,
+    /// Number of non-ground node unknowns.
+    n_nodes: usize,
+    /// Total unknowns.
+    n: usize,
+    /// Structural stamp pattern, indexed by element id.
+    element_stamps: Vec<Vec<Stamp>>,
+    /// Right-hand-side pattern: `(element, stamp, dc_value)` per source.
+    rhs_stamps: Vec<(ElementId, RhsStamp, f64)>,
+    engine: RefCell<Engine>,
 }
 
 impl<'a> Mna<'a> {
-    /// Prepares the MNA engine for `circuit`.
+    /// Prepares the MNA engine for `circuit`: derives the structural stamp
+    /// pattern of every element and assembles the real `G` and `C` matrices
+    /// once.
     pub fn new(circuit: &'a Circuit) -> Self {
-        let branch_elements = circuit
+        let branch_elements: Vec<ElementId> = circuit
             .iter()
             .filter(|(_, e)| {
                 matches!(
@@ -98,15 +234,297 @@ impl<'a> Mna<'a> {
             })
             .map(|(id, _)| id)
             .collect();
+        let n_nodes = circuit.node_count() - 1; // excluding ground
+        let n = n_nodes + branch_elements.len();
+
+        // Map: node -> row/column (ground maps to None).
+        let row = |node: NodeId| -> Option<u32> {
+            if node.is_ground() {
+                None
+            } else {
+                Some(node.index() as u32 - 1)
+            }
+        };
+        let branch_row: HashMap<ElementId, u32> = branch_elements
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (n_nodes + i) as u32))
+            .collect();
+
+        let mut element_stamps: Vec<Vec<Stamp>> = Vec::with_capacity(circuit.element_count());
+        let mut rhs_stamps = Vec::new();
+        for (id, e) in circuit.iter() {
+            let mut stamps = Vec::new();
+            // Conductance-style two-terminal pattern: ±y at (i,i), (j,j),
+            // (i,j), (j,i).
+            let admittance = |stamps: &mut Vec<Stamp>, target: Target, dep: Dep| {
+                let (na, nb) = (row(e.nodes[0]), row(e.nodes[1]));
+                if let Some(i) = na {
+                    stamps.push(Stamp { target, row: i, col: i, factor: 1.0, dep });
+                    if let Some(j) = nb {
+                        stamps.push(Stamp { target, row: i, col: j, factor: -1.0, dep });
+                    }
+                }
+                if let Some(j) = nb {
+                    stamps.push(Stamp { target, row: j, col: j, factor: 1.0, dep });
+                    if let Some(i) = na {
+                        stamps.push(Stamp { target, row: j, col: i, factor: -1.0, dep });
+                    }
+                }
+            };
+            // Branch-voltage coupling pattern: ±1 at (i,k), (k,i), (j,k), (k,j).
+            let branch_coupling = |stamps: &mut Vec<Stamp>, k: u32, np: NodeId, nn: NodeId| {
+                if let Some(i) = row(np) {
+                    stamps.push(Stamp { target: Target::G, row: i, col: k, factor: 1.0, dep: Dep::Const });
+                    stamps.push(Stamp { target: Target::G, row: k, col: i, factor: 1.0, dep: Dep::Const });
+                }
+                if let Some(j) = row(nn) {
+                    stamps.push(Stamp { target: Target::G, row: j, col: k, factor: -1.0, dep: Dep::Const });
+                    stamps.push(Stamp { target: Target::G, row: k, col: j, factor: -1.0, dep: Dep::Const });
+                }
+            };
+            match e.kind {
+                ElementKind::Resistor { .. } => {
+                    admittance(&mut stamps, Target::G, Dep::Inverse);
+                }
+                ElementKind::Capacitor { .. } => {
+                    admittance(&mut stamps, Target::C, Dep::Value);
+                }
+                ElementKind::Inductor { .. } => {
+                    // Branch formulation: V(a) − V(b) − s·L·I = 0
+                    let k = branch_row[&id];
+                    branch_coupling(&mut stamps, k, e.nodes[0], e.nodes[1]);
+                    stamps.push(Stamp { target: Target::C, row: k, col: k, factor: -1.0, dep: Dep::Value });
+                }
+                ElementKind::VoltageSource { dc, .. } => {
+                    let k = branch_row[&id];
+                    branch_coupling(&mut stamps, k, e.nodes[0], e.nodes[1]);
+                    rhs_stamps.push((id, RhsStamp::Branch { row: k }, dc));
+                }
+                ElementKind::CurrentSource { dc, .. } => {
+                    rhs_stamps.push((
+                        id,
+                        RhsStamp::Nodal {
+                            plus: row(e.nodes[0]),
+                            minus: row(e.nodes[1]),
+                        },
+                        dc,
+                    ));
+                }
+                ElementKind::Vcvs { .. } => {
+                    // V(p) − V(n) − gain·(V(cp) − V(cn)) = 0
+                    let k = branch_row[&id];
+                    branch_coupling(&mut stamps, k, e.nodes[0], e.nodes[1]);
+                    if let Some(i) = row(e.nodes[2]) {
+                        stamps.push(Stamp { target: Target::G, row: k, col: i, factor: -1.0, dep: Dep::Value });
+                    }
+                    if let Some(j) = row(e.nodes[3]) {
+                        stamps.push(Stamp { target: Target::G, row: k, col: j, factor: 1.0, dep: Dep::Value });
+                    }
+                }
+                ElementKind::OpAmp { model } => {
+                    // Output current is the branch unknown, injected at `out`.
+                    let k = branch_row[&id];
+                    let (inp, inn, out) = (e.nodes[0], e.nodes[1], e.nodes[2]);
+                    if let Some(o) = row(out) {
+                        stamps.push(Stamp { target: Target::G, row: o, col: k, factor: 1.0, dep: Dep::Const });
+                    }
+                    match model {
+                        OpAmpModel::Ideal => {
+                            // Constraint: V(in+) − V(in−) = 0
+                            if let Some(i) = row(inp) {
+                                stamps.push(Stamp { target: Target::G, row: k, col: i, factor: 1.0, dep: Dep::Const });
+                            }
+                            if let Some(j) = row(inn) {
+                                stamps.push(Stamp { target: Target::G, row: k, col: j, factor: -1.0, dep: Dep::Const });
+                            }
+                        }
+                        OpAmpModel::FiniteGain { pole_hz, .. } => {
+                            // V(out) = A(s)·(V(in+) − V(in−)) with
+                            // A(s) = a0 / (1 + s/(2π·pole_hz)).  Multiplying
+                            // the row by the denominator keeps the system in
+                            // G + s·C form without changing the solution:
+                            // (1 + s/ω)·V(out) − a0·(V(in+) − V(in−)) = 0.
+                            if let Some(o) = row(out) {
+                                stamps.push(Stamp { target: Target::G, row: k, col: o, factor: 1.0, dep: Dep::Const });
+                                stamps.push(Stamp { target: Target::C, row: k, col: o, factor: 1.0 / (TAU * pole_hz), dep: Dep::Const });
+                            }
+                            // The element "value" is a0 (see ElementKind::value).
+                            if let Some(i) = row(inp) {
+                                stamps.push(Stamp { target: Target::G, row: k, col: i, factor: -1.0, dep: Dep::Value });
+                            }
+                            if let Some(j) = row(inn) {
+                                stamps.push(Stamp { target: Target::G, row: k, col: j, factor: 1.0, dep: Dep::Value });
+                            }
+                        }
+                    }
+                }
+            }
+            element_stamps.push(stamps);
+        }
+
+        let values: Vec<f64> = circuit.iter().map(|(id, _)| circuit.value(id)).collect();
+        let mut g = vec![0.0; n * n];
+        let mut c = vec![0.0; n * n];
+        for (stamps, &value) in element_stamps.iter().zip(&values) {
+            for stamp in stamps {
+                let slot = stamp.row as usize * n + stamp.col as usize;
+                match stamp.target {
+                    Target::G => g[slot] += stamp.contribution(value),
+                    Target::C => c[slot] += stamp.contribution(value),
+                }
+            }
+        }
+        let engine = Engine {
+            g,
+            c,
+            values: values.clone(),
+            nominal: values,
+            systems: HashMap::new(),
+            rhs: vec![Complex::ZERO; n],
+            stats: SolverStats::default(),
+        };
+
         Mna {
             circuit,
             branch_elements,
+            n_nodes,
+            n,
+            element_stamps,
+            rhs_stamps,
+            engine: RefCell::new(engine),
         }
+    }
+
+    /// The circuit this engine was built for.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.circuit
     }
 
     /// Number of unknowns in the MNA system.
     pub fn unknown_count(&self) -> usize {
-        (self.circuit.node_count() - 1) + self.branch_elements.len()
+        self.n
+    }
+
+    /// Current (possibly patched) scalar value of an element.
+    pub fn value(&self, element: ElementId) -> f64 {
+        self.engine.borrow().values[element.index()]
+    }
+
+    /// Replaces the scalar value of an element, patching only the `G`/`C`
+    /// entries of its stamp pattern (and every cached per-frequency system)
+    /// instead of re-stamping the matrices.  The bound circuit is never
+    /// modified.
+    ///
+    /// A value whose contribution is not finite (e.g. a resistor set to
+    /// exactly `0.0`, whose conductance is infinite) cannot be expressed as
+    /// an incremental delta; such transitions fall back to an exact rebuild
+    /// of the matrices so the engine recovers fully once a finite value is
+    /// restored.  Solving *while* such a value is in place reports the
+    /// system as singular.
+    pub fn set_value(&self, element: ElementId, new_value: f64) {
+        let idx = element.index();
+        let mut engine = self.engine.borrow_mut();
+        let engine = &mut *engine;
+        let old_value = engine.values[idx];
+        if old_value == new_value {
+            return;
+        }
+        engine.values[idx] = new_value;
+        engine.stats.patches += 1;
+        let n = self.n;
+        // First pass: a non-finite delta (value passing through zero on an
+        // inverse-dependent stamp) would poison the matrices permanently if
+        // accumulated, so rebuild exactly instead.
+        let all_finite = self.element_stamps[idx].iter().all(|stamp| {
+            matches!(stamp.dep, Dep::Const)
+                || (stamp.contribution(new_value) - stamp.contribution(old_value)).is_finite()
+        });
+        if !all_finite {
+            self.rebuild_matrices(engine);
+            return;
+        }
+        for stamp in &self.element_stamps[idx] {
+            if matches!(stamp.dep, Dep::Const) {
+                continue;
+            }
+            let delta = stamp.contribution(new_value) - stamp.contribution(old_value);
+            let slot = stamp.row as usize * n + stamp.col as usize;
+            match stamp.target {
+                Target::G => {
+                    engine.g[slot] += delta;
+                    for system in engine.systems.values_mut() {
+                        system.a[slot] += Complex::from_real(delta);
+                        system.lu.invalidate();
+                    }
+                }
+                Target::C => {
+                    engine.c[slot] += delta;
+                    for (&key, system) in engine.systems.iter_mut() {
+                        // s·Δ is purely imaginary; at DC (and for Δ so small
+                        // that ω·Δ underflows to zero) the cached system is
+                        // bit-identical, so keep its factorization warm.
+                        let imag = TAU * f64::from_bits(key) * delta;
+                        if imag != 0.0 {
+                            system.a[slot] += Complex::new(0.0, imag);
+                            system.lu.invalidate();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-stamps `G` and `C` from the pattern and the current values, and
+    /// drops the per-frequency cache.
+    fn rebuild_matrices(&self, engine: &mut Engine) {
+        engine.g.iter_mut().for_each(|x| *x = 0.0);
+        engine.c.iter_mut().for_each(|x| *x = 0.0);
+        let n = self.n;
+        for (stamps, &value) in self.element_stamps.iter().zip(engine.values.iter()) {
+            for stamp in stamps {
+                let slot = stamp.row as usize * n + stamp.col as usize;
+                match stamp.target {
+                    Target::G => engine.g[slot] += stamp.contribution(value),
+                    Target::C => engine.c[slot] += stamp.contribution(value),
+                }
+            }
+        }
+        engine.systems.clear();
+    }
+
+    /// Multiplies the scalar value of an element by `factor` (see
+    /// [`Mna::set_value`]).
+    pub fn scale_value(&self, element: ElementId, factor: f64) {
+        self.set_value(element, self.value(element) * factor);
+    }
+
+    /// Restores every element to its nominal (circuit) value.  The matrices
+    /// are rebuilt from the stamp pattern, clearing any numerical drift
+    /// accumulated by long patch sequences, and the system cache is dropped.
+    pub fn reset_values(&self) {
+        let mut engine = self.engine.borrow_mut();
+        let engine = &mut *engine;
+        let (values, nominal) = (&mut engine.values, &engine.nominal);
+        values.copy_from_slice(nominal);
+        self.rebuild_matrices(engine);
+    }
+
+    /// Counters for solves, assemblies, factorizations and patches since the
+    /// engine was built.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.engine.borrow().stats
+    }
+
+    /// Number of per-frequency systems currently cached.
+    pub fn cached_system_count(&self) -> usize {
+        self.engine.borrow().systems.len()
+    }
+
+    /// Drops all cached per-frequency systems (bounding memory for very long
+    /// sweeps; they are rebuilt on demand).
+    pub fn clear_system_cache(&self) {
+        self.engine.borrow_mut().systems.clear();
     }
 
     /// Solves the DC operating point (all capacitors open, inductors
@@ -116,7 +534,7 @@ impl<'a> Mna<'a> {
     ///
     /// Returns an error if the MNA matrix is singular.
     pub fn solve_dc(&self) -> Result<Solution, AnalogError> {
-        self.solve(Complex::ZERO, &Drive::AllDc)
+        self.solve(0.0, &Drive::AllDc)
     }
 
     /// Solves the AC small-signal response at `freq_hz` with every source at
@@ -126,7 +544,7 @@ impl<'a> Mna<'a> {
     ///
     /// Returns an error if the MNA matrix is singular.
     pub fn solve_ac(&self, freq_hz: f64) -> Result<Solution, AnalogError> {
-        self.solve(Complex::new(0.0, TAU * freq_hz), &Drive::AllAc)
+        self.solve(freq_hz, &Drive::AllAc)
     }
 
     /// Solves at `freq_hz` with only the named source active at the given
@@ -148,9 +566,8 @@ impl<'a> Mna<'a> {
                 name: source.to_owned(),
             });
         }
-        let s = Complex::new(0.0, TAU * freq_hz);
         self.solve(
-            s,
+            freq_hz,
             &Drive::Single {
                 source: source.to_owned(),
                 magnitude,
@@ -183,13 +600,13 @@ impl<'a> Mna<'a> {
         Ok(self.transfer(source, output, freq_hz)?.abs())
     }
 
-    fn source_value(&self, id: ElementId, kind: &ElementKind, drive: &Drive) -> f64 {
-        let (dc, ac) = match *kind {
-            ElementKind::VoltageSource { dc, ac } | ElementKind::CurrentSource { dc, ac } => {
-                (dc, ac)
-            }
-            _ => return 0.0,
-        };
+    fn source_value(
+        &self,
+        id: ElementId,
+        dc: f64,
+        ac: f64,
+        drive: &Drive,
+    ) -> f64 {
         match drive {
             Drive::AllDc => dc,
             Drive::AllAc => ac,
@@ -203,152 +620,72 @@ impl<'a> Mna<'a> {
         }
     }
 
-    fn solve(&self, s: Complex, drive: &Drive) -> Result<Solution, AnalogError> {
-        let n_nodes = self.circuit.node_count() - 1; // excluding ground
-        let n = n_nodes + self.branch_elements.len();
+    fn solve(&self, freq_hz: f64, drive: &Drive) -> Result<Solution, AnalogError> {
+        let n = self.n;
         if n == 0 {
             return Ok(Solution {
                 voltages: vec![Complex::ZERO; 1],
                 branch_currents: HashMap::new(),
             });
         }
-        let mut a = Matrix::zeros(n, n);
-        let mut b = vec![Complex::ZERO; n];
+        let mut engine = self.engine.borrow_mut();
+        let engine = &mut *engine;
+        engine.stats.solves += 1;
 
-        // Map: node -> row/column (ground maps to None).
-        let row = |node: NodeId| -> Option<usize> {
-            if node.is_ground() {
-                None
-            } else {
-                Some(node.index() - 1)
+        let key = freq_hz.to_bits();
+        if !engine.systems.contains_key(&key) {
+            // Bound memory only when a genuinely new frequency arrives, so
+            // re-solving already-cached frequencies never evicts warm work.
+            if engine.systems.len() >= MAX_CACHED_SYSTEMS {
+                engine.systems.clear();
             }
-        };
-        let branch_row: HashMap<ElementId, usize> = self
-            .branch_elements
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, n_nodes + i))
-            .collect();
+            engine.stats.assemblies += 1;
+            let omega = TAU * freq_hz;
+            let a = engine
+                .g
+                .iter()
+                .zip(&engine.c)
+                .map(|(&g, &c)| Complex::new(g, omega * c))
+                .collect();
+            engine.systems.insert(
+                key,
+                CachedSystem {
+                    a,
+                    lu: LuFactor::new(n),
+                },
+            );
+        }
+        let system = engine
+            .systems
+            .get_mut(&key)
+            .expect("system was just inserted");
+        if !system.lu.is_factored() {
+            engine.stats.factorizations += 1;
+            system.lu.refactor_slice(&system.a)?;
+        }
 
-        let stamp_admittance = |a: &mut Matrix, na: NodeId, nb: NodeId, y: Complex| {
-            if let Some(i) = row(na) {
-                a[(i, i)] += y;
-                if let Some(j) = row(nb) {
-                    a[(i, j)] -= y;
+        // Right-hand side from the source pattern (reusing the buffer).
+        engine.rhs.iter_mut().for_each(|x| *x = Complex::ZERO);
+        for &(id, stamp, dc) in &self.rhs_stamps {
+            let ac = engine.values[id.index()];
+            let value = self.source_value(id, dc, ac, drive);
+            match stamp {
+                RhsStamp::Branch { row } => {
+                    engine.rhs[row as usize] = Complex::from_real(value);
                 }
-            }
-            if let Some(j) = row(nb) {
-                a[(j, j)] += y;
-                if let Some(i) = row(na) {
-                    a[(j, i)] -= y;
-                }
-            }
-        };
-
-        for (id, e) in self.circuit.iter() {
-            match e.kind {
-                ElementKind::Resistor { value } => {
-                    let y = Complex::from_real(1.0 / value);
-                    stamp_admittance(&mut a, e.nodes[0], e.nodes[1], y);
-                }
-                ElementKind::Capacitor { value } => {
-                    let y = s * value;
-                    stamp_admittance(&mut a, e.nodes[0], e.nodes[1], y);
-                }
-                ElementKind::Inductor { value } => {
-                    // Branch formulation: V(a) − V(b) − s·L·I = 0
-                    let k = branch_row[&id];
-                    let (na, nb) = (e.nodes[0], e.nodes[1]);
-                    if let Some(i) = row(na) {
-                        a[(i, k)] += Complex::ONE;
-                        a[(k, i)] += Complex::ONE;
+                RhsStamp::Nodal { plus, minus } => {
+                    if let Some(i) = plus {
+                        engine.rhs[i as usize] -= Complex::from_real(value);
                     }
-                    if let Some(j) = row(nb) {
-                        a[(j, k)] -= Complex::ONE;
-                        a[(k, j)] -= Complex::ONE;
-                    }
-                    a[(k, k)] -= s * value;
-                }
-                ElementKind::VoltageSource { .. } => {
-                    let k = branch_row[&id];
-                    let (np, nn) = (e.nodes[0], e.nodes[1]);
-                    if let Some(i) = row(np) {
-                        a[(i, k)] += Complex::ONE;
-                        a[(k, i)] += Complex::ONE;
-                    }
-                    if let Some(j) = row(nn) {
-                        a[(j, k)] -= Complex::ONE;
-                        a[(k, j)] -= Complex::ONE;
-                    }
-                    b[k] = Complex::from_real(self.source_value(id, &e.kind, drive));
-                }
-                ElementKind::CurrentSource { .. } => {
-                    let value = self.source_value(id, &e.kind, drive);
-                    let (np, nn) = (e.nodes[0], e.nodes[1]);
-                    if let Some(i) = row(np) {
-                        b[i] -= Complex::from_real(value);
-                    }
-                    if let Some(j) = row(nn) {
-                        b[j] += Complex::from_real(value);
-                    }
-                }
-                ElementKind::Vcvs { gain } => {
-                    // V(p) − V(n) − gain·(V(cp) − V(cn)) = 0
-                    let k = branch_row[&id];
-                    let (p, nn, cp, cn) = (e.nodes[0], e.nodes[1], e.nodes[2], e.nodes[3]);
-                    if let Some(i) = row(p) {
-                        a[(i, k)] += Complex::ONE;
-                        a[(k, i)] += Complex::ONE;
-                    }
-                    if let Some(j) = row(nn) {
-                        a[(j, k)] -= Complex::ONE;
-                        a[(k, j)] -= Complex::ONE;
-                    }
-                    if let Some(i) = row(cp) {
-                        a[(k, i)] -= Complex::from_real(gain);
-                    }
-                    if let Some(j) = row(cn) {
-                        a[(k, j)] += Complex::from_real(gain);
-                    }
-                }
-                ElementKind::OpAmp { model } => {
-                    // Output current is the branch unknown, injected at `out`.
-                    let k = branch_row[&id];
-                    let (inp, inn, out) = (e.nodes[0], e.nodes[1], e.nodes[2]);
-                    if let Some(o) = row(out) {
-                        a[(o, k)] += Complex::ONE;
-                    }
-                    match model {
-                        OpAmpModel::Ideal => {
-                            // Constraint: V(in+) − V(in−) = 0
-                            if let Some(i) = row(inp) {
-                                a[(k, i)] += Complex::ONE;
-                            }
-                            if let Some(j) = row(inn) {
-                                a[(k, j)] -= Complex::ONE;
-                            }
-                        }
-                        OpAmpModel::FiniteGain { a0, pole_hz } => {
-                            // V(out) = A(s)·(V(in+) − V(in−)),
-                            // A(s) = a0 / (1 + s/(2π·pole_hz))
-                            let denom = Complex::ONE + s / (TAU * pole_hz);
-                            let gain = Complex::from_real(a0) / denom;
-                            if let Some(o) = row(out) {
-                                a[(k, o)] += Complex::ONE;
-                            }
-                            if let Some(i) = row(inp) {
-                                a[(k, i)] -= gain;
-                            }
-                            if let Some(j) = row(inn) {
-                                a[(k, j)] += gain;
-                            }
-                        }
+                    if let Some(j) = minus {
+                        engine.rhs[j as usize] += Complex::from_real(value);
                     }
                 }
             }
         }
+        system.lu.solve_in_place(&mut engine.rhs);
+        let x = &engine.rhs;
 
-        let x = a.solve(&b)?;
         let mut voltages = vec![Complex::ZERO; self.circuit.node_count()];
         for node_idx in 1..self.circuit.node_count() {
             voltages[node_idx] = x[node_idx - 1];
@@ -357,7 +694,7 @@ impl<'a> Mna<'a> {
             .branch_elements
             .iter()
             .enumerate()
-            .map(|(i, &id)| (id, x[n_nodes + i]))
+            .map(|(i, &id)| (id, x[self.n_nodes + i]))
             .collect();
         Ok(Solution {
             voltages,
@@ -454,6 +791,35 @@ mod tests {
     }
 
     #[test]
+    fn finite_gain_opamp_rolls_off_above_the_pole() {
+        // Open-loop follower behaviour: closed-loop bandwidth of the
+        // inverting amp is a0·pole/(1+Rf/Rin) ≈ 0.9 MHz; well above it the
+        // gain must fall clearly below the low-frequency value.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vminus = c.node("vminus");
+        let vout = c.node("vout");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 0.0, 1.0);
+        c.resistor("Rin", vin, vminus, 1.0e3);
+        c.resistor("Rf", vminus, vout, 10.0e3);
+        c.opamp(
+            "A1",
+            Circuit::GROUND,
+            vminus,
+            vout,
+            OpAmpModel::FiniteGain {
+                a0: 1.0e5,
+                pole_hz: 10.0,
+            },
+        );
+        let mna = Mna::new(&c);
+        let g_low = mna.gain("Vin", vout, 100.0).unwrap();
+        let g_high = mna.gain("Vin", vout, 10.0e6).unwrap();
+        assert!((g_low - 10.0).abs() < 0.1, "low-frequency gain {g_low}");
+        assert!(g_high < g_low / 5.0, "high-frequency gain {g_high}");
+    }
+
+    #[test]
     fn vcvs_gain_stage() {
         let mut c = Circuit::new();
         let vin = c.node("vin");
@@ -517,5 +883,104 @@ mod tests {
         let mna = Mna::new(&c);
         // 2 non-ground nodes + 1 voltage-source branch.
         assert_eq!(mna.unknown_count(), 3);
+    }
+
+    #[test]
+    fn value_patching_matches_a_rebuilt_circuit() {
+        let (c, vout) = rc_lowpass();
+        let r = c.find_element("R").unwrap();
+        let cap = c.find_element("C").unwrap();
+        let mna = Mna::new(&c);
+        // Patch R to 2 kΩ and C to half: cutoff stays at ~1 kHz.
+        mna.set_value(r, 2.0e3);
+        mna.scale_value(cap, 0.5);
+        assert_eq!(mna.value(r), 2.0e3);
+        let mut rebuilt = c.clone();
+        rebuilt.set_value(r, 2.0e3);
+        rebuilt.scale_value(cap, 0.5);
+        let reference = Mna::new(&rebuilt);
+        for freq in [1.0, 500.0, 1000.0, 20_000.0] {
+            let a = mna.gain("Vin", vout, freq).unwrap();
+            let b = reference.gain("Vin", vout, freq).unwrap();
+            assert!((a - b).abs() < 1e-12, "gain mismatch at {freq} Hz: {a} vs {b}");
+        }
+        // Restoring the nominal values restores the nominal response.
+        mna.reset_values();
+        let nominal = Mna::new(&c);
+        for freq in [1.0, 1000.0, 20_000.0] {
+            let a = mna.gain("Vin", vout, freq).unwrap();
+            let b = nominal.gain("Vin", vout, freq).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn patching_updates_cached_frequency_systems() {
+        let (c, vout) = rc_lowpass();
+        let cap = c.find_element("C").unwrap();
+        let mna = Mna::new(&c);
+        // Populate the per-frequency cache at nominal values...
+        let g_nominal = mna.gain("Vin", vout, 1000.0).unwrap();
+        assert!(mna.cached_system_count() >= 1);
+        // ...then patch: the cached system must be updated, not stale.
+        mna.scale_value(cap, 10.0);
+        let g_patched = mna.gain("Vin", vout, 1000.0).unwrap();
+        assert!(
+            g_patched < g_nominal / 2.0,
+            "10× capacitor must pull the 1 kHz gain well down ({g_nominal} -> {g_patched})"
+        );
+        let mut shifted = c.clone();
+        shifted.scale_value(cap, 10.0);
+        let reference = Mna::new(&shifted).gain("Vin", vout, 1000.0).unwrap();
+        assert!((g_patched - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_valued_element_is_singular_not_poisonous() {
+        // Setting a resistor to exactly 0.0 makes its conductance infinite;
+        // solving in that state must be a clean singular-matrix error, and
+        // restoring a finite value must fully recover the engine (no NaN
+        // left behind by the inf − inf delta).
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        c.voltage_source("Vin", vin, Circuit::GROUND, 10.0, 1.0);
+        c.resistor("R1", vin, mid, 2.0e3);
+        c.resistor("R2", mid, Circuit::GROUND, 3.0e3);
+        let r1 = c.find_element("R1").unwrap();
+        let mna = Mna::new(&c);
+        let nominal = mna.solve_dc().unwrap().voltage(mid).re;
+        mna.set_value(r1, 0.0);
+        assert!(matches!(
+            mna.solve_dc(),
+            Err(AnalogError::SingularMatrix { .. })
+        ));
+        mna.set_value(r1, 2.0e3);
+        let restored = mna.solve_dc().unwrap().voltage(mid).re;
+        assert!(
+            (restored - nominal).abs() < 1e-12,
+            "engine must recover exactly after a through-zero patch: {restored} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn repeated_solves_reuse_assembly_and_factorization() {
+        let (c, vout) = rc_lowpass();
+        let mna = Mna::new(&c);
+        for _ in 0..5 {
+            let _ = mna.gain("Vin", vout, 1000.0).unwrap();
+            let _ = mna.solve_ac(1000.0).unwrap();
+        }
+        let stats = mna.solver_stats();
+        assert_eq!(stats.solves, 10);
+        // One distinct frequency: one assembly, one factorization.
+        assert_eq!(stats.assemblies, 1);
+        assert_eq!(stats.factorizations, 1);
+        assert_eq!(mna.cached_system_count(), 1);
+        mna.clear_system_cache();
+        assert_eq!(mna.cached_system_count(), 0);
+        // Next solve re-assembles.
+        let _ = mna.solve_ac(1000.0).unwrap();
+        assert_eq!(mna.solver_stats().assemblies, 2);
     }
 }

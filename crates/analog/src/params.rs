@@ -4,6 +4,7 @@
 //! frequency*; [`measure`] evaluates it on a concrete circuit.  These are the
 //! columns of the element-deviation tables (Example 1, Tables 3 and 8).
 
+use crate::mna::Mna;
 use crate::netlist::{Circuit, NodeId};
 use crate::response::{ResponseAnalyzer, SweepConfig};
 use crate::AnalogError;
@@ -84,8 +85,21 @@ impl ParameterSpec {
 /// matrix is singular, or the requested feature (e.g. a cut-off frequency)
 /// does not exist in the sweep range.
 pub fn measure(circuit: &Circuit, spec: &ParameterSpec) -> Result<f64, AnalogError> {
-    let output = spec.output_node(circuit)?;
-    let analyzer = ResponseAnalyzer::new(circuit, &spec.source, output).with_sweep(spec.sweep);
+    let mna = Mna::new(circuit);
+    measure_with_mna(&mna, spec)
+}
+
+/// Measures a parameter through an existing (possibly patched) MNA engine,
+/// reusing its stamp pattern and cached per-frequency factorizations.  This
+/// is the hot path of the deviation analysis, which measures the same
+/// parameters thousands of times under different element values.
+///
+/// # Errors
+///
+/// Same conditions as [`measure`].
+pub fn measure_with_mna(mna: &Mna<'_>, spec: &ParameterSpec) -> Result<f64, AnalogError> {
+    let output = spec.output_node(mna.circuit())?;
+    let analyzer = ResponseAnalyzer::from_mna(mna, &spec.source, output).with_sweep(spec.sweep);
     match spec.kind {
         ParameterKind::DcGain => analyzer.dc_gain(),
         ParameterKind::AcGain { freq_hz } => analyzer.gain_at(freq_hz),

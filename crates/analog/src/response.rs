@@ -57,6 +57,21 @@ impl FrequencyResponse {
         config: &SweepConfig,
     ) -> Result<Self, AnalogError> {
         let mna = Mna::new(circuit);
+        Self::sweep_with_mna(&mna, source, output, config)
+    }
+
+    /// Samples the response using an existing (possibly patched) MNA engine,
+    /// reusing its stamp pattern, per-frequency systems and factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (singular MNA matrix, unknown source).
+    pub fn sweep_with_mna(
+        mna: &Mna<'_>,
+        source: &str,
+        output: NodeId,
+        config: &SweepConfig,
+    ) -> Result<Self, AnalogError> {
         let mut points = Vec::new();
         for f in config.frequencies() {
             let gain = mna.gain(source, output, f)?;
@@ -96,20 +111,43 @@ impl FrequencyResponse {
     }
 }
 
+/// The MNA engine an analyzer works on: its own, or one shared with other
+/// analyzers / a deviation analysis (so cached systems and value patches are
+/// shared too).
+enum MnaHandle<'a> {
+    Owned(Box<Mna<'a>>),
+    Shared(&'a Mna<'a>),
+}
+
 /// High-accuracy response-parameter extraction working directly on the MNA
 /// solver (sweep for bracketing, bisection for refinement).
 pub struct ResponseAnalyzer<'a> {
-    mna: Mna<'a>,
+    mna: MnaHandle<'a>,
     source: String,
     output: NodeId,
     config: SweepConfig,
 }
 
 impl<'a> ResponseAnalyzer<'a> {
-    /// Creates an analyzer for the transfer function `source → output`.
+    /// Creates an analyzer for the transfer function `source → output` with
+    /// its own MNA engine.
     pub fn new(circuit: &'a Circuit, source: &str, output: NodeId) -> Self {
         ResponseAnalyzer {
-            mna: Mna::new(circuit),
+            mna: MnaHandle::Owned(Box::new(Mna::new(circuit))),
+            source: source.to_owned(),
+            output,
+            config: SweepConfig::default(),
+        }
+    }
+
+    /// Creates an analyzer on a shared MNA engine.  All of the engine's
+    /// cached per-frequency systems — and any value patches applied through
+    /// [`Mna::set_value`] — are visible to the analyzer, which is how the
+    /// deviation analysis measures parameters of a perturbed circuit without
+    /// rebuilding anything.
+    pub fn from_mna(mna: &'a Mna<'a>, source: &str, output: NodeId) -> Self {
+        ResponseAnalyzer {
+            mna: MnaHandle::Shared(mna),
             source: source.to_owned(),
             output,
             config: SweepConfig::default(),
@@ -122,13 +160,21 @@ impl<'a> ResponseAnalyzer<'a> {
         self
     }
 
+    /// The underlying MNA engine.
+    pub fn mna(&self) -> &Mna<'a> {
+        match &self.mna {
+            MnaHandle::Owned(mna) => mna,
+            MnaHandle::Shared(mna) => mna,
+        }
+    }
+
     /// Gain magnitude at a single frequency.
     ///
     /// # Errors
     ///
     /// Propagates solver errors.
     pub fn gain_at(&self, freq_hz: f64) -> Result<f64, AnalogError> {
-        self.mna.gain(&self.source, self.output, freq_hz)
+        self.mna().gain(&self.source, self.output, freq_hz)
     }
 
     /// DC gain (`|H(0)|`).
@@ -137,7 +183,7 @@ impl<'a> ResponseAnalyzer<'a> {
     ///
     /// Propagates solver errors.
     pub fn dc_gain(&self) -> Result<f64, AnalogError> {
-        self.mna.gain(&self.source, self.output, 0.0)
+        self.mna().gain(&self.source, self.output, 0.0)
     }
 
     /// Maximum gain over the sweep range, refined by golden-section search,
@@ -353,5 +399,32 @@ mod tests {
         assert!(f_peak > 100.0 && f_peak < 10_000.0);
         assert!(g_peak > resp.low_frequency_gain());
         assert!(g_peak > resp.high_frequency_gain());
+    }
+
+    #[test]
+    fn shared_mna_analyzer_matches_owned_and_reuses_factorizations() {
+        let (c, vout) = rc_lowpass(1000.0);
+        let mna = Mna::new(&c);
+        let shared = ResponseAnalyzer::from_mna(&mna, "Vin", vout);
+        let owned = ResponseAnalyzer::new(&c, "Vin", vout);
+        assert_eq!(shared.dc_gain().unwrap(), owned.dc_gain().unwrap());
+        let fh_shared = shared.high_cutoff().unwrap();
+        let fh_owned = owned.high_cutoff().unwrap();
+        assert!((fh_shared - fh_owned).abs() < 1e-9);
+        // A second extraction over the same analyzer re-solves the same
+        // frequency grid: the cached factorizations must absorb most of it.
+        let stats_before = mna.solver_stats();
+        let _ = shared.high_cutoff().unwrap();
+        let stats_after = mna.solver_stats();
+        let new_solves = stats_after.solves - stats_before.solves;
+        let new_factorizations = stats_after.factorizations - stats_before.factorizations;
+        assert!(
+            new_factorizations < new_solves / 2,
+            "repeat extraction should be cache-dominated: {new_factorizations} factorizations for {new_solves} solves"
+        );
+        // The sweep helper can share the same engine.
+        let resp = FrequencyResponse::sweep_with_mna(&mna, "Vin", vout, &SweepConfig::default())
+            .unwrap();
+        assert!(!resp.points().is_empty());
     }
 }

@@ -8,8 +8,9 @@
 //! tolerance, partially masking the fault, exactly as the paper's
 //! "worst element tolerance" computation.
 
+use crate::mna::Mna;
 use crate::netlist::{Circuit, ElementId};
-use crate::params::{measure, ParameterSpec};
+use crate::params::{measure_with_mna, ParameterSpec};
 use crate::tolerance::{relative_deviation, Tolerance};
 use crate::AnalogError;
 
@@ -25,17 +26,35 @@ pub fn normalized_sensitivity(
     element: ElementId,
     step: f64,
 ) -> Result<f64, AnalogError> {
-    let nominal = measure(circuit, spec)?;
+    let mna = Mna::new(circuit);
+    normalized_sensitivity_with_mna(&mna, spec, element, step)
+}
+
+/// Like [`normalized_sensitivity`], but probes an existing MNA engine by
+/// patching the element value up and down instead of cloning and re-stamping
+/// the circuit twice.  The engine is restored to its current value on
+/// return.
+///
+/// # Errors
+///
+/// Propagates measurement errors.
+pub fn normalized_sensitivity_with_mna(
+    mna: &Mna<'_>,
+    spec: &ParameterSpec,
+    element: ElementId,
+    step: f64,
+) -> Result<f64, AnalogError> {
+    let nominal = measure_with_mna(mna, spec)?;
     if nominal == 0.0 {
         return Ok(0.0);
     }
-    let mut up = circuit.clone();
-    up.scale_value(element, 1.0 + step);
-    let mut down = circuit.clone();
-    down.scale_value(element, 1.0 - step);
-    let t_up = measure(&up, spec)?;
-    let t_down = measure(&down, spec)?;
-    Ok(((t_up - t_down) / nominal) / (2.0 * step))
+    let base = mna.value(element);
+    mna.set_value(element, base * (1.0 + step));
+    let t_up = measure_with_mna(mna, spec);
+    mna.set_value(element, base * (1.0 - step));
+    let t_down = measure_with_mna(mna, spec);
+    mna.set_value(element, base);
+    Ok(((t_up? - t_down?) / nominal) / (2.0 * step))
 }
 
 /// One row of a [`DeviationReport`]: the detectable deviation of one element
@@ -209,6 +228,14 @@ impl<'a> WorstCaseAnalysis<'a> {
 
     /// Runs the analysis.
     ///
+    /// One MNA engine serves the whole run: every probe (sensitivity,
+    /// bracketing, bisection) patches the faulty element's value into the
+    /// stamped system and restores it afterwards, so the structural stamping
+    /// work and the per-frequency factorization cache are shared across the
+    /// thousands of measurements a deviation matrix requires.  The
+    /// worst-case masking sensitivities are likewise computed once per
+    /// parameter and shared across all faulty-element rows.
+    ///
     /// # Errors
     ///
     /// Propagates measurement errors (singular matrices, unknown nodes,
@@ -222,18 +249,28 @@ impl<'a> WorstCaseAnalysis<'a> {
             .iter()
             .map(|&id| (id, self.circuit.element(id).name.clone()))
             .collect();
+        let mna = Mna::new(self.circuit);
         let mut rows = Vec::new();
         for spec in self.parameters {
-            let nominal = measure(self.circuit, spec)?;
-            // First-order masking margin contributed by fault-free elements.
-            for &element in &elements {
-                let mask = if self.worst_case {
-                    self.masking_margin(spec, element, &elements, nominal)?
-                } else {
-                    0.0
-                };
+            let nominal = measure_with_mna(&mna, spec)?;
+            // First-order masking margins contributed by fault-free
+            // elements: Σ_{j≠faulty} |S_j| · tol_element.  The sensitivities
+            // depend only on (parameter, element), so compute each once and
+            // derive every row's margin from the shared total.
+            let sensitivities: Vec<f64> = if self.worst_case && nominal != 0.0 {
+                elements
+                    .iter()
+                    .map(|&e| normalized_sensitivity_with_mna(&mna, spec, e, 0.01))
+                    .collect::<Result<_, _>>()?
+            } else {
+                vec![0.0; elements.len()]
+            };
+            let total_abs: f64 = sensitivities.iter().map(|s| s.abs()).sum();
+            for (idx, &element) in elements.iter().enumerate() {
+                let mask =
+                    (total_abs - sensitivities[idx].abs()) * self.element_tolerance.fraction();
                 let detectable =
-                    self.minimum_detectable_deviation(spec, element, nominal, mask)?;
+                    self.minimum_detectable_deviation(&mna, spec, element, nominal, mask)?;
                 rows.push(DeviationRow {
                     parameter: spec.name.clone(),
                     element: self.circuit.element(element).name.clone(),
@@ -249,30 +286,6 @@ impl<'a> WorstCaseAnalysis<'a> {
         })
     }
 
-    /// First-order bound on how much the fault-free elements can shift the
-    /// parameter (as a relative deviation) while staying inside their own
-    /// tolerance: `Σ_j |S_j| · tol_element`.
-    fn masking_margin(
-        &self,
-        spec: &ParameterSpec,
-        faulty: ElementId,
-        elements: &[ElementId],
-        nominal: f64,
-    ) -> Result<f64, AnalogError> {
-        if nominal == 0.0 {
-            return Ok(0.0);
-        }
-        let mut margin = 0.0;
-        for &other in elements {
-            if other == faulty {
-                continue;
-            }
-            let s = normalized_sensitivity(self.circuit, spec, other, 0.01)?;
-            margin += s.abs() * self.element_tolerance.fraction();
-        }
-        Ok(margin)
-    }
-
     /// Finds the smallest deviation (searched in both directions) whose
     /// effect on the parameter exceeds `tolerance + mask`.  Returns the
     /// *larger* of the two directional thresholds so that any deviation of
@@ -280,14 +293,15 @@ impl<'a> WorstCaseAnalysis<'a> {
     /// direction stays inside the box up to the cap.
     fn minimum_detectable_deviation(
         &self,
+        mna: &Mna<'_>,
         spec: &ParameterSpec,
         element: ElementId,
         nominal: f64,
         mask: f64,
     ) -> Result<Option<f64>, AnalogError> {
         let threshold = self.parameter_tolerance.fraction() + mask;
-        let up = self.directional_threshold(spec, element, nominal, threshold, 1.0)?;
-        let down = self.directional_threshold(spec, element, nominal, threshold, -1.0)?;
+        let up = self.directional_threshold(mna, spec, element, nominal, threshold, 1.0)?;
+        let down = self.directional_threshold(mna, spec, element, nominal, threshold, -1.0)?;
         Ok(match (up, down) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
@@ -296,17 +310,19 @@ impl<'a> WorstCaseAnalysis<'a> {
 
     fn directional_threshold(
         &self,
+        mna: &Mna<'_>,
         spec: &ParameterSpec,
         element: ElementId,
         nominal: f64,
         threshold: f64,
         sign: f64,
     ) -> Result<Option<f64>, AnalogError> {
+        let base = mna.value(element);
         let effect = |deviation: f64| -> Result<f64, AnalogError> {
-            let mut faulty = self.circuit.clone();
-            faulty.scale_value(element, 1.0 + sign * deviation);
-            let value = measure(&faulty, spec)?;
-            Ok(relative_deviation(value, nominal).abs())
+            mna.set_value(element, base * (1.0 + sign * deviation));
+            let value = measure_with_mna(mna, spec);
+            mna.set_value(element, base);
+            Ok(relative_deviation(value?, nominal).abs())
         };
         // Exponential bracketing.
         let mut lo = 0.0f64;

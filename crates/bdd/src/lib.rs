@@ -6,6 +6,30 @@
 //! with memoized `apply`/`ite` operations, cofactoring, quantification,
 //! Boolean difference and satisfying-assignment enumeration.
 //!
+//! # Engine
+//!
+//! The manager follows the arena layout of modern BDD packages
+//! (rsdd, OBDDimal):
+//!
+//! * nodes live in a contiguous arena indexed by the `u32` inside [`Bdd`]
+//!   — child traversal is an array access, and handles stay valid for the
+//!   manager's lifetime (no garbage collection);
+//! * hash consing goes through an open-addressed, linear-probed unique
+//!   table keyed by an FNV-1a hash of `(var, low, high)` — `mk_node` is one
+//!   probe with no heap allocation and no cryptographic hashing;
+//! * `apply`/`ite` memoization uses fixed-size, direct-mapped **lossy**
+//!   caches: a collision overwrites the resident entry, bounding cache
+//!   memory for arbitrarily long runs while keeping hit rates high for the
+//!   clustered access patterns of BDD recursion.  [`BddManager::stats`]
+//!   reports occupancy and hit/miss counters ([`CacheStats`]), and
+//!   [`BddManager::clear_caches`] / [`BddManager::reset_cache_stats`] give
+//!   long ATPG campaigns explicit control points.
+//!
+//! Operations are `O(|f|·|g|)` as usual for reduced OBDDs; the overhaul
+//! changes the constants, not the asymptotics (≈4× on the 24-bit
+//! carry-chain build versus the previous `HashMap`-based engine — see
+//! `BENCH_kernels.json` and the `bdd_ops` bench).
+//!
 //! # Example
 //!
 //! ```
@@ -36,5 +60,5 @@ mod node;
 pub use cube::{Assignment, Cube, CubeIter};
 pub use dot::{to_dot, to_text_tree};
 pub use expr::Expr;
-pub use manager::{BddManager, BddStats};
+pub use manager::{BddManager, BddStats, CacheStats};
 pub use node::{Bdd, VarId};

@@ -1,4 +1,26 @@
-//! The BDD manager: hash-consed node store and memoized operations.
+//! The BDD manager: arena node store, open-addressed unique table and
+//! fixed-size lossy operation caches.
+//!
+//! ## Engine layout
+//!
+//! * **Node arena** — every internal node lives in one contiguous
+//!   `Vec<Node>` indexed by the `u32` inside [`Bdd`]; indices 0 and 1 are
+//!   the terminals.  Child lookups are a single bounds-checked array access,
+//!   and the arena is never garbage-collected, so `Bdd` handles stay valid
+//!   for the manager's lifetime.
+//! * **Unique table** — hash consing uses an open-addressed,
+//!   linear-probed table of node indices keyed by an FNV-1a hash of
+//!   `(var, low, high)` (rsdd/OBDDimal style) instead of a SipHash
+//!   `HashMap<Node, Bdd>`: no per-entry heap boxes, no DoS-resistant (slow)
+//!   hashing, and resizing rehashes plain `u32`s.
+//! * **Apply / ITE caches** — memoization uses direct-mapped, fixed-size
+//!   lossy caches: a colliding entry simply overwrites the previous one.
+//!   This bounds cache memory for arbitrarily long ATPG runs (the unbounded
+//!   `HashMap` caches of the previous engine grew monotonically) while
+//!   keeping the hit rate high for the clustered access patterns of
+//!   `apply`/`ite` recursions.  Hit/miss counters are exposed through
+//!   [`BddManager::stats`] and the caches can be reset with
+//!   [`BddManager::clear_caches`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -14,24 +36,184 @@ enum Op {
     Xor,
 }
 
-/// Statistics about the state of a [`BddManager`].
+/// log2 of the number of slots in the apply cache.
+const APPLY_CACHE_BITS: usize = 14;
+/// log2 of the number of slots in the ITE cache.
+const ITE_CACHE_BITS: usize = 14;
+/// Initial capacity (slots) of the unique table; always a power of two.
+const UNIQUE_INITIAL_SLOTS: usize = 1 << 10;
+/// Sentinel marking an empty cache slot / unique-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// FNV-1a over a few words, with a final avalanche so the low bits (used to
+/// index power-of-two tables) depend on every input bit.
+#[inline]
+fn fnv_mix(words: [u32; 3]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^ (h >> 32)
+}
+
+/// Hit/miss counters of one memoization cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of cache probes.
+    pub lookups: u64,
+    /// Number of probes that returned a previously computed result.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Number of probes that missed.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Fraction of lookups served from the cache (`0.0` when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Statistics about the state of a [`BddManager`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BddStats {
     /// Number of live internal nodes (excluding the two terminals).
     pub node_count: usize,
     /// Number of declared variables.
     pub var_count: usize,
-    /// Number of entries currently stored in the apply cache.
+    /// Number of entries currently stored in the apply and ITE caches.
     pub cache_entries: usize,
+    /// Total slot capacity of the apply and ITE caches (fixed).
+    pub cache_capacity: usize,
+    /// Slot capacity of the unique (hash-consing) table.
+    pub unique_capacity: usize,
+    /// Apply-cache hit/miss counters.
+    pub apply_cache: CacheStats,
+    /// ITE-cache hit/miss counters.
+    pub ite_cache: CacheStats,
 }
 
 impl fmt::Display for BddStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes, {} variables, {} cached results",
-            self.node_count, self.var_count, self.cache_entries
+            "{} nodes, {} variables, {}/{} cached results (apply {:.0}% / ite {:.0}% hits)",
+            self.node_count,
+            self.var_count,
+            self.cache_entries,
+            self.cache_capacity,
+            self.apply_cache.hit_rate() * 100.0,
+            self.ite_cache.hit_rate() * 100.0,
         )
+    }
+}
+
+/// One slot of the direct-mapped apply cache.
+#[derive(Clone, Copy)]
+struct ApplyEntry {
+    f: u32,
+    g: u32,
+    op: u8,
+    result: u32,
+}
+
+const APPLY_EMPTY: ApplyEntry = ApplyEntry {
+    f: EMPTY,
+    g: EMPTY,
+    op: u8::MAX,
+    result: EMPTY,
+};
+
+/// One slot of the direct-mapped ITE cache.
+#[derive(Clone, Copy)]
+struct IteEntry {
+    f: u32,
+    g: u32,
+    h: u32,
+    result: u32,
+}
+
+const ITE_EMPTY: IteEntry = IteEntry {
+    f: EMPTY,
+    g: EMPTY,
+    h: EMPTY,
+    result: EMPTY,
+};
+
+/// Open-addressed, linear-probed hash-consing table mapping node contents to
+/// their arena index.
+#[derive(Clone)]
+struct UniqueTable {
+    /// Node indices; `EMPTY` marks a vacant slot.  Length is a power of two.
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl UniqueTable {
+    fn new() -> Self {
+        UniqueTable {
+            slots: vec![EMPTY; UNIQUE_INITIAL_SLOTS],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Finds the node `(var, low, high)` in the table, or the vacant slot
+    /// where it belongs.  Returns `Ok(node_index)` or `Err(slot_index)`.
+    #[inline]
+    fn probe(&self, nodes: &[Node], var: VarId, low: Bdd, high: Bdd) -> Result<u32, usize> {
+        let mask = self.mask();
+        let mut slot = fnv_mix([var, low.0, high.0]) as usize & mask;
+        loop {
+            let idx = self.slots[slot];
+            if idx == EMPTY {
+                return Err(slot);
+            }
+            let node = &nodes[idx as usize];
+            if node.var == var && node.low == low && node.high == high {
+                return Ok(idx);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Inserts a node index at a vacant slot previously returned by
+    /// [`UniqueTable::probe`], growing (and rehashing) at 75 % load.
+    fn insert(&mut self, nodes: &[Node], slot: usize, idx: u32) {
+        self.slots[slot] = idx;
+        self.len += 1;
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow(nodes);
+        }
+    }
+
+    fn grow(&mut self, nodes: &[Node]) {
+        let new_cap = self.slots.len() * 2;
+        let mut new_slots = vec![EMPTY; new_cap];
+        let mask = new_cap - 1;
+        for &idx in self.slots.iter().filter(|&&i| i != EMPTY) {
+            let node = &nodes[idx as usize];
+            let mut slot = fnv_mix([node.var, node.low.0, node.high.0]) as usize & mask;
+            while new_slots[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            new_slots[slot] = idx;
+        }
+        self.slots = new_slots;
     }
 }
 
@@ -59,9 +241,11 @@ impl fmt::Display for BddStats {
 #[derive(Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    unique: UniqueTable,
+    apply_cache: Vec<ApplyEntry>,
+    ite_cache: Vec<IteEntry>,
+    apply_stats: CacheStats,
+    ite_stats: CacheStats,
     names: Vec<String>,
     by_name: HashMap<String, VarId>,
 }
@@ -90,12 +274,14 @@ impl BddManager {
             high: Bdd::ONE,
         };
         // Index 0 and 1 are reserved for the terminals; their stored contents
-        // are never inspected, but the vector slots must exist.
+        // are never inspected, but the arena slots must exist.
         BddManager {
             nodes: vec![terminal, terminal],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: UniqueTable::new(),
+            apply_cache: vec![APPLY_EMPTY; 1 << APPLY_CACHE_BITS],
+            ite_cache: vec![ITE_EMPTY; 1 << ITE_CACHE_BITS],
+            apply_stats: CacheStats::default(),
+            ite_stats: CacheStats::default(),
             names: Vec::new(),
             by_name: HashMap::new(),
         }
@@ -129,13 +315,35 @@ impl BddManager {
         self.names.len()
     }
 
-    /// Returns statistics about the manager.
+    /// Returns statistics about the manager, including cache hit rates.
     pub fn stats(&self) -> BddStats {
+        let apply_entries = self.apply_cache.iter().filter(|e| e.op != u8::MAX).count();
+        let ite_entries = self.ite_cache.iter().filter(|e| e.f != EMPTY).count();
         BddStats {
             node_count: self.nodes.len().saturating_sub(2),
             var_count: self.names.len(),
-            cache_entries: self.apply_cache.len() + self.ite_cache.len(),
+            cache_entries: apply_entries + ite_entries,
+            cache_capacity: self.apply_cache.len() + self.ite_cache.len(),
+            unique_capacity: self.unique.slots.len(),
+            apply_cache: self.apply_stats,
+            ite_cache: self.ite_stats,
         }
+    }
+
+    /// Empties the apply and ITE caches (the node arena and unique table are
+    /// untouched, so every existing [`Bdd`] stays valid).  Long ATPG runs
+    /// can call this between targets; with the fixed-size lossy caches it
+    /// mainly serves to drop stale entries and restart hit-rate measurement
+    /// via [`BddManager::reset_cache_stats`].
+    pub fn clear_caches(&mut self) {
+        self.apply_cache.fill(APPLY_EMPTY);
+        self.ite_cache.fill(ITE_EMPTY);
+    }
+
+    /// Resets the cache hit/miss counters to zero.
+    pub fn reset_cache_stats(&mut self) {
+        self.apply_stats = CacheStats::default();
+        self.ite_stats = CacheStats::default();
     }
 
     /// Declares a new variable with an auto-generated name and returns the
@@ -236,14 +444,15 @@ impl BddManager {
         if low == high {
             return low;
         }
-        let node = Node { var, low, high };
-        if let Some(&existing) = self.unique.get(&node) {
-            return existing;
+        match self.unique.probe(&self.nodes, var, low, high) {
+            Ok(idx) => Bdd(idx),
+            Err(slot) => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node { var, low, high });
+                self.unique.insert(&self.nodes, slot, idx);
+                Bdd(idx)
+            }
         }
-        let id = Bdd(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, id);
-        id
     }
 
     // ------------------------------------------------------------------
@@ -333,8 +542,12 @@ impl BddManager {
         if g.is_one() && h.is_zero() {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+        let slot = (fnv_mix([f.0, g.0, h.0]) as usize) & (self.ite_cache.len() - 1);
+        self.ite_stats.lookups += 1;
+        let entry = self.ite_cache[slot];
+        if entry.f == f.0 && entry.g == g.0 && entry.h == h.0 {
+            self.ite_stats.hits += 1;
+            return Bdd(entry.result);
         }
         let top = self
             .root_var(f)
@@ -346,7 +559,13 @@ impl BddManager {
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
         let result = self.mk_node(top, low, high);
-        self.ite_cache.insert((f, g, h), result);
+        // Direct-mapped and lossy: colliding keys overwrite each other.
+        self.ite_cache[slot] = IteEntry {
+            f: f.0,
+            g: g.0,
+            h: h.0,
+            result: result.0,
+        };
         result
     }
 
@@ -404,8 +623,14 @@ impl BddManager {
         }
         // Commutative: normalize operand order for better cache hit rate.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
-            return r;
+        let op_code = op as u8;
+        let slot =
+            (fnv_mix([f.0, g.0, u32::from(op_code)]) as usize) & (self.apply_cache.len() - 1);
+        self.apply_stats.lookups += 1;
+        let entry = self.apply_cache[slot];
+        if entry.f == f.0 && entry.g == g.0 && entry.op == op_code {
+            self.apply_stats.hits += 1;
+            return Bdd(entry.result);
         }
         let top = self.root_var(f).min(self.root_var(g));
         let (f0, f1) = self.cofactors_at(f, top);
@@ -413,7 +638,13 @@ impl BddManager {
         let low = self.apply(op, f0, g0);
         let high = self.apply(op, f1, g1);
         let result = self.mk_node(top, low, high);
-        self.apply_cache.insert((op, f, g), result);
+        // Direct-mapped and lossy: colliding keys overwrite each other.
+        self.apply_cache[slot] = ApplyEntry {
+            f: f.0,
+            g: g.0,
+            op: op_code,
+            result: result.0,
+        };
         result
     }
 
@@ -808,6 +1039,74 @@ mod tests {
         assert!(stats.node_count >= 3);
         assert_eq!(stats.var_count, 3);
         assert!(format!("{stats}").contains("nodes"));
+    }
+
+    #[test]
+    fn cache_stats_are_consistent_after_mixed_workload() {
+        // Build a 12-bit adder carry chain, negate, quantify, count — a mix
+        // of apply, ite and restrict traffic — then check the counters are
+        // coherent with one another and with a cache clear.
+        let mut m = BddManager::new();
+        let mut carry = m.zero();
+        for i in 0..12 {
+            let a = m.var(&format!("a{i}"));
+            let b = m.var(&format!("b{i}"));
+            let ab = m.and(a, b);
+            let axb = m.xor(a, b);
+            let ac = m.and(axb, carry);
+            carry = m.or(ab, ac);
+        }
+        let not_carry = m.not(carry);
+        let v0 = m.var_index("a0").unwrap();
+        let _ = m.exists(carry, v0);
+        let _ = m.boolean_difference(carry, v0);
+        let stats = m.stats();
+        // Counters are coherent.
+        assert!(stats.apply_cache.lookups > 0);
+        assert!(stats.apply_cache.hits <= stats.apply_cache.lookups);
+        assert_eq!(
+            stats.apply_cache.hits + stats.apply_cache.misses(),
+            stats.apply_cache.lookups
+        );
+        assert!(stats.ite_cache.lookups > 0);
+        assert!(stats.ite_cache.hits <= stats.ite_cache.lookups);
+        assert!(stats.apply_cache.hit_rate() >= 0.0 && stats.apply_cache.hit_rate() <= 1.0);
+        // Occupancy is bounded by the fixed capacity.
+        assert!(stats.cache_entries > 0);
+        assert!(stats.cache_entries <= stats.cache_capacity);
+        // A recomputation after clearing produces the same canonical node
+        // (clearing only drops memoized results, never nodes).
+        m.clear_caches();
+        assert_eq!(m.stats().cache_entries, 0);
+        let recomputed = m.not(carry);
+        assert_eq!(recomputed, not_carry);
+        // Stats survive the clear; resetting zeroes them.
+        assert!(m.stats().apply_cache.lookups >= stats.apply_cache.lookups);
+        m.reset_cache_stats();
+        assert_eq!(m.stats().apply_cache.lookups, 0);
+        assert_eq!(m.stats().ite_cache.hits, 0);
+    }
+
+    #[test]
+    fn unique_table_grows_and_stays_canonical() {
+        // Create far more nodes than the initial unique-table capacity and
+        // verify hash consing still deduplicates: rebuilding the same
+        // function yields the identical handle.
+        let mut m = BddManager::new();
+        let mut acc = m.zero();
+        for i in 0..2_000u32 {
+            let v = m.var(&format!("x{}", i % 64));
+            let k = m.constant(i % 3 == 0);
+            let t = m.xor(v, k);
+            acc = m.or(acc, t);
+        }
+        let stats = m.stats();
+        assert!(stats.unique_capacity >= UNIQUE_INITIAL_SLOTS);
+        let a = m.var("x1");
+        let b = m.var("x2");
+        let f1 = m.and(a, b);
+        let f2 = m.and(a, b);
+        assert_eq!(f1, f2);
     }
 
     #[test]

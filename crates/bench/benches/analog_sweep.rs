@@ -1,11 +1,15 @@
-//! Analog-substrate benchmarks: MNA solves, response-parameter extraction
-//! and the worst-case deviation search behind Tables 3 and 8.
+//! Analog-substrate benchmarks: MNA solves, factorization-reusing frequency
+//! sweeps (cold engine / warm cache / naive per-point rebuild), value
+//! patching, response-parameter extraction and the worst-case deviation
+//! search behind Tables 3 and 8.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use msatpg_analog::filters;
 use msatpg_analog::mna::Mna;
 use msatpg_analog::params::measure;
+use msatpg_analog::response::{FrequencyResponse, SweepConfig};
 use msatpg_analog::sensitivity::WorstCaseAnalysis;
+use msatpg_bench::naive::naive_sweep;
 
 fn bench_mna_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("mna_solve");
@@ -21,6 +25,52 @@ fn bench_mna_solve(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(mna.gain("Vin", out, 1000.0).unwrap()));
         });
     }
+    group.finish();
+}
+
+fn bench_sweep_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequency_sweep");
+    group.sample_size(20);
+    let filter = filters::fifth_order_chebyshev();
+    let circuit = filter.circuit();
+    let output = filter.output_node();
+    let config = SweepConfig::default();
+    let freqs = config.frequencies();
+    group.bench_function("naive_rebuild_per_point", |b| {
+        b.iter(|| std::hint::black_box(naive_sweep(circuit, "Vin", output, &freqs).unwrap()));
+    });
+    group.bench_function("cold_engine", |b| {
+        b.iter(|| {
+            let mna = Mna::new(circuit);
+            std::hint::black_box(
+                FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap(),
+            )
+        });
+    });
+    group.bench_function("warm_factorization_cache", |b| {
+        let mna = Mna::new(circuit);
+        let _ = FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
+        b.iter(|| {
+            std::hint::black_box(
+                FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap(),
+            )
+        });
+    });
+    group.bench_function("patched_deviation_sweep", |b| {
+        // The deviation-analysis hot path: patch one element, re-sweep,
+        // restore.  The structural stamps and cached systems are reused;
+        // only factorizations re-run.
+        let mna = Mna::new(circuit);
+        let _ = FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
+        let element = circuit.passive_elements()[0];
+        b.iter(|| {
+            mna.scale_value(element, 1.05);
+            let resp =
+                FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
+            mna.scale_value(element, 1.0 / 1.05);
+            std::hint::black_box(resp)
+        });
+    });
     group.finish();
 }
 
@@ -59,6 +109,7 @@ fn bench_worst_case_single_element(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_mna_solve,
+    bench_sweep_modes,
     bench_parameter_measurement,
     bench_worst_case_single_element
 );

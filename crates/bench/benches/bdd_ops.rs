@@ -1,23 +1,11 @@
-//! BDD-package micro-benchmarks: the cost of the Boolean manipulation that
-//! every ATPG call in Tables 4 and 5 is built from.
+//! BDD-package micro-benchmarks: the arena engine against the naive
+//! HashMap-based reference, plus the Boolean manipulation every ATPG call in
+//! Tables 4 and 5 is built from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use msatpg_bdd::BddManager;
-
-/// Builds the BDD of an n-bit adder's carry-out (a classic BDD stress case
-/// with a good variable ordering).
-fn carry_chain(manager: &mut BddManager, bits: usize) -> msatpg_bdd::Bdd {
-    let mut carry = manager.zero();
-    for i in 0..bits {
-        let a = manager.var(&format!("a{i}"));
-        let b = manager.var(&format!("b{i}"));
-        let ab = manager.and(a, b);
-        let axb = manager.xor(a, b);
-        let ac = manager.and(axb, carry);
-        carry = manager.or(ab, ac);
-    }
-    carry
-}
+use msatpg_bench::adder_carry_chain as carry_chain;
+use msatpg_bench::naive::{naive_carry_chain, NaiveBddManager};
 
 fn bench_bdd_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("bdd_construction");
@@ -28,6 +16,16 @@ fn bench_bdd_construction(c: &mut Criterion) {
                 std::hint::black_box(carry_chain(&mut m, bits))
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("carry_chain_naive_hashmap", bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let mut m = NaiveBddManager::new();
+                    std::hint::black_box(naive_carry_chain(&mut m, bits))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,11 +1,12 @@
-//! Fault-simulation benchmarks: the cost of the fault-dropping pass used by
-//! the Table-4 runs and of the random-TPG baseline.
+//! Fault-simulation benchmarks: the PPSFP engine against the serial
+//! reference on the Table-4 benchmark circuits, plus cone-precomputation
+//! reuse and the random-TPG baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use msatpg_digital::benchmarks;
 use msatpg_digital::circuits;
 use msatpg_digital::fault::FaultList;
-use msatpg_digital::fault_sim::FaultSimulator;
+use msatpg_digital::fault_sim::{FaultCones, FaultSimulator};
 use msatpg_digital::random_tpg::RandomPatternGenerator;
 
 fn bench_fault_simulation(c: &mut Criterion) {
@@ -16,12 +17,40 @@ fn bench_fault_simulation(c: &mut Criterion) {
         let faults = FaultList::collapsed(&netlist);
         let mut generator = RandomPatternGenerator::new(&netlist, 1);
         let patterns = generator.patterns(32);
-        group.bench_with_input(BenchmarkId::new("collapsed_32_patterns", name), &(), |b, _| {
+        group.bench_with_input(BenchmarkId::new("ppsfp_32_patterns", name), &(), |b, _| {
             let sim = FaultSimulator::new(&netlist);
             b.iter(|| std::hint::black_box(sim.run(&faults, &patterns).unwrap()));
         });
+        group.bench_with_input(BenchmarkId::new("serial_32_patterns", name), &(), |b, _| {
+            let sim = FaultSimulator::new(&netlist);
+            b.iter(|| std::hint::black_box(sim.run_serial(&faults, &patterns).unwrap()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ppsfp_precomputed_cones", name),
+            &(),
+            |b, _| {
+                let sim = FaultSimulator::new(&netlist);
+                let cones = FaultCones::build(&netlist, faults.faults().iter().map(|f| f.signal));
+                b.iter(|| {
+                    std::hint::black_box(sim.run_with_cones(&faults, &patterns, &cones).unwrap())
+                });
+            },
+        );
     }
     group.finish();
+}
+
+fn bench_cone_precomputation(c: &mut Criterion) {
+    c.bench_function("fault_cones_c1908", |b| {
+        let netlist = benchmarks::c1908();
+        let faults = FaultList::collapsed(&netlist);
+        b.iter(|| {
+            std::hint::black_box(FaultCones::build(
+                &netlist,
+                faults.faults().iter().map(|f| f.signal),
+            ))
+        });
+    });
 }
 
 fn bench_adder_exhaustive(c: &mut Criterion) {
@@ -36,5 +65,10 @@ fn bench_adder_exhaustive(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fault_simulation, bench_adder_exhaustive);
+criterion_group!(
+    benches,
+    bench_fault_simulation,
+    bench_cone_precomputation,
+    bench_adder_exhaustive
+);
 criterion_main!(benches);

@@ -1,0 +1,244 @@
+//! Kernel throughput benchmark: measures the three hot kernels of the
+//! test-generation loop (PPSFP fault simulation, arena-BDD construction,
+//! factorization-reusing analog sweeps) against their naive counterparts and
+//! writes a machine-readable `BENCH_kernels.json` so future PRs can track
+//! the performance trajectory.
+//!
+//! Run with `cargo run --release -p msatpg-bench --bin bench_kernels`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use msatpg_bench::adder_carry_chain;
+use msatpg_bench::naive::{naive_carry_chain, naive_sweep, NaiveBddManager};
+use msatpg_analog::filters;
+use msatpg_analog::response::{FrequencyResponse, SweepConfig};
+use msatpg_analog::mna::Mna;
+use msatpg_bdd::BddManager;
+use msatpg_digital::benchmarks;
+use msatpg_digital::fault::FaultList;
+use msatpg_digital::fault_sim::FaultSimulator;
+use msatpg_digital::prng::SplitMix64;
+
+/// Times one closure, running it `reps` times and returning seconds/run.
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One warm-up run.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+struct FaultSimReport {
+    circuit: String,
+    gates: usize,
+    faults: usize,
+    patterns: usize,
+    serial_seconds: f64,
+    ppsfp_seconds: f64,
+    speedup: f64,
+    ppsfp_patterns_per_sec: f64,
+}
+
+fn bench_fault_sim(name: &str, pattern_count: usize) -> FaultSimReport {
+    let netlist = benchmarks::by_name(name).expect("known benchmark");
+    let faults = FaultList::collapsed(&netlist);
+    let mut rng = SplitMix64::new(0xBE7C);
+    let width = netlist.primary_inputs().len();
+    let patterns: Vec<Vec<bool>> = (0..pattern_count)
+        .map(|_| (0..width).map(|_| rng.bool()).collect())
+        .collect();
+    let sim = FaultSimulator::new(&netlist);
+    // Sanity: the engines must agree before we time them.
+    let fast = sim.run(&faults, &patterns).expect("ppsfp run");
+    let slow = sim.run_serial(&faults, &patterns).expect("serial run");
+    assert_eq!(
+        fast.detected().len(),
+        slow.detected().len(),
+        "engines disagree on {name}"
+    );
+    let serial_seconds = time(3, || {
+        std::hint::black_box(sim.run_serial(&faults, &patterns).unwrap());
+    });
+    let ppsfp_seconds = time(5, || {
+        std::hint::black_box(sim.run(&faults, &patterns).unwrap());
+    });
+    FaultSimReport {
+        circuit: name.to_owned(),
+        gates: netlist.gate_count(),
+        faults: faults.len(),
+        patterns: pattern_count,
+        serial_seconds,
+        ppsfp_seconds,
+        speedup: serial_seconds / ppsfp_seconds,
+        ppsfp_patterns_per_sec: pattern_count as f64 / ppsfp_seconds,
+    }
+}
+
+struct BddReport {
+    carry_bits: usize,
+    naive_seconds: f64,
+    arena_seconds: f64,
+    speedup: f64,
+    arena_ops_per_sec: f64,
+    apply_hit_rate: f64,
+    ite_hit_rate: f64,
+}
+
+fn bench_bdd(bits: usize) -> BddReport {
+    // Each adder stage performs 4 manager operations (and, xor, and, or).
+    let ops = 4 * bits;
+    let naive_seconds = time(10, || {
+        let mut m = NaiveBddManager::new();
+        std::hint::black_box(naive_carry_chain(&mut m, bits));
+    });
+    let arena_seconds = time(10, || {
+        let mut m = BddManager::new();
+        std::hint::black_box(adder_carry_chain(&mut m, bits));
+    });
+    // Hit rates from one representative build.
+    let mut m = BddManager::new();
+    let _ = adder_carry_chain(&mut m, bits);
+    let stats = m.stats();
+    BddReport {
+        carry_bits: bits,
+        naive_seconds,
+        arena_seconds,
+        speedup: naive_seconds / arena_seconds,
+        arena_ops_per_sec: ops as f64 / arena_seconds,
+        apply_hit_rate: stats.apply_cache.hit_rate(),
+        ite_hit_rate: stats.ite_cache.hit_rate(),
+    }
+}
+
+struct AnalogReport {
+    filter: String,
+    unknowns: usize,
+    sweep_points: usize,
+    naive_seconds: f64,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    naive_speedup: f64,
+    warm_points_per_sec: f64,
+}
+
+fn bench_analog() -> AnalogReport {
+    let filter = filters::fifth_order_chebyshev();
+    let circuit = filter.circuit();
+    let output = filter.output_node();
+    let config = SweepConfig::default();
+    let freqs = config.frequencies();
+    // Naive: full engine rebuild per sweep point.
+    let naive_seconds = time(3, || {
+        std::hint::black_box(naive_sweep(circuit, "Vin", output, &freqs).unwrap());
+    });
+    // Cold: one engine, first pass assembles + factors every frequency.
+    let cold_seconds = time(3, || {
+        let mna = Mna::new(circuit);
+        std::hint::black_box(
+            FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap(),
+        );
+    });
+    // Warm: repeated sweeps over a live engine hit the factorization cache.
+    let mna = Mna::new(circuit);
+    let _ = FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
+    let warm_seconds = time(10, || {
+        std::hint::black_box(
+            FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap(),
+        );
+    });
+    AnalogReport {
+        filter: filter.name().to_owned(),
+        unknowns: Mna::new(circuit).unknown_count(),
+        sweep_points: freqs.len(),
+        naive_seconds,
+        cold_seconds,
+        warm_seconds,
+        naive_speedup: naive_seconds / warm_seconds,
+        warm_points_per_sec: freqs.len() as f64 / warm_seconds,
+    }
+}
+
+fn main() {
+    let fault_sim: Vec<FaultSimReport> = ["c1355", "c1908"]
+        .iter()
+        .map(|name| bench_fault_sim(name, 256))
+        .collect();
+    let bdd = bench_bdd(24);
+    let analog = bench_analog();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"fault_sim\": [\n");
+    for (i, r) in fault_sim.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"faults\": {}, \"patterns\": {}, \
+             \"serial_seconds\": {:.6}, \"ppsfp_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"ppsfp_patterns_per_sec\": {:.1}}}{}\n",
+            r.circuit,
+            r.gates,
+            r.faults,
+            r.patterns,
+            r.serial_seconds,
+            r.ppsfp_seconds,
+            r.speedup,
+            r.ppsfp_patterns_per_sec,
+            if i + 1 < fault_sim.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"bdd\": {{\"carry_bits\": {}, \"naive_seconds\": {:.6}, \"arena_seconds\": {:.6}, \
+         \"speedup\": {:.2}, \"arena_ops_per_sec\": {:.1}, \"apply_hit_rate\": {:.4}, \
+         \"ite_hit_rate\": {:.4}}},\n",
+        bdd.carry_bits,
+        bdd.naive_seconds,
+        bdd.arena_seconds,
+        bdd.speedup,
+        bdd.arena_ops_per_sec,
+        bdd.apply_hit_rate,
+        bdd.ite_hit_rate,
+    );
+    let _ = write!(
+        json,
+        "  \"analog\": {{\"filter\": \"{}\", \"unknowns\": {}, \"sweep_points\": {}, \
+         \"naive_seconds\": {:.6}, \"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, \
+         \"naive_speedup\": {:.2}, \"warm_points_per_sec\": {:.1}}}\n",
+        analog.filter,
+        analog.unknowns,
+        analog.sweep_points,
+        analog.naive_seconds,
+        analog.cold_seconds,
+        analog.warm_seconds,
+        analog.naive_speedup,
+        analog.warm_points_per_sec,
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_kernels.json");
+
+    for r in &fault_sim {
+        assert!(
+            r.speedup >= 10.0,
+            "PPSFP speedup on {} ({} gates) is only {:.1}x (acceptance floor: 10x)",
+            r.circuit,
+            r.gates,
+            r.speedup
+        );
+    }
+    assert!(
+        bdd.speedup >= 1.0,
+        "arena BDD engine regressed vs naive: {:.2}x",
+        bdd.speedup
+    );
+    assert!(
+        analog.naive_speedup >= 1.0,
+        "analog sweep reuse regressed vs naive: {:.2}x",
+        analog.naive_speedup
+    );
+}

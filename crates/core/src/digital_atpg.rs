@@ -23,9 +23,10 @@ use std::time::{Duration, Instant};
 use msatpg_bdd::{Bdd, BddManager, Cube, VarId};
 use msatpg_conversion::constraints::AllowedCodes;
 use msatpg_digital::fault::{FaultList, StuckAtFault};
-use msatpg_digital::fault_sim::FaultSimulator;
+use msatpg_digital::fault_sim::{word_mask, FaultCones, PpsfpScratch};
 use msatpg_digital::gate::GateKind;
 use msatpg_digital::netlist::{Netlist, SignalId};
+use msatpg_digital::sim::Simulator;
 
 use crate::constraint::{constraint_bdd, declare_input_variables};
 use crate::CoreError;
@@ -269,23 +270,32 @@ impl<'a> DigitalAtpg<'a> {
     /// occur for well-formed vectors).
     pub fn run(&mut self, faults: &FaultList) -> Result<AtpgReport, CoreError> {
         let start = Instant::now();
-        let simulator = FaultSimulator::new(self.netlist);
+        // Fault-dropping pre-checks run word-parallel: generated patterns
+        // accumulate in 64-wide good-value word blocks, and a candidate
+        // fault is checked against a whole block with one cone-bounded
+        // propagation (the same PPSFP kernel the fault simulator uses)
+        // instead of one full faulty evaluation per (fault, pattern).
+        let mut dropping = if self.fault_dropping {
+            Some((
+                FaultCones::build(self.netlist, faults.faults().iter().map(|f| f.signal)),
+                PpsfpScratch::new(self.netlist),
+                Simulator::new(self.netlist),
+            ))
+        } else {
+            None
+        };
+        // Good-value words and valid-pattern mask per block; the last block
+        // is rebuilt as it fills.
+        let mut blocks: Vec<(Vec<u64>, u64)> = Vec::new();
+        let mut open_block: Vec<Vec<bool>> = Vec::new();
         let mut vectors: Vec<TestVector> = Vec::new();
-        let mut patterns: Vec<Vec<bool>> = Vec::new();
         let mut untestable = Vec::new();
         let mut detected = 0usize;
         for &fault in faults.faults() {
-            if self.fault_dropping {
-                let mut covered = false;
-                for pattern in &patterns {
-                    if simulator
-                        .detects(fault, pattern)
-                        .map_err(|e| CoreError::Digital(e.to_string()))?
-                    {
-                        covered = true;
-                        break;
-                    }
-                }
+            if let Some((cones, scratch, _)) = &mut dropping {
+                let covered = blocks.iter().any(|(good, mask)| {
+                    scratch.detection_word(self.netlist, cones, fault, good, *mask) != 0
+                });
                 if covered {
                     detected += 1;
                     continue;
@@ -294,7 +304,21 @@ impl<'a> DigitalAtpg<'a> {
             match self.generate(fault) {
                 TestOutcome::Detected(vector) => {
                     detected += 1;
-                    patterns.push(vector.concretize(false));
+                    if let Some((_, _, word_sim)) = &dropping {
+                        open_block.push(vector.concretize(false));
+                        let words = word_sim
+                            .run_parallel_all(&open_block)
+                            .map_err(|e| CoreError::Digital(e.to_string()))?;
+                        let mask = word_mask(open_block.len());
+                        if open_block.len() == 1 {
+                            blocks.push((words, mask));
+                        } else {
+                            *blocks.last_mut().expect("open block exists") = (words, mask);
+                        }
+                        if open_block.len() == 64 {
+                            open_block.clear();
+                        }
+                    }
                     vectors.push(vector);
                 }
                 TestOutcome::PreviouslyDetected => {
@@ -387,6 +411,7 @@ mod tests {
     use super::*;
     use msatpg_digital::circuits;
     use msatpg_digital::fault::FaultList;
+    use msatpg_digital::fault_sim::FaultSimulator;
 
     fn example2_constraint() -> AllowedCodes {
         // Fc = l0 + l2: every code except (0, 0).

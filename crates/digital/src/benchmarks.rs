@@ -15,6 +15,7 @@
 
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, SignalId};
+use crate::prng::SplitMix64;
 
 /// Specification of a synthetic benchmark circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,32 +33,6 @@ pub struct BenchmarkSpec {
     pub cone_window: usize,
     /// Seed of the deterministic generator.
     pub seed: u64,
-}
-
-/// A small deterministic PRNG (SplitMix64) so that generated benchmarks do
-/// not depend on any external crate's algorithm stability.
-#[derive(Clone, Debug)]
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `[0, bound)`.
-    fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound.max(1) as u64) as usize
-    }
 }
 
 fn pick_gate_kind(rng: &mut SplitMix64) -> GateKind {

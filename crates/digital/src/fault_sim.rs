@@ -1,9 +1,27 @@
 //! Fault simulation: which stuck-at faults does a pattern set detect?
+//!
+//! Two engines are provided behind one facade:
+//!
+//! * **PPSFP** (parallel-pattern single-fault propagation), the default used
+//!   by [`FaultSimulator::run`]: the good circuit is simulated once per
+//!   64-pattern word with [`crate::sim::Simulator::run_parallel_all`]; each
+//!   live fault is then injected at its site and re-evaluated only through
+//!   the gates of its precomputed output cone, and all 64 pattern outcomes
+//!   are decided with a single XOR against the good output words.  Cost per
+//!   (fault, 64-pattern block) is `O(|cone|)` instead of `O(|circuit|·64)`.
+//! * **Serial**, kept as the reference implementation and available through
+//!   [`FaultSimulator::run_serial`]: one full faulty evaluation per
+//!   (fault, pattern) pair, with the good simulation hoisted out of the
+//!   fault loop so it runs once per pattern.
+//!
+//! Both engines implement fault dropping and produce identical detected /
+//! undetected fault sets (property-tested in `tests/proptests.rs`).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::fault::{FaultList, StuckAtFault};
-use crate::netlist::Netlist;
+use crate::netlist::{Netlist, SignalId};
+use crate::sim::Simulator;
 use crate::DigitalError;
 
 /// Result of fault-simulating a pattern set against a fault list.
@@ -40,6 +58,182 @@ impl FaultSimResult {
     }
 }
 
+/// The propagation cone of one fault site: every gate whose output can be
+/// affected by the site (in topological order) and every primary output
+/// reachable from it (including the site itself when it is an output).
+#[derive(Clone, Debug, Default)]
+struct Cone {
+    /// Indices into [`Netlist::gates`], topologically ordered.
+    gates: Vec<u32>,
+    /// Signal ids of the primary outputs the fault can reach.
+    outputs: Vec<u32>,
+}
+
+/// Precomputed propagation cones for a set of fault sites.
+///
+/// Building a cone is one linear pass over the gate list per site; the cones
+/// are what makes PPSFP cheap — re-simulating a fault only walks the gates
+/// that can actually change.
+#[derive(Clone, Debug, Default)]
+pub struct FaultCones {
+    cones: HashMap<SignalId, Cone>,
+}
+
+impl FaultCones {
+    /// Builds cones for every distinct signal in `sites`.
+    pub fn build<I: IntoIterator<Item = SignalId>>(netlist: &Netlist, sites: I) -> Self {
+        let mut cones = HashMap::new();
+        let mut affected = vec![false; netlist.signal_count()];
+        for site in sites {
+            if cones.contains_key(&site) {
+                continue;
+            }
+            affected[site.index()] = true;
+            let mut touched = vec![site];
+            let mut gates = Vec::new();
+            for (gi, gate) in netlist.gates().iter().enumerate() {
+                if gate.inputs.iter().any(|i| affected[i.index()]) {
+                    affected[gate.output.index()] = true;
+                    touched.push(gate.output);
+                    gates.push(gi as u32);
+                }
+            }
+            let outputs = netlist
+                .primary_outputs()
+                .iter()
+                .filter(|o| affected[o.index()])
+                .map(|o| o.index() as u32)
+                .collect();
+            for t in touched {
+                affected[t.index()] = false;
+            }
+            cones.insert(site, Cone { gates, outputs });
+        }
+        FaultCones { cones }
+    }
+
+    /// Number of distinct sites with a precomputed cone.
+    pub fn len(&self) -> usize {
+        self.cones.len()
+    }
+
+    /// Returns `true` if no cones were built.
+    pub fn is_empty(&self) -> bool {
+        self.cones.is_empty()
+    }
+
+    /// Total number of gate entries across all cones (a proxy for the work a
+    /// PPSFP pass performs per 64-pattern block with no fault dropping).
+    pub fn total_gate_entries(&self) -> usize {
+        self.cones.values().map(|c| c.gates.len()).sum()
+    }
+
+    fn cone(&self, site: SignalId) -> &Cone {
+        &self.cones[&site]
+    }
+}
+
+/// Valid-bit mask for a block of `count` packed patterns (`count <= 64`):
+/// bit *i* is set iff pattern *i* exists.
+///
+/// # Panics
+///
+/// Panics if `count > 64`.
+#[inline]
+pub fn word_mask(count: usize) -> u64 {
+    assert!(count <= 64, "a pattern word holds at most 64 patterns");
+    if count == 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// Reusable scratch buffers for single-fault word propagation.
+///
+/// `faulty[s]` is only meaningful when `stamp[s] == cur`; bumping `cur`
+/// invalidates the whole array in O(1) between faults, so no clearing pass
+/// is ever needed.
+pub struct PpsfpScratch {
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    cur: u32,
+    ins: Vec<u64>,
+}
+
+impl PpsfpScratch {
+    /// Creates scratch buffers sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        PpsfpScratch {
+            faulty: vec![0; netlist.signal_count()],
+            stamp: vec![0; netlist.signal_count()],
+            cur: 0,
+            ins: Vec::with_capacity(8),
+        }
+    }
+
+    /// Propagates `fault` through its cone against the good-value words of
+    /// one (up to) 64-pattern block and returns the word whose bit *i* is
+    /// set iff pattern *i* detects the fault at a primary output.
+    ///
+    /// `good` must come from
+    /// [`crate::sim::Simulator::run_parallel_all`] on the same netlist the
+    /// cones were built for; `valid_mask` selects the populated pattern
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cones` has no cone for the fault site.
+    pub fn detection_word(
+        &mut self,
+        netlist: &Netlist,
+        cones: &FaultCones,
+        fault: StuckAtFault,
+        good: &[u64],
+        valid_mask: u64,
+    ) -> u64 {
+        let site = fault.signal.index();
+        let stuck_word = if fault.stuck_at { u64::MAX } else { 0 };
+        // Patterns that activate the fault: site value != stuck value.
+        if (good[site] ^ stuck_word) & valid_mask == 0 {
+            return 0;
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            // Stamp wrap-around: reset the array and restart at 1.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 1;
+        }
+        let cur = self.cur;
+        self.faulty[site] = stuck_word;
+        self.stamp[site] = cur;
+        let cone = cones.cone(fault.signal);
+        for &gi in &cone.gates {
+            let gate = &netlist.gates()[gi as usize];
+            self.ins.clear();
+            for input in &gate.inputs {
+                let i = input.index();
+                self.ins
+                    .push(if self.stamp[i] == cur { self.faulty[i] } else { good[i] });
+            }
+            let o = gate.output.index();
+            self.faulty[o] = gate.kind.eval_word(&self.ins);
+            self.stamp[o] = cur;
+        }
+        let mut diff = 0u64;
+        for &po in &cone.outputs {
+            let po = po as usize;
+            let value = if self.stamp[po] == cur {
+                self.faulty[po]
+            } else {
+                good[po]
+            };
+            diff |= value ^ good[po];
+        }
+        diff & valid_mask
+    }
+}
+
 /// Serial/parallel-pattern stuck-at fault simulator with optional fault
 /// dropping.
 pub struct FaultSimulator<'a> {
@@ -63,6 +257,17 @@ impl<'a> FaultSimulator<'a> {
         self
     }
 
+    /// Good-circuit values of every signal under `pattern`, for use with
+    /// [`FaultSimulator::detects_with_good`] when the same pattern is checked
+    /// against many faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern width does not match.
+    pub fn good_values(&self, pattern: &[bool]) -> Result<Vec<bool>, DigitalError> {
+        self.netlist.evaluate_all(pattern)
+    }
+
     /// Simulates a single pattern against a single fault and reports whether
     /// the fault is detected (any primary output differs between the good
     /// and the faulty circuit).
@@ -71,7 +276,23 @@ impl<'a> FaultSimulator<'a> {
     ///
     /// Returns an error if the pattern width does not match.
     pub fn detects(&self, fault: StuckAtFault, pattern: &[bool]) -> Result<bool, DigitalError> {
-        let good = self.netlist.evaluate_all(pattern)?;
+        let good = self.good_values(pattern)?;
+        self.detects_with_good(fault, pattern, &good)
+    }
+
+    /// Like [`FaultSimulator::detects`], but takes precomputed good-circuit
+    /// values (from [`FaultSimulator::good_values`]) so the good simulation
+    /// is shared across all faults checked against one pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern width does not match.
+    pub fn detects_with_good(
+        &self,
+        fault: StuckAtFault,
+        pattern: &[bool],
+        good: &[bool],
+    ) -> Result<bool, DigitalError> {
         // The fault is only visible if the fault site currently carries the
         // opposite value (fault activation).
         if good[fault.signal.index()] == fault.stuck_at {
@@ -85,7 +306,9 @@ impl<'a> FaultSimulator<'a> {
             .any(|o| good[o.index()] != faulty[o.index()]))
     }
 
-    /// Simulates a whole pattern set against a fault list.
+    /// Simulates a whole pattern set against a fault list with the PPSFP
+    /// engine (good circuit once per 64-pattern word, faulty propagation
+    /// restricted to each fault's precomputed output cone).
     ///
     /// # Errors
     ///
@@ -95,14 +318,79 @@ impl<'a> FaultSimulator<'a> {
         faults: &FaultList,
         patterns: &[Vec<bool>],
     ) -> Result<FaultSimResult, DigitalError> {
-        let mut detected = Vec::new();
+        let cones = FaultCones::build(
+            self.netlist,
+            faults.faults().iter().map(|f| f.signal),
+        );
+        self.run_with_cones(faults, patterns, &cones)
+    }
+
+    /// PPSFP run with caller-provided cones, so repeated campaigns over the
+    /// same fault universe (e.g. random-TPG restarts) skip the cone pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pattern width does not match, or panics if a
+    /// fault site is missing from `cones`.
+    pub fn run_with_cones(
+        &self,
+        faults: &FaultList,
+        patterns: &[Vec<bool>],
+        cones: &FaultCones,
+    ) -> Result<FaultSimResult, DigitalError> {
+        let simulator = Simulator::new(self.netlist);
+        let mut detected: Vec<StuckAtFault> = Vec::new();
         let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
-        for pattern in patterns {
+        let mut scratch = PpsfpScratch::new(self.netlist);
+
+        for chunk in patterns.chunks(64) {
+            let good = simulator.run_parallel_all(chunk)?;
+            let valid_mask = word_mask(chunk.len());
             for &fault in faults.faults() {
                 if self.drop_detected && detected_set.contains(&fault) {
                     continue;
                 }
-                if self.detects(fault, pattern)? && detected_set.insert(fault) {
+                let diff =
+                    scratch.detection_word(self.netlist, cones, fault, &good, valid_mask);
+                if diff != 0 && detected_set.insert(fault) {
+                    detected.push(fault);
+                }
+            }
+        }
+        let undetected = faults
+            .faults()
+            .iter()
+            .copied()
+            .filter(|f| !detected_set.contains(f))
+            .collect();
+        Ok(FaultSimResult {
+            detected,
+            undetected,
+            patterns_used: patterns.len(),
+        })
+    }
+
+    /// Reference implementation: one full faulty evaluation per
+    /// (fault, pattern) pair, with the good simulation hoisted so each
+    /// pattern's good values are computed once and shared across all faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pattern width does not match.
+    pub fn run_serial(
+        &self,
+        faults: &FaultList,
+        patterns: &[Vec<bool>],
+    ) -> Result<FaultSimResult, DigitalError> {
+        let mut detected = Vec::new();
+        let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
+        for pattern in patterns {
+            let good = self.good_values(pattern)?;
+            for &fault in faults.faults() {
+                if self.drop_detected && detected_set.contains(&fault) {
+                    continue;
+                }
+                if self.detects_with_good(fault, pattern, &good)? && detected_set.insert(fault) {
                     detected.push(fault);
                 }
             }
@@ -154,13 +442,28 @@ impl<'a> FaultSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::benchmarks;
     use crate::circuits;
     use crate::fault::FaultList;
+    use crate::prng::SplitMix64;
 
     fn exhaustive_patterns(n_inputs: usize) -> Vec<Vec<bool>> {
         (0..1u32 << n_inputs)
             .map(|i| (0..n_inputs).map(|b| (i >> b) & 1 == 1).collect())
             .collect()
+    }
+
+    fn random_patterns(width: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| (0..width).map(|_| rng.bool()).collect())
+            .collect()
+    }
+
+    fn sorted(faults: &[StuckAtFault]) -> Vec<StuckAtFault> {
+        let mut v = faults.to_vec();
+        v.sort();
+        v
     }
 
     #[test]
@@ -213,6 +516,62 @@ mod tests {
     }
 
     #[test]
+    fn ppsfp_matches_serial_on_iscas_benchmarks() {
+        for name in ["c432", "c880"] {
+            let n = benchmarks::by_name(name).unwrap();
+            let faults = FaultList::collapsed(&n);
+            let patterns = random_patterns(n.primary_inputs().len(), 100, 0xC0DE);
+            let sim = FaultSimulator::new(&n);
+            let ppsfp = sim.run(&faults, &patterns).unwrap();
+            let serial = sim.run_serial(&faults, &patterns).unwrap();
+            assert_eq!(
+                sorted(ppsfp.detected()),
+                sorted(serial.detected()),
+                "{name}: detected sets differ"
+            );
+            assert_eq!(
+                sorted(ppsfp.undetected()),
+                sorted(serial.undetected()),
+                "{name}: undetected sets differ"
+            );
+            assert!((ppsfp.coverage() - serial.coverage()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ppsfp_handles_non_multiple_of_64_pattern_counts() {
+        let n = circuits::adder4();
+        let faults = FaultList::all(&n);
+        let sim = FaultSimulator::new(&n);
+        for count in [1usize, 63, 64, 65, 130] {
+            let patterns = random_patterns(n.primary_inputs().len(), count, count as u64);
+            let ppsfp = sim.run(&faults, &patterns).unwrap();
+            let serial = sim.run_serial(&faults, &patterns).unwrap();
+            assert_eq!(
+                sorted(ppsfp.detected()),
+                sorted(serial.detected()),
+                "{count} patterns"
+            );
+        }
+    }
+
+    #[test]
+    fn cones_are_reusable_across_runs() {
+        let n = circuits::adder4();
+        let faults = FaultList::collapsed(&n);
+        let cones = FaultCones::build(&n, faults.faults().iter().map(|f| f.signal));
+        assert!(!cones.is_empty());
+        assert!(cones.total_gate_entries() > 0);
+        let sim = FaultSimulator::new(&n);
+        let p1 = random_patterns(9, 40, 1);
+        let p2 = random_patterns(9, 40, 2);
+        let r1 = sim.run_with_cones(&faults, &p1, &cones).unwrap();
+        let r2 = sim.run_with_cones(&faults, &p2, &cones).unwrap();
+        assert_eq!(sorted(r1.detected()), sorted(sim.run(&faults, &p1).unwrap().detected()));
+        assert_eq!(sorted(r2.detected()), sorted(sim.run(&faults, &p2).unwrap().detected()));
+    }
+
+    #[test]
     fn activation_is_required_for_detection() {
         // A fault whose stuck value equals the line's current value is not
         // detected by that pattern.
@@ -224,6 +583,23 @@ mod tests {
         assert!(!sim
             .detects(StuckAtFault::sa1(l0), &pattern_l0_one)
             .unwrap());
+    }
+
+    #[test]
+    fn detects_with_good_matches_detects() {
+        let n = circuits::adder4();
+        let faults = FaultList::all(&n);
+        let sim = FaultSimulator::new(&n);
+        let patterns = random_patterns(9, 10, 77);
+        for pattern in &patterns {
+            let good = sim.good_values(pattern).unwrap();
+            for &fault in faults.faults() {
+                assert_eq!(
+                    sim.detects(fault, pattern).unwrap(),
+                    sim.detects_with_good(fault, pattern, &good).unwrap()
+                );
+            }
+        }
     }
 
     #[test]

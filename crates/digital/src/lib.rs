@@ -14,7 +14,31 @@
 //! * [`benchmarks`] — deterministic synthetic stand-ins for the ISCAS85
 //!   circuits used in Tables 4, 5 and 7;
 //! * [`bench_format`] — `.bench` reader/writer for loading real netlists;
-//! * [`random_tpg`] — the random test-generation baseline.
+//! * [`random_tpg`] — the random test-generation baseline;
+//! * [`prng`] — the in-tree deterministic generator behind both.
+//!
+//! # Fault-simulation engine
+//!
+//! [`fault_sim::FaultSimulator::run`] implements **PPSFP**
+//! (parallel-pattern single-fault propagation):
+//!
+//! 1. patterns are packed 64 to a machine word and the *good* circuit is
+//!    simulated once per word ([`sim::Simulator::run_parallel_all`]);
+//! 2. for every fault site the transitive *output cone* — the gates and
+//!    primary outputs its effect can reach — is precomputed in one linear
+//!    pass over the netlist ([`fault_sim::FaultCones`]);
+//! 3. each live fault is injected as a constant word at its site and
+//!    re-evaluated only through its cone, reading all unaffected signals
+//!    from the good-value words (copy-on-write with O(1) invalidation);
+//! 4. all 64 pattern verdicts drop out of one XOR between faulty and good
+//!    output words, and detected faults are dropped from later words.
+//!
+//! Per (fault, 64-pattern word) the cost is `O(|cone|)` word operations
+//! instead of the serial path's `O(|circuit| · 64)` bit operations — a
+//! measured 10–70× on the ≥500-gate benchmark circuits (see
+//! `BENCH_kernels.json`).  The serial reference survives as
+//! [`fault_sim::FaultSimulator::run_serial`] and the two engines are
+//! property-tested to produce identical detected-fault sets.
 //!
 //! # Example
 //!
@@ -43,6 +67,7 @@ pub mod fault_sim;
 pub mod gate;
 pub mod logic;
 pub mod netlist;
+pub mod prng;
 pub mod random_tpg;
 pub mod sim;
 

@@ -1,0 +1,78 @@
+//! A small deterministic PRNG (SplitMix64) shared by the synthetic benchmark
+//! generator and the random test-pattern baseline.
+//!
+//! Keeping the generator in-tree means neither reproducible benchmark
+//! circuits nor random-TPG experiments depend on an external crate's
+//! algorithm stability (or on the crate being available at all — this
+//! workspace builds without network access).
+
+/// SplitMix64: a tiny, fast, well-distributed 64-bit PRNG.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound == 0` yields `0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// A uniform random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn bool_and_f64_are_reasonable() {
+        let mut rng = SplitMix64::new(7);
+        let trues = (0..10_000).filter(|_| rng.bool()).count();
+        assert!(trues > 4_000 && trues < 6_000, "{trues} trues out of 10000");
+        for _ in 0..1_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert_eq!(SplitMix64::new(0).below(0), 0);
+    }
+}

@@ -5,19 +5,17 @@
 //! must be filtered against the constraint function first — the reason the
 //! paper generates its vectors deterministically in the constrained case.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::fault::FaultList;
 use crate::fault_sim::{FaultSimResult, FaultSimulator};
 use crate::netlist::Netlist;
+use crate::prng::SplitMix64;
 use crate::DigitalError;
 
 /// A seeded random pattern generator for a specific netlist.
 #[derive(Clone, Debug)]
 pub struct RandomPatternGenerator {
     width: usize,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomPatternGenerator {
@@ -26,7 +24,7 @@ impl RandomPatternGenerator {
     pub fn new(netlist: &Netlist, seed: u64) -> Self {
         RandomPatternGenerator {
             width: netlist.primary_inputs().len(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
@@ -37,7 +35,7 @@ impl RandomPatternGenerator {
 
     /// Generates one random pattern.
     pub fn pattern(&mut self) -> Vec<bool> {
-        (0..self.width).map(|_| self.rng.gen()).collect()
+        (0..self.width).map(|_| self.rng.bool()).collect()
     }
 
     /// Generates `count` random patterns.

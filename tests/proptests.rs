@@ -2,8 +2,10 @@
 //! brute-force truth tables, ATPG vectors against fault simulation, logic
 //! simulation against the D-algebra, analog solver against circuit theory,
 //! and the conversion block's code space.
-
-use proptest::prelude::*;
+//!
+//! The properties are exercised with an in-tree deterministic generator
+//! (SplitMix64) instead of the `proptest` crate so the workspace builds
+//! without network access; every run checks the same fixed case set.
 
 use msatpg::bdd::{Assignment, BddManager};
 use msatpg::conversion::constraints::thermometer_codes;
@@ -13,7 +15,10 @@ use msatpg::digital::circuits;
 use msatpg::digital::fault::{FaultList, StuckAtFault};
 use msatpg::digital::fault_sim::FaultSimulator;
 use msatpg::digital::logic::Logic;
+use msatpg::digital::prng::SplitMix64;
 use msatpg::digital::sim::{CompositeSimulator, Simulator};
+
+const CASES: usize = 64;
 
 /// A tiny Boolean expression AST for generating random formulas.
 #[derive(Clone, Debug)]
@@ -59,29 +64,41 @@ impl Formula {
     }
 }
 
-fn formula_strategy(vars: usize) -> impl Strategy<Value = Formula> {
-    let leaf = (0..vars).prop_map(Formula::Var);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Generates a random formula of bounded depth over `vars` variables.
+fn random_formula(rng: &mut SplitMix64, vars: usize, depth: usize) -> Formula {
+    if depth == 0 || rng.below(5) == 0 {
+        return Formula::Var(rng.below(vars));
+    }
+    match rng.below(4) {
+        0 => Formula::Not(Box::new(random_formula(rng, vars, depth - 1))),
+        1 => Formula::And(
+            Box::new(random_formula(rng, vars, depth - 1)),
+            Box::new(random_formula(rng, vars, depth - 1)),
+        ),
+        2 => Formula::Or(
+            Box::new(random_formula(rng, vars, depth - 1)),
+            Box::new(random_formula(rng, vars, depth - 1)),
+        ),
+        _ => Formula::Xor(
+            Box::new(random_formula(rng, vars, depth - 1)),
+            Box::new(random_formula(rng, vars, depth - 1)),
+        ),
+    }
+}
+
+fn random_pattern(rng: &mut SplitMix64, width: usize) -> Vec<bool> {
+    (0..width).map(|_| rng.bool()).collect()
 }
 
 const FORMULA_VARS: usize = 5;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The BDD of a random formula agrees with brute-force evaluation on
-    /// every input assignment, and its satisfying-assignment count matches.
-    #[test]
-    fn bdd_matches_truth_table(formula in formula_strategy(FORMULA_VARS)) {
+/// The BDD of a random formula agrees with brute-force evaluation on every
+/// input assignment, and its satisfying-assignment count matches.
+#[test]
+fn bdd_matches_truth_table() {
+    let mut rng = SplitMix64::new(0xB00);
+    for _ in 0..CASES {
+        let formula = random_formula(&mut rng, FORMULA_VARS, 4);
         let mut m = BddManager::new();
         // Declare variables in a fixed order so eval positions match.
         for i in 0..FORMULA_VARS {
@@ -96,26 +113,30 @@ proptest! {
                 asg.set(i as u32, v);
             }
             let expected = formula.eval(&inputs);
-            prop_assert_eq!(m.eval(bdd, &asg), expected);
+            assert_eq!(m.eval(bdd, &asg), expected, "formula {formula:?} at {bits:05b}");
             if expected {
                 count += 1;
             }
         }
-        prop_assert_eq!(m.sat_count(bdd), count);
+        assert_eq!(m.sat_count(bdd), count);
         // Every cube of the BDD satisfies the formula.
         for cube in m.cubes(bdd) {
             let mut inputs = vec![false; FORMULA_VARS];
             for (var, value) in cube.iter() {
                 inputs[var as usize] = value;
             }
-            prop_assert!(formula.eval(&inputs));
+            assert!(formula.eval(&inputs));
         }
     }
+}
 
-    /// Shannon expansion: f = (x AND f|x=1) OR (!x AND f|x=0) for every
-    /// variable.
-    #[test]
-    fn bdd_shannon_expansion(formula in formula_strategy(FORMULA_VARS), var in 0..FORMULA_VARS) {
+/// Shannon expansion: f = (x AND f|x=1) OR (!x AND f|x=0) for every variable.
+#[test]
+fn bdd_shannon_expansion() {
+    let mut rng = SplitMix64::new(0x5A);
+    for _ in 0..CASES {
+        let formula = random_formula(&mut rng, FORMULA_VARS, 4);
+        let var = rng.below(FORMULA_VARS);
         let mut m = BddManager::new();
         for i in 0..FORMULA_VARS {
             m.var(&format!("x{i}"));
@@ -129,13 +150,21 @@ proptest! {
         let left = m.and(x, f1);
         let right = m.and(nx, f0);
         let rebuilt = m.or(left, right);
-        prop_assert_eq!(rebuilt, f);
+        assert_eq!(rebuilt, f, "Shannon expansion failed for {formula:?} on x{var}");
     }
+}
 
-    /// The 4-bit adder circuit computes a + b + cin for all operands.
-    #[test]
-    fn adder_matches_arithmetic(a in 0u32..16, b in 0u32..16, cin in 0u32..2) {
-        let adder = circuits::adder4();
+/// The 4-bit adder circuit computes a + b + cin for all operands.
+#[test]
+fn adder_matches_arithmetic() {
+    let adder = circuits::adder4();
+    let mut rng = SplitMix64::new(0xADD);
+    for _ in 0..CASES {
+        let (a, b, cin) = (
+            rng.below(16) as u32,
+            rng.below(16) as u32,
+            rng.below(2) as u32,
+        );
         let mut pattern = Vec::new();
         for i in 0..4 {
             pattern.push((a >> i) & 1 == 1);
@@ -151,102 +180,200 @@ proptest! {
                 value |= 1 << i;
             }
         }
-        prop_assert_eq!(value, a + b + cin);
+        assert_eq!(value, a + b + cin);
     }
+}
 
-    /// Parallel-pattern simulation agrees with serial simulation on the
-    /// Figure-3 circuit for arbitrary pattern batches.
-    #[test]
-    fn parallel_simulation_matches_serial(patterns in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..32)) {
-        let circuit = circuits::figure3_circuit();
-        let sim = Simulator::new(&circuit);
+/// Parallel-pattern simulation agrees with serial simulation on the Figure-3
+/// circuit for arbitrary pattern batches.
+#[test]
+fn parallel_simulation_matches_serial() {
+    let circuit = circuits::figure3_circuit();
+    let sim = Simulator::new(&circuit);
+    let mut rng = SplitMix64::new(0x9A12);
+    for _ in 0..CASES {
+        let batch = 1 + rng.below(31);
+        let patterns: Vec<Vec<bool>> =
+            (0..batch).map(|_| random_pattern(&mut rng, 4)).collect();
         let words = sim.run_parallel(&patterns).unwrap();
         for (p, pattern) in patterns.iter().enumerate() {
             let serial = sim.run(pattern).unwrap();
             for (o, &word) in words.iter().enumerate() {
-                prop_assert_eq!((word >> p) & 1 == 1, serial[o]);
+                assert_eq!((word >> p) & 1 == 1, serial[o]);
             }
         }
     }
+}
 
-    /// The five-valued composite simulation is consistent with running the
-    /// good and the faulty two-valued simulations separately.
-    #[test]
-    fn composite_simulation_matches_good_and_faulty(pattern in prop::collection::vec(any::<bool>(), 4), line in 0usize..9, stuck in any::<bool>()) {
-        let circuit = circuits::figure3_circuit();
+/// The five-valued composite simulation is consistent with running the good
+/// and the faulty two-valued simulations separately.
+#[test]
+fn composite_simulation_matches_good_and_faulty() {
+    let circuit = circuits::figure3_circuit();
+    let mut rng = SplitMix64::new(0xD);
+    for _ in 0..CASES * 4 {
+        let pattern = random_pattern(&mut rng, 4);
+        let line = rng.below(9);
+        let stuck = rng.bool();
         let signal = circuit.signals()[line];
         // Good and faulty two-valued simulations.
         let good = circuit.evaluate_all(&pattern).unwrap();
-        let fault = if stuck { StuckAtFault::sa1(signal) } else { StuckAtFault::sa0(signal) };
+        let fault = if stuck {
+            StuckAtFault::sa1(signal)
+        } else {
+            StuckAtFault::sa0(signal)
+        };
         let detected = FaultSimulator::new(&circuit).detects(fault, &pattern).unwrap();
-        // Composite simulation: force the composite value corresponding to
-        // (good value, stuck value) on the line.
+        // Only activated faults are interesting for the composite check.
         let good_at_line = good[line];
-        prop_assume!(good_at_line != stuck); // only activated faults are interesting
+        if good_at_line == stuck {
+            continue;
+        }
         let composite = Logic::from_pair(good_at_line, stuck);
         let mut sim = CompositeSimulator::new(&circuit);
         sim.force(signal, composite);
         let inputs: Vec<Logic> = pattern.iter().map(|&b| Logic::from(b)).collect();
         let propagates = sim.propagates_fault(&inputs).unwrap();
-        prop_assert_eq!(propagates, detected);
+        assert_eq!(propagates, detected);
     }
+}
 
-    /// Every vector produced by the OBDD ATPG for a random fault of the
-    /// Figure-3 circuit is confirmed by fault simulation.
-    #[test]
-    fn atpg_vectors_are_confirmed_by_simulation(fault_index in 0usize..18) {
-        let circuit = circuits::figure3_circuit();
-        let faults = FaultList::all(&circuit);
-        let fault = faults.faults()[fault_index];
+/// Every vector produced by the OBDD ATPG for a fault of the Figure-3
+/// circuit is confirmed by fault simulation.
+#[test]
+fn atpg_vectors_are_confirmed_by_simulation() {
+    let circuit = circuits::figure3_circuit();
+    let faults = FaultList::all(&circuit);
+    for &fault in faults.faults() {
         let mut atpg = DigitalAtpg::new(&circuit);
         match atpg.generate(fault) {
             TestOutcome::Detected(vector) => {
                 let sim = FaultSimulator::new(&circuit);
-                prop_assert!(sim.detects(fault, &vector.concretize(false)).unwrap());
-                prop_assert!(sim.detects(fault, &vector.concretize(true)).unwrap());
+                assert!(sim.detects(fault, &vector.concretize(false)).unwrap());
+                assert!(sim.detects(fault, &vector.concretize(true)).unwrap());
             }
             TestOutcome::Untestable => {
                 // The stand-alone Figure-3 circuit is fully testable.
-                prop_assert!(false, "unexpected untestable fault");
+                panic!("unexpected untestable fault {fault}");
             }
             TestOutcome::PreviouslyDetected => {}
         }
     }
+}
 
-    /// Flash-converter output codes are always thermometer codes and are
-    /// monotone in the input voltage.
-    #[test]
-    fn flash_codes_are_thermometer_and_monotone(vin_a in 0.0f64..4.0, vin_b in 0.0f64..4.0) {
-        let adc = FlashAdc::uniform(15, 4.0).unwrap();
-        let codes = thermometer_codes(15);
+/// Flash-converter output codes are always thermometer codes and are
+/// monotone in the input voltage.
+#[test]
+fn flash_codes_are_thermometer_and_monotone() {
+    let adc = FlashAdc::uniform(15, 4.0).unwrap();
+    let codes = thermometer_codes(15);
+    let mut rng = SplitMix64::new(0xF1A5);
+    for _ in 0..CASES {
+        let vin_a = rng.f64() * 4.0;
+        let vin_b = rng.f64() * 4.0;
         let code_a = adc.convert(vin_a);
         let code_b = adc.convert(vin_b);
-        prop_assert!(codes.allows(&code_a));
-        prop_assert!(codes.allows(&code_b));
+        assert!(codes.allows(&code_a));
+        assert!(codes.allows(&code_b));
         if vin_a <= vin_b {
-            prop_assert!(adc.convert_to_count(vin_a) <= adc.convert_to_count(vin_b));
+            assert!(adc.convert_to_count(vin_a) <= adc.convert_to_count(vin_b));
         }
     }
+}
 
-    /// Ladder tap voltages are strictly increasing and bounded by the rails,
-    /// for arbitrary positive resistor values.
-    #[test]
-    fn ladder_taps_are_monotone(resistors in prop::collection::vec(1.0f64..100.0, 2..12)) {
+/// Ladder tap voltages are strictly increasing and bounded by the rails, for
+/// arbitrary positive resistor values.
+#[test]
+fn ladder_taps_are_monotone() {
+    let mut rng = SplitMix64::new(0x1ADD);
+    for _ in 0..CASES {
+        let count = 2 + rng.below(10);
+        let resistors: Vec<f64> = (0..count).map(|_| 1.0 + rng.f64() * 99.0).collect();
         let ladder = ResistorLadder::new(resistors, 5.0).unwrap();
         let taps = ladder.tap_voltages();
         for window in taps.windows(2) {
-            prop_assert!(window[0] < window[1]);
+            assert!(window[0] < window[1]);
         }
-        prop_assert!(taps.first().copied().unwrap_or(0.1) > 0.0);
-        prop_assert!(taps.last().copied().unwrap_or(0.0) < 5.0);
+        assert!(taps.first().copied().unwrap_or(0.1) > 0.0);
+        assert!(taps.last().copied().unwrap_or(0.0) < 5.0);
     }
+}
 
-    /// Voltage-divider DC analysis matches the analytic expression for
-    /// arbitrary resistor values.
-    #[test]
-    fn mna_divider_matches_theory(r1 in 10.0f64..1.0e6, r2 in 10.0f64..1.0e6) {
-        use msatpg::analog::netlist::Circuit;
-        use msatpg::analog::mna::Mna;
+/// The PPSFP fault-simulation engine and the serial reference detect exactly
+/// the same fault sets (and therefore report the same coverage) on the
+/// ISCAS-style benchmark circuits, across pattern-set sizes that exercise
+/// partial and multiple 64-pattern words.
+#[test]
+fn ppsfp_coverage_matches_serial_on_benchmarks() {
+    use msatpg::digital::benchmarks;
+    let mut rng = SplitMix64::new(0x99F5);
+    for name in ["c432", "c499", "c880"] {
+        let n = benchmarks::by_name(name).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let sim = FaultSimulator::new(&n);
+        for &count in &[1usize, 17, 64, 90] {
+            let patterns: Vec<Vec<bool>> = (0..count)
+                .map(|_| random_pattern(&mut rng, n.primary_inputs().len()))
+                .collect();
+            let ppsfp = sim.run(&faults, &patterns).unwrap();
+            let serial = sim.run_serial(&faults, &patterns).unwrap();
+            let mut d1 = ppsfp.detected().to_vec();
+            let mut d2 = serial.detected().to_vec();
+            d1.sort();
+            d2.sort();
+            assert_eq!(d1, d2, "{name}: detected sets differ for {count} patterns");
+            assert_eq!(
+                ppsfp.undetected().len(),
+                serial.undetected().len(),
+                "{name}: undetected counts differ for {count} patterns"
+            );
+            assert!((ppsfp.coverage() - serial.coverage()).abs() < 1e-12);
+        }
+    }
+}
+
+/// Patching element values through a live MNA engine gives the same
+/// frequency response as stamping a freshly deviated circuit, for random
+/// deviations of random elements of the band-pass filter.
+#[test]
+fn patched_mna_matches_rebuilt_circuit() {
+    use msatpg::analog::filters;
+    use msatpg::analog::mna::Mna;
+    let filter = filters::second_order_band_pass();
+    let circuit = filter.circuit();
+    let output = filter.output_node();
+    let passive = circuit.passive_elements();
+    let mna = Mna::new(circuit);
+    let mut rng = SplitMix64::new(0xACDC);
+    for _ in 0..24 {
+        let element = passive[rng.below(passive.len())];
+        let factor = 0.25 + rng.f64() * 3.0; // deviations from −75 % to +225 %
+        mna.scale_value(element, factor);
+        let mut rebuilt = circuit.clone();
+        rebuilt.scale_value(element, factor);
+        let reference = Mna::new(&rebuilt);
+        for &freq in &[10.0, 400.0, 1.0e3, 2.5e3, 40.0e3] {
+            let a = mna.gain("Vin", output, freq).unwrap();
+            let b = reference.gain("Vin", output, freq).unwrap();
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "patched {a} vs rebuilt {b} at {freq} Hz"
+            );
+        }
+        mna.reset_values();
+    }
+}
+
+/// Voltage-divider DC analysis matches the analytic expression for arbitrary
+/// resistor values.
+#[test]
+fn mna_divider_matches_theory() {
+    use msatpg::analog::mna::Mna;
+    use msatpg::analog::netlist::Circuit;
+    let mut rng = SplitMix64::new(0xD1);
+    for _ in 0..CASES {
+        let r1 = 10.0 + rng.f64() * 1.0e6;
+        let r2 = 10.0 + rng.f64() * 1.0e6;
         let mut c = Circuit::new();
         let vin = c.node("vin");
         let vout = c.node("vout");
@@ -255,6 +382,6 @@ proptest! {
         c.resistor("R2", vout, Circuit::GROUND, r2);
         let sol = Mna::new(&c).solve_dc().unwrap();
         let expected = r2 / (r1 + r2);
-        prop_assert!((sol.voltage(vout).re - expected).abs() < 1e-9);
+        assert!((sol.voltage(vout).re - expected).abs() < 1e-9);
     }
 }
