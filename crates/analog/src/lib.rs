@@ -48,6 +48,10 @@ pub mod sensitivity;
 pub mod signal;
 pub mod tolerance;
 
+/// Execution policy of the workspace worker pool (re-export of
+/// [`msatpg_exec::ExecPolicy`]).
+pub use msatpg_exec::ExecPolicy;
+
 pub use complex::Complex;
 pub use fault::{AnalogFault, AnalogFaultKind};
 pub use filters::FilterCircuit;

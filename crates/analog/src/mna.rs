@@ -152,11 +152,15 @@ struct CachedSystem {
     /// `G + s·C`, row-major.
     a: Vec<Complex>,
     lu: LuFactor,
+    /// Engine tick of the most recent solve at this frequency (drives LRU
+    /// eviction).
+    last_used: u64,
 }
 
-/// Bound on the number of per-frequency systems kept alive; reaching it
-/// clears the cache so arbitrarily fine peak/bisection searches cannot grow
-/// memory without limit.
+/// Bound on the number of per-frequency systems kept alive.  When a new
+/// frequency arrives at capacity, the least-recently-used system is evicted
+/// — fine-grid bisection searches keep their warm working set cached while
+/// memory stays bounded.
 const MAX_CACHED_SYSTEMS: usize = 512;
 
 struct Engine {
@@ -172,6 +176,8 @@ struct Engine {
     systems: HashMap<u64, CachedSystem>,
     /// Reusable right-hand-side / solution buffer.
     rhs: Vec<Complex>,
+    /// Monotone solve counter used as the LRU clock of `systems`.
+    tick: u64,
     stats: SolverStats,
 }
 
@@ -382,6 +388,7 @@ impl<'a> Mna<'a> {
             nominal: values,
             systems: HashMap::new(),
             rhs: vec![Complex::ZERO; n],
+            tick: 0,
             stats: SolverStats::default(),
         };
 
@@ -633,11 +640,21 @@ impl<'a> Mna<'a> {
         engine.stats.solves += 1;
 
         let key = freq_hz.to_bits();
+        engine.tick += 1;
+        let tick = engine.tick;
         if !engine.systems.contains_key(&key) {
-            // Bound memory only when a genuinely new frequency arrives, so
-            // re-solving already-cached frequencies never evicts warm work.
+            // Bound memory only when a genuinely new frequency arrives, and
+            // evict the least-recently-used system rather than clearing
+            // wholesale: a bisection search oscillating over a fine grid
+            // keeps its entire warm working set factored.
             if engine.systems.len() >= MAX_CACHED_SYSTEMS {
-                engine.systems.clear();
+                let coldest = engine
+                    .systems
+                    .iter()
+                    .min_by_key(|(_, s)| s.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("cache at capacity is non-empty");
+                engine.systems.remove(&coldest);
             }
             engine.stats.assemblies += 1;
             let omega = TAU * freq_hz;
@@ -652,6 +669,7 @@ impl<'a> Mna<'a> {
                 CachedSystem {
                     a,
                     lu: LuFactor::new(n),
+                    last_used: tick,
                 },
             );
         }
@@ -659,6 +677,7 @@ impl<'a> Mna<'a> {
             .systems
             .get_mut(&key)
             .expect("system was just inserted");
+        system.last_used = tick;
         if !system.lu.is_factored() {
             engine.stats.factorizations += 1;
             system.lu.refactor_slice(&system.a)?;
@@ -960,6 +979,41 @@ mod tests {
         assert!(
             (restored - nominal).abs() < 1e-12,
             "engine must recover exactly after a through-zero patch: {restored} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn cache_eviction_is_lru_not_wholesale() {
+        let (c, vout) = rc_lowpass();
+        let mna = Mna::new(&c);
+        // Fill well past capacity with distinct frequencies.
+        let total = MAX_CACHED_SYSTEMS + 88;
+        for i in 0..total {
+            let _ = mna.gain("Vin", vout, 100.0 + i as f64).unwrap();
+        }
+        assert_eq!(
+            mna.cached_system_count(),
+            MAX_CACHED_SYSTEMS,
+            "cache stays bounded at capacity"
+        );
+        // The most recent frequency is still warm: re-solving it must not
+        // assemble a new system.
+        let assemblies = mna.solver_stats().assemblies;
+        let _ = mna.gain("Vin", vout, 100.0 + (total - 1) as f64).unwrap();
+        assert_eq!(mna.solver_stats().assemblies, assemblies);
+        // The oldest frequency was the LRU victim: re-solving it assembles.
+        let _ = mna.gain("Vin", vout, 100.0).unwrap();
+        assert_eq!(mna.solver_stats().assemblies, assemblies + 1);
+        // A wholesale clear would have evicted the warm tail too; LRU keeps
+        // it — every recent frequency re-solves without assembly.
+        let assemblies = mna.solver_stats().assemblies;
+        for i in (total - 100)..total {
+            let _ = mna.gain("Vin", vout, 100.0 + i as f64).unwrap();
+        }
+        assert_eq!(
+            mna.solver_stats().assemblies,
+            assemblies,
+            "the recent working set must survive eviction pressure"
         );
     }
 

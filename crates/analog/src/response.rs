@@ -1,8 +1,15 @@
 //! Frequency-response extraction: sweeps, peak search and cut-off frequencies.
 
+use msatpg_exec::{par_map_chunks, ExecPolicy};
+
 use crate::mna::Mna;
 use crate::netlist::{Circuit, NodeId};
 use crate::AnalogError;
+
+/// Number of sweep points per parallel work unit: large enough to amortize
+/// the per-chunk engine stamping, small enough to balance a default sweep
+/// (~211 points) across a handful of workers.
+const SWEEP_CHUNK: usize = 32;
 
 /// Configuration of the logarithmic frequency sweep used when extracting
 /// response parameters.
@@ -76,6 +83,41 @@ impl FrequencyResponse {
         for f in config.frequencies() {
             let gain = mna.gain(source, output, f)?;
             points.push((f, gain));
+        }
+        Ok(FrequencyResponse { points })
+    }
+
+    /// Samples the response with the sweep's frequency grid split into
+    /// chunks executed on the worker pool; each chunk stamps its own MNA
+    /// engine.  A solve at one frequency is a pure function of the circuit,
+    /// so the sampled points are bit-identical to [`FrequencyResponse::sweep`]
+    /// under every [`ExecPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (singular MNA matrix, unknown source).
+    pub fn sweep_policy(
+        circuit: &Circuit,
+        source: &str,
+        output: NodeId,
+        config: &SweepConfig,
+        policy: ExecPolicy,
+    ) -> Result<Self, AnalogError> {
+        if policy.is_serial() {
+            // One engine for the whole grid beats per-chunk stamping.
+            return Self::sweep(circuit, source, output, config);
+        }
+        let freqs = config.frequencies();
+        let chunks = par_map_chunks(policy, &freqs, SWEEP_CHUNK, |_, _, chunk_freqs| {
+            let mna = Mna::new(circuit);
+            chunk_freqs
+                .iter()
+                .map(|&f| mna.gain(source, output, f).map(|g| (f, g)))
+                .collect::<Result<Vec<(f64, f64)>, AnalogError>>()
+        });
+        let mut points = Vec::with_capacity(freqs.len());
+        for chunk in chunks {
+            points.extend(chunk?);
         }
         Ok(FrequencyResponse { points })
     }
@@ -399,6 +441,23 @@ mod tests {
         assert!(f_peak > 100.0 && f_peak < 10_000.0);
         assert!(g_peak > resp.low_frequency_gain());
         assert!(g_peak > resp.high_frequency_gain());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let (c, vout) = active_bandpass();
+        let config = SweepConfig::default();
+        let reference = FrequencyResponse::sweep(&c, "Vin", vout, &config).unwrap();
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Threads(2),
+            ExecPolicy::Threads(8),
+            ExecPolicy::Auto,
+        ] {
+            let swept =
+                FrequencyResponse::sweep_policy(&c, "Vin", vout, &config, policy).unwrap();
+            assert_eq!(swept.points(), reference.points(), "{policy:?}");
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! tolerance, partially masking the fault, exactly as the paper's
 //! "worst element tolerance" computation.
 
+use msatpg_exec::{par_map_chunks, ExecPolicy};
+
 use crate::mna::Mna;
 use crate::netlist::{Circuit, ElementId};
 use crate::params::{measure_with_mna, ParameterSpec};
@@ -176,6 +178,7 @@ pub struct WorstCaseAnalysis<'a> {
     worst_case: bool,
     max_deviation: f64,
     elements: Option<Vec<ElementId>>,
+    policy: ExecPolicy,
 }
 
 impl<'a> WorstCaseAnalysis<'a> {
@@ -191,7 +194,18 @@ impl<'a> WorstCaseAnalysis<'a> {
             worst_case: true,
             max_deviation: 5.0,
             elements: None,
+            policy: ExecPolicy::Serial,
         }
+    }
+
+    /// Sets the execution policy: deviation rows are independent, so they
+    /// are distributed over the worker pool.  Each unit of work probes its
+    /// own freshly stamped MNA engine, which makes the report a pure
+    /// function of the inputs — `Threads(n)` output is byte-identical to
+    /// `Serial` for every `n` (asserted by the determinism suite).
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Sets the parameter tolerance box (fraction, e.g. `0.05`).
@@ -228,13 +242,17 @@ impl<'a> WorstCaseAnalysis<'a> {
 
     /// Runs the analysis.
     ///
-    /// One MNA engine serves the whole run: every probe (sensitivity,
-    /// bracketing, bisection) patches the faulty element's value into the
-    /// stamped system and restores it afterwards, so the structural stamping
-    /// work and the per-frequency factorization cache are shared across the
-    /// thousands of measurements a deviation matrix requires.  The
-    /// worst-case masking sensitivities are likewise computed once per
-    /// parameter and shared across all faulty-element rows.
+    /// Each unit of work — one element's sensitivity, one element's
+    /// threshold search — probes its own freshly stamped MNA engine
+    /// ([`Mna::new`] is one linear pass; the thousands of solves a row
+    /// performs dwarf it), patching the faulty element's value and reusing
+    /// the engine's per-frequency factorization cache across the bracketing
+    /// and bisection probes.  Rows are independent, so they run on the
+    /// worker pool under the configured [`ExecPolicy`] and are merged back
+    /// in `(parameter, element)` order; because every unit starts from a
+    /// fresh engine the report does not depend on the policy or on the
+    /// scheduling order.  The worst-case masking sensitivities are computed
+    /// once per parameter and shared across all faulty-element rows.
     ///
     /// # Errors
     ///
@@ -249,34 +267,60 @@ impl<'a> WorstCaseAnalysis<'a> {
             .iter()
             .map(|&id| (id, self.circuit.element(id).name.clone()))
             .collect();
-        let mna = Mna::new(self.circuit);
         let mut rows = Vec::new();
         for spec in self.parameters {
-            let nominal = measure_with_mna(&mna, spec)?;
+            let nominal = measure_with_mna(&Mna::new(self.circuit), spec)?;
             // First-order masking margins contributed by fault-free
             // elements: Σ_{j≠faulty} |S_j| · tol_element.  The sensitivities
             // depend only on (parameter, element), so compute each once and
             // derive every row's margin from the shared total.
             let sensitivities: Vec<f64> = if self.worst_case && nominal != 0.0 {
-                elements
-                    .iter()
-                    .map(|&e| normalized_sensitivity_with_mna(&mna, spec, e, 0.01))
-                    .collect::<Result<_, _>>()?
+                let per_element = par_map_chunks(self.policy, &elements, 1, |_, _, chunk| {
+                    let mna = Mna::new(self.circuit);
+                    chunk
+                        .iter()
+                        .map(|&e| normalized_sensitivity_with_mna(&mna, spec, e, 0.01))
+                        .collect::<Result<Vec<f64>, AnalogError>>()
+                });
+                let mut flat = Vec::with_capacity(elements.len());
+                for chunk in per_element {
+                    flat.extend(chunk?);
+                }
+                flat
             } else {
                 vec![0.0; elements.len()]
             };
             let total_abs: f64 = sensitivities.iter().map(|s| s.abs()).sum();
-            for (idx, &element) in elements.iter().enumerate() {
-                let mask =
-                    (total_abs - sensitivities[idx].abs()) * self.element_tolerance.fraction();
-                let detectable =
-                    self.minimum_detectable_deviation(&mna, spec, element, nominal, mask)?;
-                rows.push(DeviationRow {
-                    parameter: spec.name.clone(),
-                    element: self.circuit.element(element).name.clone(),
-                    element_id: element,
-                    detectable_deviation: detectable,
-                });
+            // Chunk size 1 (fresh engine per element) is deliberate, not an
+            // oversight: value patches update the stamped matrices by
+            // *delta* (`g += Δ`, restored by the inverse delta), which is
+            // not bit-exact, so an engine shared across rows accumulates
+            // history-dependent last-ulp drift.  A per-worker engine would
+            // therefore make the report depend on which rows a worker
+            // happened to claim — breaking the byte-identity guarantee.
+            // The per-row engine build is one linear stamping pass, dwarfed
+            // by the row's bracketing/bisection solves.
+            let row_chunks = par_map_chunks(self.policy, &elements, 1, |_, offset, chunk| {
+                let mna = Mna::new(self.circuit);
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &element)| {
+                        let mask = (total_abs - sensitivities[offset + k].abs())
+                            * self.element_tolerance.fraction();
+                        let detectable = self
+                            .minimum_detectable_deviation(&mna, spec, element, nominal, mask)?;
+                        Ok(DeviationRow {
+                            parameter: spec.name.clone(),
+                            element: self.circuit.element(element).name.clone(),
+                            element_id: element,
+                            detectable_deviation: detectable,
+                        })
+                    })
+                    .collect::<Result<Vec<DeviationRow>, AnalogError>>()
+            });
+            for chunk in row_chunks {
+                rows.extend(chunk?);
             }
         }
         Ok(DeviationReport {
@@ -446,6 +490,28 @@ mod tests {
         assert_eq!(r3.1, None);
         let r1 = coverage.iter().find(|(n, _)| n == "R1").unwrap();
         assert!(r1.1.is_some());
+    }
+
+    #[test]
+    fn parallel_rows_are_bit_identical_to_serial() {
+        let c = divider();
+        let specs = vec![dc_spec()];
+        let reference = WorstCaseAnalysis::new(&c, &specs)
+            .with_worst_case(true)
+            .run()
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let parallel = WorstCaseAnalysis::new(&c, &specs)
+                .with_worst_case(true)
+                .with_policy(ExecPolicy::Threads(threads))
+                .run()
+                .unwrap();
+            // DeviationRow derives PartialEq over exact f64 values: this is
+            // bit-identity, not tolerance equality.
+            assert_eq!(parallel.rows(), reference.rows(), "{threads} threads");
+            assert_eq!(parallel.parameters(), reference.parameters());
+            assert_eq!(parallel.elements(), reference.elements());
+        }
     }
 
     #[test]

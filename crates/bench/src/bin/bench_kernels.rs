@@ -17,8 +17,9 @@ use msatpg_analog::mna::Mna;
 use msatpg_bdd::BddManager;
 use msatpg_digital::benchmarks;
 use msatpg_digital::fault::FaultList;
-use msatpg_digital::fault_sim::FaultSimulator;
+use msatpg_digital::fault_sim::{FaultCones, FaultSimulator};
 use msatpg_digital::prng::SplitMix64;
+use msatpg_exec::ExecPolicy;
 
 /// Times one closure, running it `reps` times and returning seconds/run.
 fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -74,6 +75,82 @@ fn bench_fault_sim(name: &str, pattern_count: usize) -> FaultSimReport {
         ppsfp_seconds,
         speedup: serial_seconds / ppsfp_seconds,
         ppsfp_patterns_per_sec: pattern_count as f64 / ppsfp_seconds,
+    }
+}
+
+struct ScalingRow {
+    workers: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+struct ThreadScalingReport {
+    circuit: String,
+    faults: usize,
+    patterns: usize,
+    host_cpus: usize,
+    /// Whether the ≥1.5× floor at 4 workers is enforced on this host (it
+    /// requires ≥4 hardware threads; a 1-CPU container records the rows but
+    /// cannot physically speed up).
+    floor_enforced: bool,
+    rows: Vec<ScalingRow>,
+}
+
+/// Thread-scaling of the PPSFP engine: the same fault universe and pattern
+/// set timed at 1, 2, 4 and `available_parallelism` workers.  Fault dropping
+/// is disabled so every worker count performs the identical (maximal) amount
+/// of cone propagation and the rows measure pool scaling, not drop timing.
+fn bench_ppsfp_scaling(name: &str, pattern_count: usize) -> ThreadScalingReport {
+    let netlist = benchmarks::by_name(name).expect("known benchmark");
+    let faults = FaultList::collapsed(&netlist);
+    let cones = FaultCones::build(&netlist, faults.faults().iter().map(|f| f.signal));
+    let mut rng = SplitMix64::new(0x5CA1E);
+    let width = netlist.primary_inputs().len();
+    let patterns: Vec<Vec<bool>> = (0..pattern_count)
+        .map(|_| (0..width).map(|_| rng.bool()).collect())
+        .collect();
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, 4];
+    if !worker_counts.contains(&host_cpus) {
+        worker_counts.push(host_cpus);
+    }
+    // Determinism sanity before timing: every worker count must reproduce
+    // the serial detected vector exactly.
+    let reference = FaultSimulator::new(&netlist)
+        .with_fault_dropping(false)
+        .run_with_cones(&faults, &patterns, &cones)
+        .expect("serial scaling run");
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for &workers in &worker_counts {
+        let sim = FaultSimulator::new(&netlist)
+            .with_fault_dropping(false)
+            .with_policy(ExecPolicy::Threads(workers));
+        let check = sim.run_with_cones(&faults, &patterns, &cones).expect("scaling run");
+        assert_eq!(
+            check.detected(),
+            reference.detected(),
+            "{name}: {workers}-worker run must be byte-identical to serial"
+        );
+        let seconds = time(5, || {
+            std::hint::black_box(sim.run_with_cones(&faults, &patterns, &cones).unwrap());
+        });
+        if workers == 1 {
+            baseline = seconds;
+        }
+        rows.push(ScalingRow {
+            workers,
+            seconds,
+            speedup: baseline / seconds,
+        });
+    }
+    ThreadScalingReport {
+        circuit: name.to_owned(),
+        faults: faults.len(),
+        patterns: pattern_count,
+        host_cpus,
+        floor_enforced: host_cpus >= 4,
+        rows,
     }
 }
 
@@ -166,6 +243,7 @@ fn main() {
         .iter()
         .map(|name| bench_fault_sim(name, 256))
         .collect();
+    let scaling = bench_ppsfp_scaling("c1355", 256);
     let bdd = bench_bdd(24);
     let analog = bench_analog();
 
@@ -189,6 +267,27 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"ppsfp_thread_scaling\": {{\"circuit\": \"{}\", \"faults\": {}, \"patterns\": {}, \
+         \"host_cpus\": {}, \"floor_enforced\": {}, \"rows\": [",
+        scaling.circuit,
+        scaling.faults,
+        scaling.patterns,
+        scaling.host_cpus,
+        scaling.floor_enforced,
+    );
+    for (i, row) in scaling.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{{\"workers\": {}, \"seconds\": {:.6}, \"speedup\": {:.2}}}{}",
+            row.workers,
+            row.seconds,
+            row.speedup,
+            if i + 1 < scaling.rows.len() { ", " } else { "" },
+        );
+    }
+    json.push_str("]},\n");
     let _ = write!(
         json,
         "  \"bdd\": {{\"carry_bits\": {}, \"naive_seconds\": {:.6}, \"arena_seconds\": {:.6}, \
@@ -229,6 +328,40 @@ fn main() {
             r.circuit,
             r.gates,
             r.speedup
+        );
+    }
+    // Serial path must not regress from threading support: the 1-worker row
+    // runs the inline path over the same cones as the plain PPSFP run above.
+    // The scaling run disables fault dropping (strictly more propagation
+    // work, empirically ~2x on the ISCAS circuits), so the guard is a loose
+    // 6x — it catches structural regressions, not jitter.
+    let serial_row = &scaling.rows[0];
+    let plain = fault_sim
+        .iter()
+        .find(|r| r.circuit == scaling.circuit)
+        .expect("scaling circuit is benchmarked");
+    assert!(
+        serial_row.seconds <= plain.ppsfp_seconds * 6.0,
+        "serial PPSFP path regressed: {:.6}s at 1 worker vs {:.6}s plain run",
+        serial_row.seconds,
+        plain.ppsfp_seconds
+    );
+    if scaling.floor_enforced {
+        let four = scaling
+            .rows
+            .iter()
+            .find(|r| r.workers == 4)
+            .expect("4-worker row is always measured");
+        assert!(
+            four.speedup >= 1.5,
+            "PPSFP at 4 workers is only {:.2}x over 1 worker on {} (floor: 1.5x)",
+            four.speedup,
+            scaling.circuit
+        );
+    } else {
+        eprintln!(
+            "note: host has {} hardware thread(s); the 1.5x @ 4 workers floor needs >= 4 and is recorded but not enforced",
+            scaling.host_cpus
         );
     }
     assert!(

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use msatpg_bdd::{Bdd, BddManager, Cube, VarId};
 use msatpg_conversion::constraints::AllowedCodes;
 use msatpg_digital::fault::{FaultList, StuckAtFault};
+use msatpg_exec::{par_map_chunks_with, ExecPolicy};
 use msatpg_digital::fault_sim::{word_mask, FaultCones, PpsfpScratch};
 use msatpg_digital::gate::GateKind;
 use msatpg_digital::netlist::{Netlist, SignalId};
@@ -144,6 +145,10 @@ pub struct DigitalAtpg<'a> {
     d_var: VarId,
     fault_dropping: bool,
     constrained: bool,
+    policy: ExecPolicy,
+    /// The inputs of [`DigitalAtpg::with_constraints`], kept so parallel
+    /// workers can rebuild an equivalent engine.
+    constraint_spec: Option<(Vec<SignalId>, AllowedCodes)>,
 }
 
 impl<'a> DigitalAtpg<'a> {
@@ -171,6 +176,8 @@ impl<'a> DigitalAtpg<'a> {
             d_var,
             fault_dropping: true,
             constrained: false,
+            policy: ExecPolicy::Serial,
+            constraint_spec: None,
         }
     }
 
@@ -198,6 +205,7 @@ impl<'a> DigitalAtpg<'a> {
         }
         self.fc = constraint_bdd(&mut self.manager, self.netlist, lines, codes);
         self.constrained = !codes.is_unconstrained();
+        self.constraint_spec = Some((lines.to_vec(), codes.clone()));
         Ok(self)
     }
 
@@ -205,6 +213,16 @@ impl<'a> DigitalAtpg<'a> {
     /// (enabled by default).
     pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
         self.fault_dropping = enabled;
+        self
+    }
+
+    /// Sets the execution policy of [`Self::run`].  Under `Threads(n)` the
+    /// per-fault test sets are generated speculatively in parallel (each
+    /// worker builds its own OBDD engine) and the fault-dropping pass
+    /// replays them sequentially, so the report is byte-identical to a
+    /// serial run.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -262,7 +280,53 @@ impl<'a> DigitalAtpg<'a> {
         TestOutcome::Untestable
     }
 
+    /// Generates every fault's outcome speculatively on the worker pool.
+    ///
+    /// [`Self::generate`] is a pure function of the (canonical) OBDD
+    /// structure: it never depends on previously generated vectors, and
+    /// independently built managers with the same declaration order yield
+    /// the same satisfying cube.  So the parallel engines' outcomes equal
+    /// what the sequential loop would have computed lazily, and the
+    /// fault-dropping replay in [`Self::run`] reproduces the serial report
+    /// byte for byte.  The speculation cost is one OBDD engine build per
+    /// worker plus test sets for faults a serial run would have dropped.
+    fn generate_all_parallel(&self, faults: &FaultList) -> Vec<Option<TestOutcome>> {
+        let list = faults.faults();
+        // Small chunks keep the pool's self-scheduling effective: per-fault
+        // generation cost is highly uneven (hard faults explore far more
+        // BDD nodes), so static one-chunk-per-worker splits would leave
+        // workers idle behind the unlucky one.  The engine itself is built
+        // once per worker and reused across its chunks.
+        const GENERATE_CHUNK: usize = 8;
+        let chunks = par_map_chunks_with(
+            self.policy,
+            list,
+            GENERATE_CHUNK,
+            || {
+                let engine = DigitalAtpg::new(self.netlist);
+                match &self.constraint_spec {
+                    Some((lines, codes)) => engine
+                        .with_constraints(lines, codes)
+                        .expect("constraints were validated when installed on the primary engine"),
+                    None => engine,
+                }
+            },
+            |engine, _ci, _offset, chunk_faults| {
+                chunk_faults
+                    .iter()
+                    .map(|&fault| Some(engine.generate(fault)))
+                    .collect::<Vec<Option<TestOutcome>>>()
+            },
+        );
+        chunks.into_iter().flatten().collect()
+    }
+
     /// Runs the generator over a whole fault list, with fault dropping.
+    ///
+    /// Under a threaded [`ExecPolicy`] (see [`Self::with_policy`]) the
+    /// per-fault generation runs concurrently up front; the sequential
+    /// replay below keeps fault dropping synchronized through the shared
+    /// pattern blocks exactly as in a serial run.
     ///
     /// # Errors
     ///
@@ -270,6 +334,11 @@ impl<'a> DigitalAtpg<'a> {
     /// occur for well-formed vectors).
     pub fn run(&mut self, faults: &FaultList) -> Result<AtpgReport, CoreError> {
         let start = Instant::now();
+        let mut precomputed: Option<Vec<Option<TestOutcome>>> = if self.policy.workers() > 1 {
+            Some(self.generate_all_parallel(faults))
+        } else {
+            None
+        };
         // Fault-dropping pre-checks run word-parallel: generated patterns
         // accumulate in 64-wide good-value word blocks, and a candidate
         // fault is checked against a whole block with one cone-bounded
@@ -291,7 +360,7 @@ impl<'a> DigitalAtpg<'a> {
         let mut vectors: Vec<TestVector> = Vec::new();
         let mut untestable = Vec::new();
         let mut detected = 0usize;
-        for &fault in faults.faults() {
+        for (fault_index, &fault) in faults.faults().iter().enumerate() {
             if let Some((cones, scratch, _)) = &mut dropping {
                 let covered = blocks.iter().any(|(good, mask)| {
                     scratch.detection_word(self.netlist, cones, fault, good, *mask) != 0
@@ -301,7 +370,13 @@ impl<'a> DigitalAtpg<'a> {
                     continue;
                 }
             }
-            match self.generate(fault) {
+            let outcome = match &mut precomputed {
+                Some(outcomes) => outcomes[fault_index]
+                    .take()
+                    .expect("each fault's speculative outcome is consumed at most once"),
+                None => self.generate(fault),
+            };
+            match outcome {
                 TestOutcome::Detected(vector) => {
                     detected += 1;
                     if let Some((_, _, word_sim)) = &dropping {
@@ -552,6 +627,52 @@ mod tests {
         assert_eq!(with_drop.detected, without_drop.detected);
         assert!(with_drop.vector_count() <= without_drop.vector_count());
         assert!(without_drop.cpu >= Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_runs_are_byte_identical_to_serial() {
+        // Unconstrained adder and constrained Figure-3: every report field
+        // except the wall-clock must match the serial run exactly, for both
+        // dropping modes.
+        let adder = circuits::adder4();
+        let adder_faults = FaultList::collapsed(&adder);
+        let figure3 = circuits::figure3_circuit();
+        let figure3_faults = FaultList::all(&figure3);
+        let l0 = figure3.find_signal("l0").unwrap();
+        let l2 = figure3.find_signal("l2").unwrap();
+        for dropping in [true, false] {
+            let reference = DigitalAtpg::new(&adder)
+                .with_fault_dropping(dropping)
+                .run(&adder_faults)
+                .unwrap();
+            let constrained_reference = DigitalAtpg::new(&figure3)
+                .with_constraints(&[l0, l2], &example2_constraint())
+                .unwrap()
+                .with_fault_dropping(dropping)
+                .run(&figure3_faults)
+                .unwrap();
+            for threads in [2usize, 8] {
+                let parallel = DigitalAtpg::new(&adder)
+                    .with_fault_dropping(dropping)
+                    .with_policy(ExecPolicy::Threads(threads))
+                    .run(&adder_faults)
+                    .unwrap();
+                assert_eq!(parallel.detected, reference.detected);
+                assert_eq!(parallel.untestable, reference.untestable);
+                assert_eq!(parallel.vectors, reference.vectors);
+                let parallel = DigitalAtpg::new(&figure3)
+                    .with_constraints(&[l0, l2], &example2_constraint())
+                    .unwrap()
+                    .with_fault_dropping(dropping)
+                    .with_policy(ExecPolicy::Threads(threads))
+                    .run(&figure3_faults)
+                    .unwrap();
+                assert_eq!(parallel.detected, constrained_reference.detected);
+                assert_eq!(parallel.untestable, constrained_reference.untestable);
+                assert_eq!(parallel.vectors, constrained_reference.vectors);
+                assert_eq!(parallel.constrained, constrained_reference.constrained);
+            }
+        }
     }
 
     #[test]

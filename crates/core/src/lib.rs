@@ -32,6 +32,10 @@ pub mod propagation;
 pub mod report;
 pub mod test_plan;
 
+/// Execution policy of the workspace worker pool (re-export of
+/// [`msatpg_exec::ExecPolicy`]).
+pub use msatpg_exec::ExecPolicy;
+
 pub use activation::{DeviationSign, StimulusPlan};
 pub use analog_atpg::{AnalogAtpg, AnalogTestEntry, AnalogTestOutcome, AnalogTestVector};
 pub use digital_atpg::{AtpgReport, DigitalAtpg, TestOutcome, TestVector};

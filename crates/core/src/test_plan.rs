@@ -6,6 +6,7 @@ use msatpg_analog::coverage::CoverageGraph;
 use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
 use msatpg_conversion::fault::ladder_coverage;
 use msatpg_digital::fault::FaultList;
+use msatpg_exec::ExecPolicy;
 
 use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry};
 use crate::digital_atpg::{AtpgReport, DigitalAtpg};
@@ -25,6 +26,10 @@ pub struct AtpgOptions {
     pub max_deviation: f64,
     /// Use the collapsed stuck-at fault list (true) or the full one (false).
     pub collapse_faults: bool,
+    /// Execution policy for the parallelizable stages (digital test
+    /// generation and the deviation analysis).  Every policy produces a
+    /// byte-identical [`TestPlan`]; `Serial` is the default.
+    pub exec: ExecPolicy,
 }
 
 impl Default for AtpgOptions {
@@ -35,6 +40,7 @@ impl Default for AtpgOptions {
             worst_case: false,
             max_deviation: 5.0,
             collapse_faults: true,
+            exec: ExecPolicy::Serial,
         }
     }
 }
@@ -141,7 +147,9 @@ impl MixedSignalAtpg {
         let faults = self.fault_list();
         let lines = self.circuit.constrained_inputs();
         let codes = self.circuit.allowed_codes();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_constraints(&lines, &codes)?;
+        let mut atpg = DigitalAtpg::new(self.circuit.digital())
+            .with_constraints(&lines, &codes)?
+            .with_policy(self.options.exec);
         atpg.run(&faults)
     }
 
@@ -153,7 +161,7 @@ impl MixedSignalAtpg {
     /// Propagates ATPG errors.
     pub fn digital_unconstrained(&self) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital());
+        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_policy(self.options.exec);
         atpg.run(&faults)
     }
 
@@ -172,6 +180,7 @@ impl MixedSignalAtpg {
         .with_element_tolerance(self.options.element_tolerance)
         .with_worst_case(self.options.worst_case)
         .with_max_deviation(self.options.max_deviation)
+        .with_policy(self.options.exec)
         .run()
         .map_err(|e| CoreError::Analog(e.to_string()))
     }

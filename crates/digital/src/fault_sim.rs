@@ -16,8 +16,22 @@
 //!
 //! Both engines implement fault dropping and produce identical detected /
 //! undetected fault sets (property-tested in `tests/proptests.rs`).
+//!
+//! ## Parallel execution
+//!
+//! The PPSFP engine is embarrassingly parallel over faults: within one
+//! 64-pattern block every fault's cone propagation is independent.
+//! [`FaultSimulator::with_policy`] partitions the fault list into chunks
+//! executed on the [`msatpg_exec`] worker pool — each worker owns its own
+//! [`PpsfpScratch`] word buffers — and the per-chunk detection results are
+//! merged back **in fault-list order**, so the detected / undetected vectors
+//! (and therefore every downstream report) are byte-identical to a serial
+//! run.  Fault dropping synchronizes through the shared detected set between
+//! blocks, exactly where the serial engine consults it.
 
 use std::collections::{HashMap, HashSet};
+
+use msatpg_exec::{par_map_chunks_with, ExecPolicy};
 
 use crate::fault::{FaultList, StuckAtFault};
 use crate::netlist::{Netlist, SignalId};
@@ -67,6 +81,13 @@ struct Cone {
     gates: Vec<u32>,
     /// Signal ids of the primary outputs the fault can reach.
     outputs: Vec<u32>,
+    /// For each cone gate position `k`: `1 +` the last position whose gate
+    /// reads gate `k`'s output signal, or `0` when no later cone gate reads
+    /// it (the value only matters for propagation; reads by primary outputs
+    /// are handled by the final diff pass over `outputs`).
+    out_last_read: Vec<u32>,
+    /// Same encoding for the fault site signal itself.
+    site_last_read: u32,
 }
 
 /// Precomputed propagation cones for a set of fault sites.
@@ -84,6 +105,9 @@ impl FaultCones {
     pub fn build<I: IntoIterator<Item = SignalId>>(netlist: &Netlist, sites: I) -> Self {
         let mut cones = HashMap::new();
         let mut affected = vec![false; netlist.signal_count()];
+        // Scratch for the last-read pass: `1 + position` of the last cone
+        // gate reading a signal (0 = never read inside the cone).
+        let mut last_read = vec![0u32; netlist.signal_count()];
         for site in sites {
             if cones.contains_key(&site) {
                 continue;
@@ -107,7 +131,34 @@ impl FaultCones {
             for t in touched {
                 affected[t.index()] = false;
             }
-            cones.insert(site, Cone { gates, outputs });
+            // Last-read positions drive the early-exit horizon of
+            // [`PpsfpScratch::detection_word`]: once propagation passes the
+            // last gate that reads any still-differing signal, the rest of
+            // the cone is guaranteed to equal the good circuit.
+            for (pos, &gi) in gates.iter().enumerate() {
+                for input in &netlist.gates()[gi as usize].inputs {
+                    last_read[input.index()] = pos as u32 + 1;
+                }
+            }
+            let out_last_read = gates
+                .iter()
+                .map(|&gi| last_read[netlist.gates()[gi as usize].output.index()])
+                .collect();
+            let site_last_read = last_read[site.index()];
+            for &gi in &gates {
+                for input in &netlist.gates()[gi as usize].inputs {
+                    last_read[input.index()] = 0;
+                }
+            }
+            cones.insert(
+                site,
+                Cone {
+                    gates,
+                    outputs,
+                    out_last_read,
+                    site_last_read,
+                },
+            );
         }
         FaultCones { cones }
     }
@@ -159,6 +210,7 @@ pub struct PpsfpScratch {
     stamp: Vec<u32>,
     cur: u32,
     ins: Vec<u64>,
+    gates_evaluated: u64,
 }
 
 impl PpsfpScratch {
@@ -169,7 +221,15 @@ impl PpsfpScratch {
             stamp: vec![0; netlist.signal_count()],
             cur: 0,
             ins: Vec::with_capacity(8),
+            gates_evaluated: 0,
         }
+    }
+
+    /// Number of gate evaluations performed so far — compared against
+    /// [`FaultCones::total_gate_entries`] this exposes how much work the
+    /// event-driven early exit saved.
+    pub fn gates_evaluated(&self) -> u64 {
+        self.gates_evaluated
     }
 
     /// Propagates `fault` through its cone against the good-value words of
@@ -208,7 +268,16 @@ impl PpsfpScratch {
         self.faulty[site] = stuck_word;
         self.stamp[site] = cur;
         let cone = cones.cone(fault.signal);
-        for &gi in &cone.gates {
+        // Event-driven tail cut: `horizon` is the last cone position that
+        // can still read a signal whose faulty word differs from the good
+        // word.  Every gate beyond it is guaranteed to reproduce the good
+        // circuit, so propagation stops there; any differing word already
+        // stamped at a primary output is picked up by the diff pass below.
+        let mut horizon = cone.site_last_read as i64 - 1;
+        for (pos, &gi) in cone.gates.iter().enumerate() {
+            if pos as i64 > horizon {
+                break;
+            }
             let gate = &netlist.gates()[gi as usize];
             self.ins.clear();
             for input in &gate.inputs {
@@ -217,8 +286,13 @@ impl PpsfpScratch {
                     .push(if self.stamp[i] == cur { self.faulty[i] } else { good[i] });
             }
             let o = gate.output.index();
-            self.faulty[o] = gate.kind.eval_word(&self.ins);
+            let word = gate.kind.eval_word(&self.ins);
+            self.gates_evaluated += 1;
+            self.faulty[o] = word;
             self.stamp[o] = cur;
+            if word != good[o] {
+                horizon = horizon.max(cone.out_last_read[pos] as i64 - 1);
+            }
         }
         let mut diff = 0u64;
         for &po in &cone.outputs {
@@ -239,14 +313,22 @@ impl PpsfpScratch {
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
     drop_detected: bool,
+    policy: ExecPolicy,
 }
 
+/// Number of faults per work unit handed to the pool; large enough that a
+/// chunk amortizes its scratch-buffer setup, small enough that stealing
+/// balances uneven cone sizes.
+const FAULT_CHUNK: usize = 64;
+
 impl<'a> FaultSimulator<'a> {
-    /// Creates a fault simulator for `netlist` with fault dropping enabled.
+    /// Creates a fault simulator for `netlist` with fault dropping enabled
+    /// and serial execution.
     pub fn new(netlist: &'a Netlist) -> Self {
         FaultSimulator {
             netlist,
             drop_detected: true,
+            policy: ExecPolicy::Serial,
         }
     }
 
@@ -254,6 +336,13 @@ impl<'a> FaultSimulator<'a> {
     /// once it has been detected — faster, same coverage answer).
     pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
         self.drop_detected = enabled;
+        self
+    }
+
+    /// Sets the execution policy of the PPSFP engine.  Results are
+    /// byte-identical across policies; only the wall-clock changes.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -341,18 +430,62 @@ impl<'a> FaultSimulator<'a> {
         let simulator = Simulator::new(self.netlist);
         let mut detected: Vec<StuckAtFault> = Vec::new();
         let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
-        let mut scratch = PpsfpScratch::new(self.netlist);
+        let fault_list = faults.faults();
+        // Serial fast path: one scratch hoisted above the block loop, no
+        // pool bookkeeping.
+        let mut serial_scratch = if self.policy.is_serial() {
+            Some(PpsfpScratch::new(self.netlist))
+        } else {
+            None
+        };
 
         for chunk in patterns.chunks(64) {
             let good = simulator.run_parallel_all(chunk)?;
             let valid_mask = word_mask(chunk.len());
-            for &fault in faults.faults() {
-                if self.drop_detected && detected_set.contains(&fault) {
-                    continue;
+            if let Some(scratch) = &mut serial_scratch {
+                for &fault in fault_list {
+                    if self.drop_detected && detected_set.contains(&fault) {
+                        continue;
+                    }
+                    let diff =
+                        scratch.detection_word(self.netlist, cones, fault, &good, valid_mask);
+                    if diff != 0 && detected_set.insert(fault) {
+                        detected.push(fault);
+                    }
                 }
-                let diff =
-                    scratch.detection_word(self.netlist, cones, fault, &good, valid_mask);
-                if diff != 0 && detected_set.insert(fault) {
+                continue;
+            }
+            // Within one 64-pattern block every fault is independent: the
+            // serial engine consults the detected set only for faults caught
+            // in *earlier* blocks (each fault is visited once per block), so
+            // partitioning the fault list across workers — each with its own
+            // scratch — and merging hits in fault order reproduces the
+            // serial detected order exactly.  `detection_word` results do
+            // not depend on prior scratch contents (generation stamps), so
+            // per-worker scratch reuse is schedule-safe.
+            let hits_per_chunk = par_map_chunks_with(
+                self.policy,
+                fault_list,
+                FAULT_CHUNK,
+                || PpsfpScratch::new(self.netlist),
+                |scratch, _ci, offset, chunk_faults| {
+                    let mut hits: Vec<usize> = Vec::new();
+                    for (k, &fault) in chunk_faults.iter().enumerate() {
+                        if self.drop_detected && detected_set.contains(&fault) {
+                            continue;
+                        }
+                        let diff = scratch
+                            .detection_word(self.netlist, cones, fault, &good, valid_mask);
+                        if diff != 0 {
+                            hits.push(offset + k);
+                        }
+                    }
+                    hits
+                },
+            );
+            for idx in hits_per_chunk.into_iter().flatten() {
+                let fault = fault_list[idx];
+                if detected_set.insert(fault) {
                     detected.push(fault);
                 }
             }
@@ -598,6 +731,72 @@ mod tests {
                     sim.detects(fault, pattern).unwrap(),
                     sim.detects_with_good(fault, pattern, &good).unwrap()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_when_the_frontier_equals_the_good_circuit() {
+        // a AND b feeding a long buffer chain: with b = 0 the faulty word at
+        // the AND output equals the good word, so propagation must stop
+        // after evaluating just that one gate instead of walking the chain.
+        use crate::gate::GateKind;
+        let mut n = Netlist::new("chain");
+        let a = n.input("a");
+        let bb = n.input("b");
+        let mut prev = n.gate(GateKind::And, "x0", &[a, bb]);
+        for i in 1..=10 {
+            prev = n.gate(GateKind::Buf, &format!("x{i}"), &[prev]);
+        }
+        n.mark_output(prev);
+        let a_sig = n.find_signal("a").unwrap();
+        let fault = StuckAtFault::sa1(a_sig);
+        let cones = FaultCones::build(&n, [a_sig]);
+        assert_eq!(cones.total_gate_entries(), 11);
+        let mut scratch = PpsfpScratch::new(&n);
+        let sim = Simulator::new(&n);
+        // One pattern: a = 0 (activates s-a-1), b = 0 (kills propagation).
+        let good = sim.run_parallel_all(&[vec![false, false]]).unwrap();
+        let diff = scratch.detection_word(&n, &cones, fault, &good, word_mask(1));
+        assert_eq!(diff, 0, "the fault effect dies at the AND gate");
+        assert_eq!(
+            scratch.gates_evaluated(),
+            1,
+            "only the AND gate may be evaluated before the early exit"
+        );
+        // With b = 1 the effect propagates: the whole chain is walked and
+        // the fault is detected.
+        let good = sim.run_parallel_all(&[vec![false, true]]).unwrap();
+        let diff = scratch.detection_word(&n, &cones, fault, &good, word_mask(1));
+        assert_eq!(diff, 1);
+        assert_eq!(scratch.gates_evaluated(), 12);
+    }
+
+    #[test]
+    fn parallel_policies_match_serial_byte_for_byte() {
+        use msatpg_exec::ExecPolicy;
+        let n = benchmarks::by_name("c432").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let patterns = random_patterns(n.primary_inputs().len(), 130, 0xFEED);
+        for dropping in [true, false] {
+            let reference = FaultSimulator::new(&n)
+                .with_fault_dropping(dropping)
+                .run(&faults, &patterns)
+                .unwrap();
+            for threads in [1usize, 2, 8] {
+                let parallel = FaultSimulator::new(&n)
+                    .with_fault_dropping(dropping)
+                    .with_policy(ExecPolicy::Threads(threads))
+                    .run(&faults, &patterns)
+                    .unwrap();
+                // Exact vectors, including order — not just equal sets.
+                assert_eq!(
+                    parallel.detected(),
+                    reference.detected(),
+                    "dropping={dropping} threads={threads}"
+                );
+                assert_eq!(parallel.undetected(), reference.undetected());
+                assert_eq!(parallel.patterns_used(), reference.patterns_used());
             }
         }
     }

@@ -71,6 +71,10 @@ pub mod prng;
 pub mod random_tpg;
 pub mod sim;
 
+/// Execution policy of the workspace worker pool (re-export of
+/// [`msatpg_exec::ExecPolicy`]).
+pub use msatpg_exec::ExecPolicy;
+
 pub use fault::{FaultList, StuckAtFault};
 pub use fault_sim::{FaultSimResult, FaultSimulator};
 pub use gate::GateKind;

@@ -69,4 +69,10 @@ pub mod core {
     pub use msatpg_core::*;
 }
 
+/// Worker pool and execution policies shared by every parallel loop in the
+/// workspace (re-export of [`msatpg_exec`]).
+pub mod exec {
+    pub use msatpg_exec::*;
+}
+
 pub use msatpg_core::{MixedCircuit, MixedSignalAtpg, TestPlan};

@@ -10,13 +10,14 @@
 use msatpg::bdd::{Assignment, BddManager};
 use msatpg::conversion::constraints::thermometer_codes;
 use msatpg::conversion::{FlashAdc, ResistorLadder};
-use msatpg::core::digital_atpg::{DigitalAtpg, TestOutcome};
+use msatpg::core::digital_atpg::{AtpgReport, DigitalAtpg, TestOutcome};
 use msatpg::digital::circuits;
 use msatpg::digital::fault::{FaultList, StuckAtFault};
 use msatpg::digital::fault_sim::FaultSimulator;
 use msatpg::digital::logic::Logic;
 use msatpg::digital::prng::SplitMix64;
 use msatpg::digital::sim::{CompositeSimulator, Simulator};
+use msatpg::exec::ExecPolicy;
 
 const CASES: usize = 64;
 
@@ -361,6 +362,140 @@ fn patched_mna_matches_rebuilt_circuit() {
             );
         }
         mna.reset_values();
+    }
+}
+
+/// The worker pool must be invisible in every output: whatever the thread
+/// count, a parallel run is byte-identical to the serial run.  `cpu` is the
+/// only [`AtpgReport`] field allowed to differ (wall-clock is inherently
+/// non-deterministic, even between two serial runs).
+fn assert_reports_identical(a: &AtpgReport, b: &AtpgReport, context: &str) {
+    assert_eq!(a.circuit, b.circuit, "{context}: circuit");
+    assert_eq!(a.total_faults, b.total_faults, "{context}: total_faults");
+    assert_eq!(a.detected, b.detected, "{context}: detected");
+    assert_eq!(a.untestable, b.untestable, "{context}: untestable");
+    assert_eq!(a.vectors, b.vectors, "{context}: vectors");
+    assert_eq!(a.constrained, b.constrained, "{context}: constrained");
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Parallel PPSFP fault simulation detects exactly the same faults in
+/// exactly the same order as the serial engine, for thread counts 1, 2
+/// and 8, with and without fault dropping.
+#[test]
+fn parallel_ppsfp_is_byte_identical_to_serial() {
+    use msatpg::digital::benchmarks;
+    let mut rng = SplitMix64::new(0x3A11);
+    for name in ["c432", "c880"] {
+        let n = benchmarks::by_name(name).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let patterns: Vec<Vec<bool>> = (0..150)
+            .map(|_| random_pattern(&mut rng, n.primary_inputs().len()))
+            .collect();
+        for dropping in [true, false] {
+            let reference = FaultSimulator::new(&n)
+                .with_fault_dropping(dropping)
+                .run(&faults, &patterns)
+                .unwrap();
+            for &threads in &THREAD_COUNTS {
+                let parallel = FaultSimulator::new(&n)
+                    .with_fault_dropping(dropping)
+                    .with_policy(ExecPolicy::Threads(threads))
+                    .run(&faults, &patterns)
+                    .unwrap();
+                // Order-sensitive comparison: the detected vector, not the
+                // detected set.
+                assert_eq!(
+                    parallel.detected(),
+                    reference.detected(),
+                    "{name} dropping={dropping} threads={threads}"
+                );
+                assert_eq!(parallel.undetected(), reference.undetected());
+            }
+        }
+    }
+}
+
+/// The parallel deviation analysis produces a bit-identical deviation matrix
+/// for thread counts 1, 2 and 8, in nominal and worst-case mode.
+#[test]
+fn parallel_deviation_analysis_is_byte_identical_to_serial() {
+    use msatpg::analog::filters;
+    use msatpg::analog::sensitivity::WorstCaseAnalysis;
+    let filter = filters::second_order_band_pass();
+    // The two gain parameters keep the matrix small enough for a test while
+    // still exercising bracketing, bisection and masking.
+    let specs = &filter.parameters()[..2];
+    for worst_case in [false, true] {
+        let reference = WorstCaseAnalysis::new(filter.circuit(), specs)
+            .with_worst_case(worst_case)
+            .run()
+            .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let parallel = WorstCaseAnalysis::new(filter.circuit(), specs)
+                .with_worst_case(worst_case)
+                .with_policy(ExecPolicy::Threads(threads))
+                .run()
+                .unwrap();
+            // DeviationRow compares f64 thresholds with ==: bit-identity.
+            assert_eq!(
+                parallel.rows(),
+                reference.rows(),
+                "worst_case={worst_case} threads={threads}"
+            );
+        }
+    }
+}
+
+/// The full mixed-signal flow — constrained and unconstrained digital ATPG,
+/// deviation analysis, analog tests and conversion coverage — produces a
+/// byte-identical [`msatpg::TestPlan`] for thread counts 1, 2 and 8.
+#[test]
+fn parallel_test_plan_is_byte_identical_to_serial() {
+    use msatpg::analog::filters;
+    use msatpg::conversion::constraints::AllowedCodes;
+    use msatpg::core::test_plan::AtpgOptions;
+    use msatpg::core::ConverterBlock;
+    use msatpg::{MixedCircuit, MixedSignalAtpg};
+
+    let figure4 = || {
+        let adc = FlashAdc::uniform(2, 3.0).unwrap();
+        let mut mixed = MixedCircuit::new(
+            "figure4",
+            filters::second_order_band_pass(),
+            ConverterBlock::Flash(adc),
+            circuits::figure3_circuit(),
+        );
+        mixed.connect_in_order(&["l0", "l2"]).unwrap();
+        mixed.set_allowed_codes(AllowedCodes::new(
+            2,
+            vec![vec![true, false], vec![false, true], vec![true, true]],
+        ));
+        mixed
+    };
+    let reference = MixedSignalAtpg::new(figure4()).run().unwrap();
+    for &threads in &THREAD_COUNTS {
+        let plan = MixedSignalAtpg::new(figure4())
+            .with_options(AtpgOptions {
+                exec: ExecPolicy::Threads(threads),
+                ..AtpgOptions::default()
+            })
+            .run()
+            .unwrap();
+        assert_reports_identical(&plan.digital, &reference.digital, "constrained");
+        assert_reports_identical(
+            &plan.digital_unconstrained,
+            &reference.digital_unconstrained,
+            "unconstrained",
+        );
+        assert_eq!(plan.analog, reference.analog, "threads={threads}");
+        assert_eq!(
+            plan.analog_deviations.rows(),
+            reference.analog_deviations.rows(),
+            "threads={threads}"
+        );
+        assert_eq!(plan.conversion, reference.conversion, "threads={threads}");
     }
 }
 
