@@ -156,10 +156,7 @@ impl CoverageGraph {
                     .filter(|e| chosen.contains(&e.parameter) && &e.element == el)
                     .map(|e| e.deviation)
                     .fold(f64::INFINITY, f64::min);
-                (
-                    el.clone(),
-                    if d.is_finite() { Some(d) } else { None },
-                )
+                (el.clone(), if d.is_finite() { Some(d) } else { None })
             })
             .collect();
         TestSetSelection {
@@ -231,7 +228,11 @@ mod tests {
         let graph = CoverageGraph::from_report(&report);
         assert_eq!(graph.uncoverable_elements().len(), 0);
         let sel = graph.select_test_set();
-        assert_eq!(sel.parameters.len(), 2, "each output covers its own divider");
+        assert_eq!(
+            sel.parameters.len(),
+            2,
+            "each output covers its own divider"
+        );
         assert!((sel.coverage_ratio() - 1.0).abs() < 1e-12);
     }
 

@@ -88,7 +88,12 @@ impl fmt::Display for AnalogFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             AnalogFaultKind::Deviation { relative } => {
-                write!(f, "element #{} deviation {:+.1}%", self.element.index(), relative * 100.0)
+                write!(
+                    f,
+                    "element #{} deviation {:+.1}%",
+                    self.element.index(),
+                    relative * 100.0
+                )
             }
             AnalogFaultKind::Open => write!(f, "element #{} open", self.element.index()),
             AnalogFaultKind::Short => write!(f, "element #{} short", self.element.index()),

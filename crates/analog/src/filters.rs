@@ -248,15 +248,30 @@ pub fn state_variable_filter() -> FilterCircuit {
     let parameters = vec![
         // High-pass plateau gain (stands in for the paper's A1dc, whose
         // nominal value would be zero for an ideal high-pass output).
-        ParameterSpec::new("A1hf", ParameterKind::AcGain { freq_hz: 100.0e3 }, "Vin", "v1")
-            .with_sweep(sweep),
+        ParameterSpec::new(
+            "A1hf",
+            ParameterKind::AcGain { freq_hz: 100.0e3 },
+            "Vin",
+            "v1",
+        )
+        .with_sweep(sweep),
         ParameterSpec::new("A2max", ParameterKind::MaxGain, "Vin", "v2").with_sweep(sweep),
         ParameterSpec::new("A3dc", ParameterKind::DcGain, "Vin", "v3").with_sweep(sweep),
         ParameterSpec::new("A3'dc", ParameterKind::DcGain, "Vin", "v3p").with_sweep(sweep),
-        ParameterSpec::new("A1_10k", ParameterKind::AcGain { freq_hz: 10.0e3 }, "Vin", "v1")
-            .with_sweep(sweep),
-        ParameterSpec::new("A2_10k", ParameterKind::AcGain { freq_hz: 10.0e3 }, "Vin", "v2")
-            .with_sweep(sweep),
+        ParameterSpec::new(
+            "A1_10k",
+            ParameterKind::AcGain { freq_hz: 10.0e3 },
+            "Vin",
+            "v1",
+        )
+        .with_sweep(sweep),
+        ParameterSpec::new(
+            "A2_10k",
+            ParameterKind::AcGain { freq_hz: 10.0e3 },
+            "Vin",
+            "v2",
+        )
+        .with_sweep(sweep),
         ParameterSpec::new("fh1", ParameterKind::LowCutoff, "Vin", "v1").with_sweep(sweep),
     ];
     FilterCircuit {
@@ -303,8 +318,8 @@ mod tests {
         let f = second_order_band_pass();
         assert!(f.circuit().validate().is_ok());
         assert_eq!(f.circuit().passive_elements().len(), 8);
-        let an = ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node())
-            .with_sweep(audio_sweep());
+        let an =
+            ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node()).with_sweep(audio_sweep());
         let (f0, gain) = an.peak().unwrap();
         assert!((f0 - 4168.0).abs() / 4168.0 < 0.05, "center frequency {f0}");
         // Center gain = Rd / Rg ≈ 3.18.
@@ -327,8 +342,8 @@ mod tests {
     fn chebyshev_is_a_low_pass_near_1khz() {
         let f = fifth_order_chebyshev();
         assert!(f.circuit().validate().is_ok());
-        let an = ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node())
-            .with_sweep(audio_sweep());
+        let an =
+            ResponseAnalyzer::new(f.circuit(), "Vin", f.output_node()).with_sweep(audio_sweep());
         let dc = an.dc_gain().unwrap();
         assert!(dc > 0.5, "passband gain {dc}");
         let g5k = an.gain_at(5.0e3).unwrap();

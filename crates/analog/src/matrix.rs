@@ -147,7 +147,10 @@ impl LuFactor {
     ///
     /// Panics if the matrix is not square or its size does not match.
     pub fn refactor(&mut self, matrix: &Matrix) -> Result<(), AnalogError> {
-        assert_eq!(matrix.rows, matrix.cols, "factorization requires a square matrix");
+        assert_eq!(
+            matrix.rows, matrix.cols,
+            "factorization requires a square matrix"
+        );
         assert_eq!(matrix.rows, self.n, "matrix size mismatch");
         self.refactor_slice(&matrix.data)
     }
@@ -371,11 +374,7 @@ mod tests {
     #[test]
     fn solution_satisfies_system() {
         let mut m = Matrix::zeros(3, 3);
-        let vals = [
-            [4.0, 1.0, 2.0],
-            [1.0, 5.0, 1.0],
-            [2.0, 1.0, 6.0],
-        ];
+        let vals = [[4.0, 1.0, 2.0], [1.0, 5.0, 1.0], [2.0, 1.0, 6.0]];
         for (i, row) in vals.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 m[(i, j)] = c(v);

@@ -266,27 +266,75 @@ impl<'a> Mna<'a> {
             let admittance = |stamps: &mut Vec<Stamp>, target: Target, dep: Dep| {
                 let (na, nb) = (row(e.nodes[0]), row(e.nodes[1]));
                 if let Some(i) = na {
-                    stamps.push(Stamp { target, row: i, col: i, factor: 1.0, dep });
+                    stamps.push(Stamp {
+                        target,
+                        row: i,
+                        col: i,
+                        factor: 1.0,
+                        dep,
+                    });
                     if let Some(j) = nb {
-                        stamps.push(Stamp { target, row: i, col: j, factor: -1.0, dep });
+                        stamps.push(Stamp {
+                            target,
+                            row: i,
+                            col: j,
+                            factor: -1.0,
+                            dep,
+                        });
                     }
                 }
                 if let Some(j) = nb {
-                    stamps.push(Stamp { target, row: j, col: j, factor: 1.0, dep });
+                    stamps.push(Stamp {
+                        target,
+                        row: j,
+                        col: j,
+                        factor: 1.0,
+                        dep,
+                    });
                     if let Some(i) = na {
-                        stamps.push(Stamp { target, row: j, col: i, factor: -1.0, dep });
+                        stamps.push(Stamp {
+                            target,
+                            row: j,
+                            col: i,
+                            factor: -1.0,
+                            dep,
+                        });
                     }
                 }
             };
             // Branch-voltage coupling pattern: ±1 at (i,k), (k,i), (j,k), (k,j).
             let branch_coupling = |stamps: &mut Vec<Stamp>, k: u32, np: NodeId, nn: NodeId| {
                 if let Some(i) = row(np) {
-                    stamps.push(Stamp { target: Target::G, row: i, col: k, factor: 1.0, dep: Dep::Const });
-                    stamps.push(Stamp { target: Target::G, row: k, col: i, factor: 1.0, dep: Dep::Const });
+                    stamps.push(Stamp {
+                        target: Target::G,
+                        row: i,
+                        col: k,
+                        factor: 1.0,
+                        dep: Dep::Const,
+                    });
+                    stamps.push(Stamp {
+                        target: Target::G,
+                        row: k,
+                        col: i,
+                        factor: 1.0,
+                        dep: Dep::Const,
+                    });
                 }
                 if let Some(j) = row(nn) {
-                    stamps.push(Stamp { target: Target::G, row: j, col: k, factor: -1.0, dep: Dep::Const });
-                    stamps.push(Stamp { target: Target::G, row: k, col: j, factor: -1.0, dep: Dep::Const });
+                    stamps.push(Stamp {
+                        target: Target::G,
+                        row: j,
+                        col: k,
+                        factor: -1.0,
+                        dep: Dep::Const,
+                    });
+                    stamps.push(Stamp {
+                        target: Target::G,
+                        row: k,
+                        col: j,
+                        factor: -1.0,
+                        dep: Dep::Const,
+                    });
                 }
             };
             match e.kind {
@@ -300,7 +348,13 @@ impl<'a> Mna<'a> {
                     // Branch formulation: V(a) − V(b) − s·L·I = 0
                     let k = branch_row[&id];
                     branch_coupling(&mut stamps, k, e.nodes[0], e.nodes[1]);
-                    stamps.push(Stamp { target: Target::C, row: k, col: k, factor: -1.0, dep: Dep::Value });
+                    stamps.push(Stamp {
+                        target: Target::C,
+                        row: k,
+                        col: k,
+                        factor: -1.0,
+                        dep: Dep::Value,
+                    });
                 }
                 ElementKind::VoltageSource { dc, .. } => {
                     let k = branch_row[&id];
@@ -322,10 +376,22 @@ impl<'a> Mna<'a> {
                     let k = branch_row[&id];
                     branch_coupling(&mut stamps, k, e.nodes[0], e.nodes[1]);
                     if let Some(i) = row(e.nodes[2]) {
-                        stamps.push(Stamp { target: Target::G, row: k, col: i, factor: -1.0, dep: Dep::Value });
+                        stamps.push(Stamp {
+                            target: Target::G,
+                            row: k,
+                            col: i,
+                            factor: -1.0,
+                            dep: Dep::Value,
+                        });
                     }
                     if let Some(j) = row(e.nodes[3]) {
-                        stamps.push(Stamp { target: Target::G, row: k, col: j, factor: 1.0, dep: Dep::Value });
+                        stamps.push(Stamp {
+                            target: Target::G,
+                            row: k,
+                            col: j,
+                            factor: 1.0,
+                            dep: Dep::Value,
+                        });
                     }
                 }
                 ElementKind::OpAmp { model } => {
@@ -333,16 +399,34 @@ impl<'a> Mna<'a> {
                     let k = branch_row[&id];
                     let (inp, inn, out) = (e.nodes[0], e.nodes[1], e.nodes[2]);
                     if let Some(o) = row(out) {
-                        stamps.push(Stamp { target: Target::G, row: o, col: k, factor: 1.0, dep: Dep::Const });
+                        stamps.push(Stamp {
+                            target: Target::G,
+                            row: o,
+                            col: k,
+                            factor: 1.0,
+                            dep: Dep::Const,
+                        });
                     }
                     match model {
                         OpAmpModel::Ideal => {
                             // Constraint: V(in+) − V(in−) = 0
                             if let Some(i) = row(inp) {
-                                stamps.push(Stamp { target: Target::G, row: k, col: i, factor: 1.0, dep: Dep::Const });
+                                stamps.push(Stamp {
+                                    target: Target::G,
+                                    row: k,
+                                    col: i,
+                                    factor: 1.0,
+                                    dep: Dep::Const,
+                                });
                             }
                             if let Some(j) = row(inn) {
-                                stamps.push(Stamp { target: Target::G, row: k, col: j, factor: -1.0, dep: Dep::Const });
+                                stamps.push(Stamp {
+                                    target: Target::G,
+                                    row: k,
+                                    col: j,
+                                    factor: -1.0,
+                                    dep: Dep::Const,
+                                });
                             }
                         }
                         OpAmpModel::FiniteGain { pole_hz, .. } => {
@@ -352,15 +436,39 @@ impl<'a> Mna<'a> {
                             // G + s·C form without changing the solution:
                             // (1 + s/ω)·V(out) − a0·(V(in+) − V(in−)) = 0.
                             if let Some(o) = row(out) {
-                                stamps.push(Stamp { target: Target::G, row: k, col: o, factor: 1.0, dep: Dep::Const });
-                                stamps.push(Stamp { target: Target::C, row: k, col: o, factor: 1.0 / (TAU * pole_hz), dep: Dep::Const });
+                                stamps.push(Stamp {
+                                    target: Target::G,
+                                    row: k,
+                                    col: o,
+                                    factor: 1.0,
+                                    dep: Dep::Const,
+                                });
+                                stamps.push(Stamp {
+                                    target: Target::C,
+                                    row: k,
+                                    col: o,
+                                    factor: 1.0 / (TAU * pole_hz),
+                                    dep: Dep::Const,
+                                });
                             }
                             // The element "value" is a0 (see ElementKind::value).
                             if let Some(i) = row(inp) {
-                                stamps.push(Stamp { target: Target::G, row: k, col: i, factor: -1.0, dep: Dep::Value });
+                                stamps.push(Stamp {
+                                    target: Target::G,
+                                    row: k,
+                                    col: i,
+                                    factor: -1.0,
+                                    dep: Dep::Value,
+                                });
                             }
                             if let Some(j) = row(inn) {
-                                stamps.push(Stamp { target: Target::G, row: k, col: j, factor: 1.0, dep: Dep::Value });
+                                stamps.push(Stamp {
+                                    target: Target::G,
+                                    row: k,
+                                    col: j,
+                                    factor: 1.0,
+                                    dep: Dep::Value,
+                                });
                             }
                         }
                     }
@@ -607,13 +715,7 @@ impl<'a> Mna<'a> {
         Ok(self.transfer(source, output, freq_hz)?.abs())
     }
 
-    fn source_value(
-        &self,
-        id: ElementId,
-        dc: f64,
-        ac: f64,
-        drive: &Drive,
-    ) -> f64 {
+    fn source_value(&self, id: ElementId, dc: f64, ac: f64, drive: &Drive) -> f64 {
         match drive {
             Drive::AllDc => dc,
             Drive::AllAc => ac,
@@ -748,9 +850,7 @@ mod tests {
         let sol = Mna::new(&c).solve_dc().unwrap();
         assert!((sol.voltage(mid).re - 6.0).abs() < 1e-9);
         // Source current: 10 V across 5 kΩ = 2 mA flowing out of + terminal.
-        let i = sol
-            .branch_current(c.find_element("Vin").unwrap())
-            .unwrap();
+        let i = sol.branch_current(c.find_element("Vin").unwrap()).unwrap();
         assert!((i.re.abs() - 2.0e-3).abs() < 1e-9);
     }
 
@@ -921,7 +1021,10 @@ mod tests {
         for freq in [1.0, 500.0, 1000.0, 20_000.0] {
             let a = mna.gain("Vin", vout, freq).unwrap();
             let b = reference.gain("Vin", vout, freq).unwrap();
-            assert!((a - b).abs() < 1e-12, "gain mismatch at {freq} Hz: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "gain mismatch at {freq} Hz: {a} vs {b}"
+            );
         }
         // Restoring the nominal values restores the nominal response.
         mna.reset_values();

@@ -118,14 +118,12 @@ impl ElementKind {
             ElementKind::Resistor { .. } => ElementKind::Resistor { value: new_value },
             ElementKind::Capacitor { .. } => ElementKind::Capacitor { value: new_value },
             ElementKind::Inductor { .. } => ElementKind::Inductor { value: new_value },
-            ElementKind::VoltageSource { dc, .. } => ElementKind::VoltageSource {
-                dc,
-                ac: new_value,
-            },
-            ElementKind::CurrentSource { dc, .. } => ElementKind::CurrentSource {
-                dc,
-                ac: new_value,
-            },
+            ElementKind::VoltageSource { dc, .. } => {
+                ElementKind::VoltageSource { dc, ac: new_value }
+            }
+            ElementKind::CurrentSource { dc, .. } => {
+                ElementKind::CurrentSource { dc, ac: new_value }
+            }
             ElementKind::Vcvs { .. } => ElementKind::Vcvs { gain: new_value },
             ElementKind::OpAmp { model } => match model {
                 OpAmpModel::Ideal => ElementKind::OpAmp {
@@ -146,7 +144,9 @@ impl ElementKind {
     pub fn is_passive(&self) -> bool {
         matches!(
             self,
-            ElementKind::Resistor { .. } | ElementKind::Capacitor { .. } | ElementKind::Inductor { .. }
+            ElementKind::Resistor { .. }
+                | ElementKind::Capacitor { .. }
+                | ElementKind::Inductor { .. }
         )
     }
 }
@@ -389,7 +389,11 @@ impl Circuit {
         out: NodeId,
         model: OpAmpModel,
     ) -> ElementId {
-        self.add(name, ElementKind::OpAmp { model }, vec![in_plus, in_minus, out])
+        self.add(
+            name,
+            ElementKind::OpAmp { model },
+            vec![in_plus, in_minus, out],
+        )
     }
 
     /// Basic structural validation: every non-ground node must be connected

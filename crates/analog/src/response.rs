@@ -129,16 +129,16 @@ impl FrequencyResponse {
 
     /// Maximum gain over the sweep and the frequency at which it occurs.
     pub fn peak(&self) -> (f64, f64) {
-        self.points
-            .iter()
-            .copied()
-            .fold((0.0, 0.0), |(bf, bg), (f, g)| {
+        self.points.iter().copied().fold(
+            (0.0, 0.0),
+            |(bf, bg), (f, g)| {
                 if g > bg {
                     (f, g)
                 } else {
                     (bf, bg)
                 }
-            })
+            },
+        )
     }
 
     /// Gain at the lowest swept frequency (a proxy for the DC gain of
@@ -434,8 +434,7 @@ mod tests {
     #[test]
     fn frequency_response_sweep_and_peak() {
         let (c, vout) = active_bandpass();
-        let resp =
-            FrequencyResponse::sweep(&c, "Vin", vout, &SweepConfig::default()).unwrap();
+        let resp = FrequencyResponse::sweep(&c, "Vin", vout, &SweepConfig::default()).unwrap();
         assert!(!resp.points().is_empty());
         let (f_peak, g_peak) = resp.peak();
         assert!(f_peak > 100.0 && f_peak < 10_000.0);
@@ -454,8 +453,7 @@ mod tests {
             ExecPolicy::Threads(8),
             ExecPolicy::Auto,
         ] {
-            let swept =
-                FrequencyResponse::sweep_policy(&c, "Vin", vout, &config, policy).unwrap();
+            let swept = FrequencyResponse::sweep_policy(&c, "Vin", vout, &config, policy).unwrap();
             assert_eq!(swept.points(), reference.points(), "{policy:?}");
         }
     }
@@ -482,8 +480,8 @@ mod tests {
             "repeat extraction should be cache-dominated: {new_factorizations} factorizations for {new_solves} solves"
         );
         // The sweep helper can share the same engine.
-        let resp = FrequencyResponse::sweep_with_mna(&mna, "Vin", vout, &SweepConfig::default())
-            .unwrap();
+        let resp =
+            FrequencyResponse::sweep_with_mna(&mna, "Vin", vout, &SweepConfig::default()).unwrap();
         assert!(!resp.points().is_empty());
     }
 }

@@ -8,7 +8,7 @@
 //! tolerance, partially masking the fault, exactly as the paper's
 //! "worst element tolerance" computation.
 
-use msatpg_exec::{par_map_chunks, ExecPolicy};
+use msatpg_exec::{ExecPolicy, WorkerPool};
 
 use crate::mna::Mna;
 use crate::netlist::{Circuit, ElementId};
@@ -259,6 +259,18 @@ impl<'a> WorstCaseAnalysis<'a> {
     /// Propagates measurement errors (singular matrices, unknown nodes,
     /// missing response features).
     pub fn run(&self) -> Result<DeviationReport, AnalogError> {
+        self.run_on(&WorkerPool::new(self.policy))
+    }
+
+    /// Like [`WorstCaseAnalysis::run`], but rides a caller-provided
+    /// [`WorkerPool`] so a larger flow (the mixed-signal ATPG) charges the
+    /// deviation rows to the same pool as its other stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (singular matrices, unknown nodes,
+    /// missing response features).
+    pub fn run_on(&self, pool: &WorkerPool) -> Result<DeviationReport, AnalogError> {
         let elements = match &self.elements {
             Some(e) => e.clone(),
             None => self.circuit.passive_elements(),
@@ -275,13 +287,18 @@ impl<'a> WorstCaseAnalysis<'a> {
             // depend only on (parameter, element), so compute each once and
             // derive every row's margin from the shared total.
             let sensitivities: Vec<f64> = if self.worst_case && nominal != 0.0 {
-                let per_element = par_map_chunks(self.policy, &elements, 1, |_, _, chunk| {
-                    let mna = Mna::new(self.circuit);
-                    chunk
-                        .iter()
-                        .map(|&e| normalized_sensitivity_with_mna(&mna, spec, e, 0.01))
-                        .collect::<Result<Vec<f64>, AnalogError>>()
-                });
+                let per_element = pool.run_chunks(
+                    &elements,
+                    1,
+                    || (),
+                    |(), _, _, chunk| {
+                        let mna = Mna::new(self.circuit);
+                        chunk
+                            .iter()
+                            .map(|&e| normalized_sensitivity_with_mna(&mna, spec, e, 0.01))
+                            .collect::<Result<Vec<f64>, AnalogError>>()
+                    },
+                );
                 let mut flat = Vec::with_capacity(elements.len());
                 for chunk in per_element {
                     flat.extend(chunk?);
@@ -300,25 +317,30 @@ impl<'a> WorstCaseAnalysis<'a> {
             // happened to claim — breaking the byte-identity guarantee.
             // The per-row engine build is one linear stamping pass, dwarfed
             // by the row's bracketing/bisection solves.
-            let row_chunks = par_map_chunks(self.policy, &elements, 1, |_, offset, chunk| {
-                let mna = Mna::new(self.circuit);
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &element)| {
-                        let mask = (total_abs - sensitivities[offset + k].abs())
-                            * self.element_tolerance.fraction();
-                        let detectable = self
-                            .minimum_detectable_deviation(&mna, spec, element, nominal, mask)?;
-                        Ok(DeviationRow {
-                            parameter: spec.name.clone(),
-                            element: self.circuit.element(element).name.clone(),
-                            element_id: element,
-                            detectable_deviation: detectable,
+            let row_chunks = pool.run_chunks(
+                &elements,
+                1,
+                || (),
+                |(), _, offset, chunk| {
+                    let mna = Mna::new(self.circuit);
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &element)| {
+                            let mask = (total_abs - sensitivities[offset + k].abs())
+                                * self.element_tolerance.fraction();
+                            let detectable = self
+                                .minimum_detectable_deviation(&mna, spec, element, nominal, mask)?;
+                            Ok(DeviationRow {
+                                parameter: spec.name.clone(),
+                                element: self.circuit.element(element).name.clone(),
+                                element_id: element,
+                                detectable_deviation: detectable,
+                            })
                         })
-                    })
-                    .collect::<Result<Vec<DeviationRow>, AnalogError>>()
-            });
+                        .collect::<Result<Vec<DeviationRow>, AnalogError>>()
+                },
+            );
             for chunk in row_chunks {
                 rows.extend(chunk?);
             }

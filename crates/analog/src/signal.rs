@@ -44,7 +44,11 @@ impl fmt::Display for SineStimulus {
         if self.is_dc() {
             write!(f, "{:.4} V DC", self.amplitude)
         } else {
-            write!(f, "{:.4} V sine @ {:.1} Hz", self.amplitude, self.frequency_hz)
+            write!(
+                f,
+                "{:.4} V sine @ {:.1} Hz",
+                self.amplitude, self.frequency_hz
+            )
         }
     }
 }
@@ -91,13 +95,7 @@ mod tests {
         c.resistor("R1", vin, vout, 1.0e3);
         c.resistor("R2", vout, Circuit::GROUND, 3.0e3);
         // Divider gain = 0.75 at every frequency.
-        let amp = output_amplitude(
-            &c,
-            "Vin",
-            vout,
-            &SineStimulus::new(2.0, 1.0e3),
-        )
-        .unwrap();
+        let amp = output_amplitude(&c, "Vin", vout, &SineStimulus::new(2.0, 1.0e3)).unwrap();
         assert!((amp - 1.5).abs() < 1e-9);
     }
 }

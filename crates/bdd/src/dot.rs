@@ -38,12 +38,7 @@ pub fn to_dot(m: &BddManager, f: Bdd, graph_name: &str) -> String {
             n.index(),
             node.low.index()
         );
-        let _ = writeln!(
-            out,
-            "  node{} -> node{};",
-            n.index(),
-            node.high.index()
-        );
+        let _ = writeln!(out, "  node{} -> node{};", n.index(), node.high.index());
         stack.push(node.low);
         stack.push(node.high);
     }

@@ -549,10 +549,7 @@ impl BddManager {
             self.ite_stats.hits += 1;
             return Bdd(entry.result);
         }
-        let top = self
-            .root_var(f)
-            .min(self.root_var(g))
-            .min(self.root_var(h));
+        let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);

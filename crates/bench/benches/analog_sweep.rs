@@ -65,8 +65,7 @@ fn bench_sweep_modes(c: &mut Criterion) {
         let element = circuit.passive_elements()[0];
         b.iter(|| {
             mna.scale_value(element, 1.05);
-            let resp =
-                FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
+            let resp = FrequencyResponse::sweep_with_mna(&mna, "Vin", output, &config).unwrap();
             mna.scale_value(element, 1.0 / 1.05);
             std::hint::black_box(resp)
         });

@@ -11,10 +11,14 @@ fn bench_comparator_study(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["c432", "c880"] {
         let mixed = example3_mixed_circuit(name);
-        group.bench_with_input(BenchmarkId::new("fifteen_comparators", name), &(), |b, _| {
-            let atpg = AnalogAtpg::new(&mixed);
-            b.iter(|| std::hint::black_box(atpg.comparator_propagation_study().unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fifteen_comparators", name),
+            &(),
+            |b, _| {
+                let atpg = AnalogAtpg::new(&mixed);
+                b.iter(|| std::hint::black_box(atpg.comparator_propagation_study().unwrap()));
+            },
+        );
     }
     group.finish();
 }

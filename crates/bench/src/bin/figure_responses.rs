@@ -24,7 +24,11 @@ fn main() {
             FrequencyResponse::sweep(filter.circuit(), filter.input_source(), output, &sweep)
                 .expect("sweep succeeds");
         let mut table = TextTable::new(
-            &format!("{} — magnitude response at '{}'", filter.name(), filter.output()),
+            &format!(
+                "{} — magnitude response at '{}'",
+                filter.name(),
+                filter.output()
+            ),
             &["frequency [Hz]", "|H| [V/V]", "|H| [dB]"],
         );
         for &(freq, gain) in response.points() {

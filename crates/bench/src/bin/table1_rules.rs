@@ -39,7 +39,13 @@ fn main() {
     let filter = filters::second_order_band_pass();
     let mut concrete = TextTable::new(
         "Concrete stimuli for the Example-1 band-pass filter (Vref = 2 V, x = 5%)",
-        &["parameter", "direction", "amplitude [V]", "frequency [Hz]", "fault-free Vd"],
+        &[
+            "parameter",
+            "direction",
+            "amplitude [V]",
+            "frequency [Hz]",
+            "fault-free Vd",
+        ],
     );
     for parameter in filter.parameters() {
         for direction in [DeviationSign::Above, DeviationSign::Below] {

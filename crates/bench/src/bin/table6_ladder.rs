@@ -9,8 +9,8 @@ use msatpg_conversion::ResistorLadder;
 use msatpg_core::report::{percent_or_dash, TextTable};
 
 fn main() {
-    let ladder = ResistorLadder::uniform(EXAMPLE3_COMPARATORS + 1, EXAMPLE3_VREF)
-        .expect("valid ladder");
+    let ladder =
+        ResistorLadder::uniform(EXAMPLE3_COMPARATORS + 1, EXAMPLE3_VREF).expect("valid ladder");
     let coverage = ladder_coverage(&ladder, 0.05, 50.0).expect("coverage analysis succeeds");
     let all: Vec<usize> = (1..=coverage.comparator_count()).collect();
 

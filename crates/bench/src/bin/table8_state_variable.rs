@@ -16,7 +16,10 @@ use msatpg_core::MixedSignalAtpg;
 fn main() {
     let mixed = figure8_board_circuit();
     let filter = mixed.analog().clone();
-    println!("Table 8: {} + AD7820-class converter + 4-bit adder\n", filter.name());
+    println!(
+        "Table 8: {} + AD7820-class converter + 4-bit adder\n",
+        filter.name()
+    );
 
     // Computed worst-case component deviations (CD).
     let report = WorstCaseAnalysis::new(filter.circuit(), filter.parameters())
@@ -34,7 +37,13 @@ fn main() {
 
     let mut table = TextTable::new(
         "Computed worst-case component deviation (CD) vs measured parameter deviation (MPD)",
-        &["T (parameter)", "C (component)", "CD [%]", "MPD [%]", "propagates"],
+        &[
+            "T (parameter)",
+            "C (component)",
+            "CD [%]",
+            "MPD [%]",
+            "propagates",
+        ],
     );
     for (element_id, element) in report.elements() {
         // Best parameter and CD for this component.

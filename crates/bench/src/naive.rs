@@ -144,10 +144,7 @@ impl NaiveBddManager {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .root_var(f)
-            .min(self.root_var(g))
-            .min(self.root_var(h));
+        let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
@@ -280,9 +277,8 @@ mod tests {
         };
         let freqs = config.frequencies();
         let naive = naive_sweep(filter.circuit(), "Vin", filter.output_node(), &freqs).unwrap();
-        let fast =
-            FrequencyResponse::sweep(filter.circuit(), "Vin", filter.output_node(), &config)
-                .unwrap();
+        let fast = FrequencyResponse::sweep(filter.circuit(), "Vin", filter.output_node(), &config)
+            .unwrap();
         assert_eq!(naive.len(), fast.points().len());
         for ((f1, g1), (f2, g2)) in naive.iter().zip(fast.points()) {
             assert_eq!(f1, f2);

@@ -74,7 +74,12 @@ impl LadderCoverage {
                             && usable.contains(&c.comparator)
                             && c.detectable_deviation.is_some()
                     })
-                    .map(|c| (c.comparator, c.detectable_deviation.unwrap_or(f64::INFINITY)))
+                    .map(|c| {
+                        (
+                            c.comparator,
+                            c.detectable_deviation.unwrap_or(f64::INFINITY),
+                        )
+                    })
                     .collect();
                 let best = candidates
                     .iter()
@@ -223,10 +228,7 @@ mod tests {
         let assignment = coverage.best_assignment(&all);
         // Every resistor is testable through some comparator.
         assert!(assignment.iter().all(|(_, best)| best.is_some()));
-        let deviations: Vec<f64> = assignment
-            .iter()
-            .map(|(_, best)| best.unwrap().1)
-            .collect();
+        let deviations: Vec<f64> = assignment.iter().map(|(_, best)| best.unwrap().1).collect();
         // ∧-shaped: the end resistors are easiest, the middle hardest —
         // the shape of Table 6 in the paper.
         let first = deviations[0];

@@ -81,7 +81,9 @@ impl FlashAdc {
         index: usize,
         relative: f64,
     ) -> Result<FlashAdc, ConversionError> {
-        Ok(Self::from_ladder(self.ladder.with_deviation(index, relative)?))
+        Ok(Self::from_ladder(
+            self.ladder.with_deviation(index, relative)?,
+        ))
     }
 }
 

@@ -10,11 +10,25 @@ use msatpg_analog::signal::{output_amplitude, SineStimulus};
 use msatpg_analog::ElementId;
 use msatpg_digital::logic::Logic;
 use msatpg_digital::netlist::SignalId;
+use msatpg_exec::WorkerPool;
 
 use crate::activation::{select_stimulus, DeviationSign};
 use crate::mixed_circuit::MixedCircuit;
 use crate::propagation::PropagationEngine;
 use crate::CoreError;
+
+/// One element-test request for the batched entry point
+/// [`AnalogAtpg::test_elements_on`]: the element, the injected deviation and
+/// the parameter ranking to try (most sensitive first).
+#[derive(Clone, Debug)]
+pub struct ElementTestRequest {
+    /// The analog element under test.
+    pub element: ElementId,
+    /// Signed relative deviation to inject (fraction).
+    pub deviation: f64,
+    /// Parameters to try, in ranking order.
+    pub ranking: Vec<ParameterSpec>,
+}
 
 /// A complete test for an analog fault: the stimulus, the digital side
 /// conditions and where the effect is observed.
@@ -144,12 +158,16 @@ impl<'a> AnalogAtpg<'a> {
             };
             for direction in [preferred, other] {
                 // Table-1 stimulus selection for this comparator's reference.
-                let plan =
-                    match select_stimulus(filter, parameter, direction, self.tolerance, threshold)
-                    {
-                        Ok(plan) => plan,
-                        Err(_) => continue,
-                    };
+                let plan = match select_stimulus(
+                    filter,
+                    parameter,
+                    direction,
+                    self.tolerance,
+                    threshold,
+                ) {
+                    Ok(plan) => plan,
+                    Err(_) => continue,
+                };
                 // Numeric activation check: does this comparator really see
                 // different values in the fault-free and the faulty circuit?
                 let amp_good = output_amplitude(
@@ -214,7 +232,13 @@ impl<'a> AnalogAtpg<'a> {
         deviation: f64,
         ranking: &[ParameterSpec],
     ) -> Result<AnalogTestEntry, CoreError> {
-        let element_name = self.circuit.analog().circuit().element(element).name.clone();
+        let element_name = self
+            .circuit
+            .analog()
+            .circuit()
+            .element(element)
+            .name
+            .clone();
         let direction = if deviation >= 0.0 {
             DeviationSign::Above
         } else {
@@ -246,6 +270,35 @@ impl<'a> AnalogAtpg<'a> {
         })
     }
 
+    /// Tests a batch of element deviations on a worker pool, one element per
+    /// work unit (elements are independent:
+    /// [`AnalogAtpg::test_element_deviation`] builds its own faulty circuit
+    /// and propagation engine per attempt).  Entries — and the first error,
+    /// if any — come back **in request order**, so the result is
+    /// byte-identical to calling [`AnalogAtpg::test_element`] in a serial
+    /// loop under any [`msatpg_exec::ExecPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in request order.
+    pub fn test_elements_on(
+        &self,
+        pool: &WorkerPool,
+        requests: &[ElementTestRequest],
+    ) -> Result<Vec<AnalogTestEntry>, CoreError> {
+        pool.run_chunks(
+            requests,
+            1,
+            || (),
+            |(), _ci, _offset, chunk| {
+                let request = &chunk[0];
+                self.test_element(request.element, request.deviation, &request.ranking)
+            },
+        )
+        .into_iter()
+        .collect()
+    }
+
     /// The Table-5 study: for each conversion-block output, can a composite
     /// value on that line (other lines held at the adjacent thermometer
     /// code) be propagated to a primary output?  Returns, for each output,
@@ -258,33 +311,63 @@ impl<'a> AnalogAtpg<'a> {
     /// Propagates propagation-engine errors.
     pub fn comparator_propagation_study(&self) -> Result<Vec<(bool, bool)>, CoreError> {
         let connections = self.circuit.connections();
-        let n = connections.len();
         let engine = PropagationEngine::new(self.circuit.digital());
-        let mut results = Vec::with_capacity(n);
-        for (idx, &(converter_output, line)) in connections.iter().enumerate() {
-            let _ = converter_output;
-            // Fault-free code: thermometer with `idx + 1` ones (the input
-            // amplitude sits just above this comparator's reference).
-            let mut fixed_d: HashMap<SignalId, bool> = HashMap::new();
-            let mut fixed_dbar: HashMap<SignalId, bool> = HashMap::new();
-            for (j, &(_, other_line)) in connections.iter().enumerate() {
-                if j == idx {
-                    continue;
-                }
-                // Lines below the flipped comparator are 1, above are 0, in
-                // both scenarios.
-                fixed_d.insert(other_line, j < idx);
-                fixed_dbar.insert(other_line, j < idx);
+        (0..connections.len())
+            .map(|idx| self.connection_study(&engine, &connections, idx))
+            .collect()
+    }
+
+    /// [`AnalogAtpg::comparator_propagation_study`] on a worker pool:
+    /// comparators are independent (the propagation engine builds a fresh
+    /// OBDD per query), so each connection is one work unit; results merge
+    /// in connection order, byte-identical to the serial study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first propagation-engine error in connection order.
+    pub fn comparator_propagation_study_on(
+        &self,
+        pool: &WorkerPool,
+    ) -> Result<Vec<(bool, bool)>, CoreError> {
+        let connections = self.circuit.connections();
+        pool.run_chunks(
+            &connections,
+            1,
+            || PropagationEngine::new(self.circuit.digital()),
+            |engine, _ci, offset, _chunk| self.connection_study(engine, &connections, offset),
+        )
+        .into_iter()
+        .collect()
+    }
+
+    /// One row of the Table-5 study: can comparator `idx`'s flip be
+    /// propagated, with the other lines held at the adjacent thermometer
+    /// code?
+    fn connection_study(
+        &self,
+        engine: &PropagationEngine<'_>,
+        connections: &[(usize, SignalId)],
+        idx: usize,
+    ) -> Result<(bool, bool), CoreError> {
+        let line = connections[idx].1;
+        // Fault-free code: thermometer with `idx + 1` ones (the input
+        // amplitude sits just above this comparator's reference).
+        let mut fixed: HashMap<SignalId, bool> = HashMap::new();
+        for (j, &(_, other_line)) in connections.iter().enumerate() {
+            if j == idx {
+                continue;
             }
-            let d_ok = engine
-                .find_propagating_assignment(&fixed_d, line, Logic::D)?
-                .is_some();
-            let dbar_ok = engine
-                .find_propagating_assignment(&fixed_dbar, line, Logic::Dbar)?
-                .is_some();
-            results.push((d_ok, dbar_ok));
+            // Lines below the flipped comparator are 1, above are 0, for
+            // both composite polarities.
+            fixed.insert(other_line, j < idx);
         }
-        Ok(results)
+        let d_ok = engine
+            .find_propagating_assignment(&fixed, line, Logic::D)?
+            .is_some();
+        let dbar_ok = engine
+            .find_propagating_assignment(&fixed, line, Logic::Dbar)?
+            .is_some();
+        Ok((d_ok, dbar_ok))
     }
 }
 

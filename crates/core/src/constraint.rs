@@ -85,10 +85,7 @@ mod tests {
         declare_input_variables(&mut m, &netlist);
         let l0 = netlist.find_signal("l0").unwrap();
         let l2 = netlist.find_signal("l2").unwrap();
-        let codes = AllowedCodes::new(
-            2,
-            vec![vec![true, false], vec![true, true]],
-        );
+        let codes = AllowedCodes::new(2, vec![vec![true, false], vec![true, true]]);
         let fc = constraint_bdd(&mut m, &netlist, &[l0, l2], &codes);
         // Note: the code list above only contains l0=1 codes, so Fc = l0.
         let l0_var = m.var("l0");
@@ -100,11 +97,7 @@ mod tests {
         // corresponds to codes observed in either order.  Model it directly:
         let codes2 = AllowedCodes::new(
             2,
-            vec![
-                vec![true, false],
-                vec![false, true],
-                vec![true, true],
-            ],
+            vec![vec![true, false], vec![false, true], vec![true, true]],
         );
         let fc2 = constraint_bdd(&mut m, &netlist, &[l0, l2], &codes2);
         let l2_var = m.var("l2");

@@ -18,16 +18,17 @@
 //! output means the fault is untestable under the constraints.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use msatpg_bdd::{Bdd, BddManager, Cube, VarId};
 use msatpg_conversion::constraints::AllowedCodes;
 use msatpg_digital::fault::{FaultList, StuckAtFault};
-use msatpg_exec::{par_map_chunks_with, ExecPolicy};
 use msatpg_digital::fault_sim::{word_mask, FaultCones, PpsfpScratch};
 use msatpg_digital::gate::GateKind;
 use msatpg_digital::netlist::{Netlist, SignalId};
 use msatpg_digital::sim::Simulator;
+use msatpg_exec::{ExecPolicy, WorkerPool};
 
 use crate::constraint::{constraint_bdd, declare_input_variables};
 use crate::CoreError;
@@ -117,6 +118,103 @@ impl AtpgReport {
             return 1.0;
         }
         self.detected as f64 / self.total_faults as f64
+    }
+}
+
+/// Faults per pipeline round: while the replay consumes one round, the pool
+/// generates the next.
+const REPLAY_CHUNK: usize = 64;
+
+/// Faults per generation work unit within a round (small, so the pool's
+/// chunk stealing balances the very uneven per-fault generation cost).
+const GENERATE_CHUNK: usize = 8;
+
+/// The sequential fault-dropping replay: consumes per-fault outcomes in
+/// fault-list order and maintains the word-parallel coverage blocks.
+///
+/// Fault-dropping pre-checks run word-parallel: generated patterns
+/// accumulate in 64-wide good-value word blocks, and a candidate fault is
+/// checked against a whole block with one cone-bounded propagation (the
+/// same PPSFP kernel the fault simulator uses) instead of one full faulty
+/// evaluation per (fault, pattern).  Both the serial loop and the pipelined
+/// driver run exactly this state machine, which is what keeps their reports
+/// byte-identical.
+struct ReplayState<'n> {
+    netlist: &'n Netlist,
+    dropping: Option<(FaultCones, PpsfpScratch, Simulator<'n>)>,
+    /// Good-value words and valid-pattern mask per block; the last block is
+    /// rebuilt as it fills.
+    blocks: Vec<(Vec<u64>, u64)>,
+    open_block: Vec<Vec<bool>>,
+    vectors: Vec<TestVector>,
+    untestable: Vec<StuckAtFault>,
+    detected: usize,
+}
+
+impl<'n> ReplayState<'n> {
+    fn new(netlist: &'n Netlist, fault_dropping: bool, faults: &FaultList) -> Self {
+        let dropping = if fault_dropping {
+            Some((
+                FaultCones::build(netlist, faults.faults().iter().map(|f| f.signal)),
+                PpsfpScratch::new(netlist),
+                Simulator::new(netlist),
+            ))
+        } else {
+            None
+        };
+        ReplayState {
+            netlist,
+            dropping,
+            blocks: Vec::new(),
+            open_block: Vec::new(),
+            vectors: Vec::new(),
+            untestable: Vec::new(),
+            detected: 0,
+        }
+    }
+
+    /// Is the fault already detected by a previously replayed vector?
+    /// Always `false` with fault dropping disabled.  Coverage is monotone:
+    /// blocks only gain patterns, so once covered a fault stays covered.
+    fn covered(&mut self, fault: StuckAtFault) -> bool {
+        let Some((cones, scratch, _)) = &mut self.dropping else {
+            return false;
+        };
+        let netlist = self.netlist;
+        self.blocks
+            .iter()
+            .any(|(good, mask)| scratch.detection_word(netlist, cones, fault, good, *mask) != 0)
+    }
+
+    /// Applies one fault's outcome: bumps the detected count, folds a new
+    /// vector into the word blocks, or records the fault as untestable.
+    fn consume(&mut self, fault: StuckAtFault, outcome: TestOutcome) -> Result<(), CoreError> {
+        match outcome {
+            TestOutcome::Detected(vector) => {
+                self.detected += 1;
+                if let Some((_, _, word_sim)) = &self.dropping {
+                    self.open_block.push(vector.concretize(false));
+                    let words = word_sim
+                        .run_parallel_all(&self.open_block)
+                        .map_err(|e| CoreError::Digital(e.to_string()))?;
+                    let mask = word_mask(self.open_block.len());
+                    if self.open_block.len() == 1 {
+                        self.blocks.push((words, mask));
+                    } else {
+                        *self.blocks.last_mut().expect("open block exists") = (words, mask);
+                    }
+                    if self.open_block.len() == 64 {
+                        self.open_block.clear();
+                    }
+                }
+                self.vectors.push(vector);
+            }
+            TestOutcome::PreviouslyDetected => {
+                self.detected += 1;
+            }
+            TestOutcome::Untestable => self.untestable.push(fault),
+        }
+        Ok(())
     }
 }
 
@@ -280,137 +378,167 @@ impl<'a> DigitalAtpg<'a> {
         TestOutcome::Untestable
     }
 
-    /// Generates every fault's outcome speculatively on the worker pool.
-    ///
-    /// [`Self::generate`] is a pure function of the (canonical) OBDD
-    /// structure: it never depends on previously generated vectors, and
-    /// independently built managers with the same declaration order yield
-    /// the same satisfying cube.  So the parallel engines' outcomes equal
-    /// what the sequential loop would have computed lazily, and the
-    /// fault-dropping replay in [`Self::run`] reproduces the serial report
-    /// byte for byte.  The speculation cost is one OBDD engine build per
-    /// worker plus test sets for faults a serial run would have dropped.
-    fn generate_all_parallel(&self, faults: &FaultList) -> Vec<Option<TestOutcome>> {
-        let list = faults.faults();
-        // Small chunks keep the pool's self-scheduling effective: per-fault
-        // generation cost is highly uneven (hard faults explore far more
-        // BDD nodes), so static one-chunk-per-worker splits would leave
-        // workers idle behind the unlucky one.  The engine itself is built
-        // once per worker and reused across its chunks.
-        const GENERATE_CHUNK: usize = 8;
-        let chunks = par_map_chunks_with(
-            self.policy,
-            list,
-            GENERATE_CHUNK,
-            || {
-                let engine = DigitalAtpg::new(self.netlist);
-                match &self.constraint_spec {
-                    Some((lines, codes)) => engine
-                        .with_constraints(lines, codes)
-                        .expect("constraints were validated when installed on the primary engine"),
-                    None => engine,
-                }
-            },
-            |engine, _ci, _offset, chunk_faults| {
-                chunk_faults
-                    .iter()
-                    .map(|&fault| Some(engine.generate(fault)))
-                    .collect::<Vec<Option<TestOutcome>>>()
-            },
-        );
-        chunks.into_iter().flatten().collect()
-    }
-
     /// Runs the generator over a whole fault list, with fault dropping.
     ///
-    /// Under a threaded [`ExecPolicy`] (see [`Self::with_policy`]) the
-    /// per-fault generation runs concurrently up front; the sequential
-    /// replay below keeps fault dropping synchronized through the shared
-    /// pattern blocks exactly as in a serial run.
+    /// Under a threaded [`ExecPolicy`] (see [`Self::with_policy`]) the run
+    /// is **pipelined**: worker engines generate the test sets of fault
+    /// chunk *k+1* while the sequential fault-dropping replay consumes
+    /// chunk *k* on the caller's thread (see [`Self::run_on`]).
     ///
     /// # Errors
     ///
     /// Propagates simulation errors from the fault-dropping pass (cannot
     /// occur for well-formed vectors).
     pub fn run(&mut self, faults: &FaultList) -> Result<AtpgReport, CoreError> {
+        let pool = WorkerPool::new(self.policy);
+        self.run_on(&pool, faults)
+    }
+
+    /// Like [`Self::run`], but rides a caller-provided [`WorkerPool`] so a
+    /// larger flow (the mixed-signal ATPG) shares one pool across stages.
+    /// The **pool's policy** decides the worker count here;
+    /// [`Self::with_policy`] only configures the pool that [`Self::run`]
+    /// builds internally.
+    ///
+    /// The pipeline works in rounds of `REPLAY_CHUNK` faults: while the
+    /// replay consumes the outcomes of round *k*, the pool generates round
+    /// *k+1*.  Before submitting a round the driver pre-screens its faults
+    /// against the vectors replayed so far and flags the covered ones, so
+    /// the workers stop speculating on faults the replay already covers.
+    /// The replay itself remains the oracle — it re-checks coverage exactly
+    /// like the serial loop and falls back to inline generation when a
+    /// speculative outcome is missing — so the report is **byte-identical**
+    /// to a serial run: [`Self::generate`] is a pure function of the
+    /// (canonical) OBDD structure, and independently built managers with
+    /// the same declaration order yield the same satisfying cube.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the fault-dropping pass.
+    pub fn run_on(
+        &mut self,
+        pool: &WorkerPool,
+        faults: &FaultList,
+    ) -> Result<AtpgReport, CoreError> {
         let start = Instant::now();
-        let mut precomputed: Option<Vec<Option<TestOutcome>>> = if self.policy.workers() > 1 {
-            Some(self.generate_all_parallel(faults))
-        } else {
-            None
-        };
-        // Fault-dropping pre-checks run word-parallel: generated patterns
-        // accumulate in 64-wide good-value word blocks, and a candidate
-        // fault is checked against a whole block with one cone-bounded
-        // propagation (the same PPSFP kernel the fault simulator uses)
-        // instead of one full faulty evaluation per (fault, pattern).
-        let mut dropping = if self.fault_dropping {
-            Some((
-                FaultCones::build(self.netlist, faults.faults().iter().map(|f| f.signal)),
-                PpsfpScratch::new(self.netlist),
-                Simulator::new(self.netlist),
-            ))
-        } else {
-            None
-        };
-        // Good-value words and valid-pattern mask per block; the last block
-        // is rebuilt as it fills.
-        let mut blocks: Vec<(Vec<u64>, u64)> = Vec::new();
-        let mut open_block: Vec<Vec<bool>> = Vec::new();
-        let mut vectors: Vec<TestVector> = Vec::new();
-        let mut untestable = Vec::new();
-        let mut detected = 0usize;
-        for (fault_index, &fault) in faults.faults().iter().enumerate() {
-            if let Some((cones, scratch, _)) = &mut dropping {
-                let covered = blocks.iter().any(|(good, mask)| {
-                    scratch.detection_word(self.netlist, cones, fault, good, *mask) != 0
-                });
-                if covered {
-                    detected += 1;
+        let mut replay = ReplayState::new(self.netlist, self.fault_dropping, faults);
+        if pool.policy().is_serial() {
+            for &fault in faults.faults() {
+                if replay.covered(fault) {
+                    replay.detected += 1;
                     continue;
                 }
+                let outcome = self.generate(fault);
+                replay.consume(fault, outcome)?;
             }
-            let outcome = match &mut precomputed {
-                Some(outcomes) => outcomes[fault_index]
-                    .take()
-                    .expect("each fault's speculative outcome is consumed at most once"),
-                None => self.generate(fault),
-            };
-            match outcome {
-                TestOutcome::Detected(vector) => {
-                    detected += 1;
-                    if let Some((_, _, word_sim)) = &dropping {
-                        open_block.push(vector.concretize(false));
-                        let words = word_sim
-                            .run_parallel_all(&open_block)
-                            .map_err(|e| CoreError::Digital(e.to_string()))?;
-                        let mask = word_mask(open_block.len());
-                        if open_block.len() == 1 {
-                            blocks.push((words, mask));
-                        } else {
-                            *blocks.last_mut().expect("open block exists") = (words, mask);
-                        }
-                        if open_block.len() == 64 {
-                            open_block.clear();
-                        }
-                    }
-                    vectors.push(vector);
-                }
-                TestOutcome::PreviouslyDetected => {
-                    detected += 1;
-                }
-                TestOutcome::Untestable => untestable.push(fault),
-            }
+        } else {
+            self.run_pipelined(pool, faults, &mut replay)?;
         }
         Ok(AtpgReport {
             circuit: self.netlist.name().to_owned(),
             total_faults: faults.len(),
-            detected,
-            untestable,
-            vectors,
+            detected: replay.detected,
+            untestable: replay.untestable,
+            vectors: replay.vectors,
             cpu: start.elapsed(),
             constrained: self.constrained,
         })
+    }
+
+    /// The pipelined engine behind [`Self::run_on`]: one pool session whose
+    /// rounds generate fault chunks one step ahead of the replay.
+    fn run_pipelined(
+        &mut self,
+        pool: &WorkerPool,
+        faults: &FaultList,
+        replay: &mut ReplayState<'a>,
+    ) -> Result<(), CoreError> {
+        let list = faults.faults();
+        let netlist = self.netlist;
+        let spec = self.constraint_spec.clone();
+        // Replay-side coverage flags: set by the driver strictly between
+        // rounds (prescreen), read by the workers to skip doomed
+        // speculation.  They only gate whether a speculative outcome is
+        // produced — the replay independently re-derives coverage — so the
+        // flags cannot change the report, only the wasted work.
+        let covered: Vec<AtomicBool> = list.iter().map(|_| AtomicBool::new(false)).collect();
+        let n_rounds = list.len().div_ceil(REPLAY_CHUNK);
+        // Small sub-chunks keep the pool's self-scheduling effective:
+        // per-fault generation cost is highly uneven (hard faults explore
+        // far more BDD nodes), so static one-chunk-per-worker splits would
+        // leave workers idle behind the unlucky one.
+        let chunks_per_round = REPLAY_CHUNK.div_ceil(GENERATE_CHUNK);
+        pool.session(
+            chunks_per_round,
+            || {
+                let engine = DigitalAtpg::new(netlist);
+                match &spec {
+                    Some((lines, codes)) => engine
+                        .with_constraints(lines, codes)
+                        .expect("constraints were validated when installed on the primary engine"),
+                    None => engine,
+                }
+            },
+            |engine, round_start: &usize, ci| {
+                let base = round_start + ci * GENERATE_CHUNK;
+                let end = (base + GENERATE_CHUNK)
+                    .min(round_start + REPLAY_CHUNK)
+                    .min(list.len());
+                let mut outcomes: Vec<Option<TestOutcome>> = Vec::new();
+                for k in base..end.max(base) {
+                    if covered[k].load(Ordering::Relaxed) {
+                        outcomes.push(None);
+                    } else {
+                        outcomes.push(Some(engine.generate(list[k])));
+                    }
+                }
+                outcomes
+            },
+            |session| -> Result<(), CoreError> {
+                session.submit(0usize, chunks_per_round);
+                for round in 0..n_rounds {
+                    let round_start = round * REPLAY_CHUNK;
+                    let outcomes: Vec<Option<TestOutcome>> =
+                        session.wait().into_iter().flatten().collect();
+                    if round + 1 < n_rounds {
+                        // Pre-screen the next round against the blocks
+                        // replayed so far (rounds < `round`), then hand it
+                        // to the workers before replaying this round.
+                        let next_start = (round + 1) * REPLAY_CHUNK;
+                        let next_end = (next_start + REPLAY_CHUNK).min(list.len());
+                        for k in next_start..next_end {
+                            if replay.covered(list[k]) {
+                                covered[k].store(true, Ordering::Relaxed);
+                            }
+                        }
+                        session.submit(next_start, chunks_per_round);
+                    }
+                    // Replay round `round` while the workers generate round
+                    // `round + 1` — exactly the serial loop, with `generate`
+                    // replaced by the speculative outcome where available.
+                    for (j, slot) in outcomes.into_iter().enumerate() {
+                        let k = round_start + j;
+                        let fault = list[k];
+                        // A flag set by the prescreen was itself a full
+                        // coverage scan, and coverage is monotone (blocks
+                        // only gain patterns), so the replay can trust it
+                        // without rescanning; only unflagged faults pay the
+                        // pre-check here.  Flags are written by this driver
+                        // alone, never by workers.
+                        if covered[k].load(Ordering::Relaxed) || replay.covered(fault) {
+                            replay.detected += 1;
+                            continue;
+                        }
+                        let outcome = match slot {
+                            Some(outcome) => outcome,
+                            None => self.generate(fault),
+                        };
+                        replay.consume(fault, outcome)?;
+                    }
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Signal functions with `line` replaced by the free variable `D`
@@ -492,11 +620,7 @@ mod tests {
         // Fc = l0 + l2: every code except (0, 0).
         AllowedCodes::new(
             2,
-            vec![
-                vec![true, false],
-                vec![false, true],
-                vec![true, true],
-            ],
+            vec![vec![true, false], vec![false, true], vec![true, true]],
         )
     }
 
@@ -534,7 +658,12 @@ mod tests {
             .unwrap();
         let report = atpg.run(&uncollapsed).unwrap();
         assert!(report.constrained);
-        assert_eq!(report.untestable_count(), 3, "untestable: {:?}", report.untestable);
+        assert_eq!(
+            report.untestable_count(),
+            3,
+            "untestable: {:?}",
+            report.untestable
+        );
         assert!(report.untestable.contains(&StuckAtFault::sa1(l0)));
         assert!(report.untestable.contains(&StuckAtFault::sa1(l3)));
         assert!(report.untestable.contains(&StuckAtFault::sa1(l6)));
@@ -544,7 +673,12 @@ mod tests {
             .with_constraints(&[l0, l2], &example2_constraint())
             .unwrap();
         let report2 = atpg2.run(&collapsed).unwrap();
-        assert_eq!(report2.untestable_count(), 2, "untestable: {:?}", report2.untestable);
+        assert_eq!(
+            report2.untestable_count(),
+            2,
+            "untestable: {:?}",
+            report2.untestable
+        );
         assert!(report2.untestable.contains(&StuckAtFault::sa1(l0)));
     }
 
@@ -565,7 +699,11 @@ mod tests {
             TestOutcome::Detected(vector) => {
                 // PI order is l0, l1, l2, l4.
                 assert_eq!(vector.assignment[2], Some(true), "l2 must be 1 to activate");
-                assert_eq!(vector.assignment[0], Some(false), "l0 must be 0 to propagate");
+                assert_eq!(
+                    vector.assignment[0],
+                    Some(false),
+                    "l0 must be 0 to propagate"
+                );
                 let pattern = vector.to_pattern_string();
                 assert_eq!(pattern.len(), 4);
             }
@@ -676,11 +814,41 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_run_spawns_one_worker_set_and_one_barrier_per_round() {
+        let circuit = circuits::adder4();
+        // Double the fault universe so the campaign spans several pipeline
+        // rounds (the replay handles repeated faults like the serial loop).
+        let mut universe = FaultList::all(&circuit).faults().to_vec();
+        universe.extend(universe.clone());
+        let faults = FaultList::from_faults(universe);
+        let pool = WorkerPool::new(ExecPolicy::Threads(2));
+        let report = DigitalAtpg::new(&circuit)
+            .with_policy(ExecPolicy::Threads(2))
+            .run_on(&pool, &faults)
+            .unwrap();
+        let reference = DigitalAtpg::new(&circuit).run(&faults).unwrap();
+        assert_eq!(report.vectors, reference.vectors);
+        assert_eq!(report.detected, reference.detected);
+        assert_eq!(report.untestable, reference.untestable);
+        let stats = pool.stats();
+        let n_rounds = faults.len().div_ceil(REPLAY_CHUNK) as u64;
+        assert!(
+            n_rounds >= 2,
+            "the adder fault list must span several rounds"
+        );
+        assert_eq!(
+            stats.spawns, 2,
+            "one worker set for the whole pipelined run, not one per chunk"
+        );
+        assert_eq!(stats.barriers, n_rounds, "one barrier per pipeline round");
+    }
+
+    #[test]
     fn constraining_a_non_input_line_is_rejected() {
         let circuit = circuits::figure3_circuit();
         let l6 = circuit.find_signal("l6").unwrap();
-        let result =
-            DigitalAtpg::new(&circuit).with_constraints(&[l6], &AllowedCodes::new(1, vec![vec![true]]));
+        let result = DigitalAtpg::new(&circuit)
+            .with_constraints(&[l6], &AllowedCodes::new(1, vec![vec![true]]));
         assert!(result.is_err());
     }
 

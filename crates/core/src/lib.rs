@@ -32,9 +32,9 @@ pub mod propagation;
 pub mod report;
 pub mod test_plan;
 
-/// Execution policy of the workspace worker pool (re-export of
-/// [`msatpg_exec::ExecPolicy`]).
-pub use msatpg_exec::ExecPolicy;
+/// Execution policy and persistent worker pool of the workspace (re-export
+/// of [`msatpg_exec`]).
+pub use msatpg_exec::{ExecPolicy, PoolStats, WorkerPool};
 
 pub use activation::{DeviationSign, StimulusPlan};
 pub use analog_atpg::{AnalogAtpg, AnalogTestEntry, AnalogTestOutcome, AnalogTestVector};

@@ -41,7 +41,9 @@ impl ConverterBlock {
             ConverterBlock::Flash(adc) => adc.convert(vin),
             ConverterBlock::Binary { adc, lines } => {
                 let bits = adc.convert_to_bits(vin);
-                bits.into_iter().take((*lines).min(adc.bits() as usize)).collect()
+                bits.into_iter()
+                    .take((*lines).min(adc.bits() as usize))
+                    .collect()
             }
         }
     }
@@ -62,9 +64,7 @@ impl ConverterBlock {
     /// converter.
     pub fn threshold(&self, index: usize) -> Option<f64> {
         match self {
-            ConverterBlock::Flash(adc) => {
-                adc.comparators().get(index).map(|c| c.threshold())
-            }
+            ConverterBlock::Flash(adc) => adc.comparators().get(index).map(|c| c.threshold()),
             ConverterBlock::Binary { adc, .. } => {
                 if index < adc.bits() as usize {
                     Some(adc.lsb() * (1 << index) as f64)
@@ -128,11 +128,12 @@ impl MixedCircuit {
                 ),
             });
         }
-        let signal = self.digital.find_signal(input_name).ok_or_else(|| {
-            CoreError::InvalidConnection {
-                reason: format!("digital input '{input_name}' does not exist"),
-            }
-        })?;
+        let signal =
+            self.digital
+                .find_signal(input_name)
+                .ok_or_else(|| CoreError::InvalidConnection {
+                    reason: format!("digital input '{input_name}' does not exist"),
+                })?;
         if !self.digital.is_primary_input(signal) {
             return Err(CoreError::InvalidConnection {
                 reason: format!("'{input_name}' is not a primary input"),
@@ -304,12 +305,7 @@ mod tests {
         let analog = filters::second_order_band_pass();
         let adc = FlashAdc::uniform(2, 4.0).unwrap();
         let digital = circuits::figure3_circuit();
-        let mut mixed = MixedCircuit::new(
-            "figure4",
-            analog,
-            ConverterBlock::Flash(adc),
-            digital,
-        );
+        let mut mixed = MixedCircuit::new("figure4", analog, ConverterBlock::Flash(adc), digital);
         mixed.connect_in_order(&["l0", "l2"]).unwrap();
         mixed
     }
@@ -332,8 +328,7 @@ mod tests {
         let analog = filters::second_order_band_pass();
         let adc = FlashAdc::uniform(2, 4.0).unwrap();
         let digital = circuits::figure3_circuit();
-        let mut mixed =
-            MixedCircuit::new("bad", analog, ConverterBlock::Flash(adc), digital);
+        let mut mixed = MixedCircuit::new("bad", analog, ConverterBlock::Flash(adc), digital);
         assert!(mixed.connect(5, "l0").is_err(), "output out of range");
         assert!(mixed.connect(0, "nope").is_err(), "unknown input");
         assert!(mixed.connect(0, "Vo1").is_err(), "not a primary input");
@@ -344,8 +339,7 @@ mod tests {
         let analog = filters::second_order_band_pass();
         let adc = FlashAdc::uniform(2, 4.0).unwrap();
         let digital = circuits::figure3_circuit();
-        let unconnected =
-            MixedCircuit::new("none", analog, ConverterBlock::Flash(adc), digital);
+        let unconnected = MixedCircuit::new("none", analog, ConverterBlock::Flash(adc), digital);
         assert!(unconnected.validate().is_err());
     }
 
@@ -354,7 +348,12 @@ mod tests {
         let analog = filters::fifth_order_chebyshev();
         let adc = FlashAdc::uniform(15, 4.0).unwrap();
         let digital = msatpg_digital::benchmarks::c432();
-        let mut a = MixedCircuit::new("m1", analog.clone(), ConverterBlock::Flash(adc.clone()), digital.clone());
+        let mut a = MixedCircuit::new(
+            "m1",
+            analog.clone(),
+            ConverterBlock::Flash(adc.clone()),
+            digital.clone(),
+        );
         a.connect_randomly(7).unwrap();
         let mut b = MixedCircuit::new("m2", analog, ConverterBlock::Flash(adc), digital);
         b.connect_randomly(7).unwrap();
@@ -387,10 +386,7 @@ mod tests {
     fn allowed_code_override() {
         let mut mixed = example2_circuit();
         // Example 2: the code (0, 0) can never be produced.
-        let codes = AllowedCodes::new(
-            2,
-            vec![vec![true, false], vec![true, true]],
-        );
+        let codes = AllowedCodes::new(2, vec![vec![true, false], vec![true, true]]);
         mixed.set_allowed_codes(codes.clone());
         assert_eq!(mixed.allowed_codes(), codes);
         assert!(!mixed.allowed_codes().allows(&[false, false]));

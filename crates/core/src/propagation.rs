@@ -114,7 +114,8 @@ impl<'a> PropagationEngine<'a> {
                 continue;
             }
             let cube = manager.sat_one(diff).expect("non-zero BDD is satisfiable");
-            let result = self.result_from_cube(&manager, &cube, po_index, fixed, composite_line, composite)?;
+            let result =
+                self.result_from_cube(&manager, &cube, po_index, fixed, composite_line, composite)?;
             return Ok(Some(result));
         }
         Ok(None)
@@ -135,7 +136,8 @@ impl<'a> PropagationEngine<'a> {
     ) -> Result<Vec<bool>, CoreError> {
         let mut reachable = Vec::new();
         for po_index in 0..self.netlist.primary_outputs().len() {
-            let single = self.find_propagating_assignment_to(fixed, composite_line, composite, po_index)?;
+            let single =
+                self.find_propagating_assignment_to(fixed, composite_line, composite, po_index)?;
             reachable.push(single.is_some());
         }
         Ok(reachable)

@@ -6,9 +6,9 @@ use msatpg_analog::coverage::CoverageGraph;
 use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
 use msatpg_conversion::fault::ladder_coverage;
 use msatpg_digital::fault::FaultList;
-use msatpg_exec::ExecPolicy;
+use msatpg_exec::{ExecPolicy, WorkerPool};
 
-use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry};
+use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry, ElementTestRequest};
 use crate::digital_atpg::{AtpgReport, DigitalAtpg};
 use crate::mixed_circuit::{ConverterBlock, MixedCircuit};
 use crate::CoreError;
@@ -144,13 +144,24 @@ impl MixedSignalAtpg {
     ///
     /// Propagates ATPG errors.
     pub fn digital_constrained(&self) -> Result<AtpgReport, CoreError> {
+        self.digital_constrained_on(&WorkerPool::new(self.options.exec))
+    }
+
+    /// [`MixedSignalAtpg::digital_constrained`] on a shared worker pool.
+    ///
+    /// On the `_on` paths the **pool's policy** governs execution —
+    /// `options.exec` only matters when the convenience wrappers build the
+    /// pool themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ATPG errors.
+    pub fn digital_constrained_on(&self, pool: &WorkerPool) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
         let lines = self.circuit.constrained_inputs();
         let codes = self.circuit.allowed_codes();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital())
-            .with_constraints(&lines, &codes)?
-            .with_policy(self.options.exec);
-        atpg.run(&faults)
+        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_constraints(&lines, &codes)?;
+        atpg.run_on(pool, &faults)
     }
 
     /// Runs the unconstrained digital ATPG (the paper's "case 1", every
@@ -160,9 +171,19 @@ impl MixedSignalAtpg {
     ///
     /// Propagates ATPG errors.
     pub fn digital_unconstrained(&self) -> Result<AtpgReport, CoreError> {
+        self.digital_unconstrained_on(&WorkerPool::new(self.options.exec))
+    }
+
+    /// [`MixedSignalAtpg::digital_unconstrained`] on a shared worker pool
+    /// (whose policy governs execution, as on every `_on` path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ATPG errors.
+    pub fn digital_unconstrained_on(&self, pool: &WorkerPool) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_policy(self.options.exec);
-        atpg.run(&faults)
+        let mut atpg = DigitalAtpg::new(self.circuit.digital());
+        atpg.run_on(pool, &faults)
     }
 
     /// Computes the analog element-deviation report (worst-case or nominal
@@ -172,6 +193,19 @@ impl MixedSignalAtpg {
     ///
     /// Propagates analog measurement errors.
     pub fn analog_deviation_report(&self) -> Result<DeviationReport, CoreError> {
+        self.analog_deviation_report_on(&WorkerPool::new(self.options.exec))
+    }
+
+    /// [`MixedSignalAtpg::analog_deviation_report`] on a shared worker pool
+    /// (whose policy governs execution, as on every `_on` path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analog measurement errors.
+    pub fn analog_deviation_report_on(
+        &self,
+        pool: &WorkerPool,
+    ) -> Result<DeviationReport, CoreError> {
         WorstCaseAnalysis::new(
             self.circuit.analog().circuit(),
             self.circuit.analog().parameters(),
@@ -180,8 +214,7 @@ impl MixedSignalAtpg {
         .with_element_tolerance(self.options.element_tolerance)
         .with_worst_case(self.options.worst_case)
         .with_max_deviation(self.options.max_deviation)
-        .with_policy(self.options.exec)
-        .run()
+        .run_on(pool)
         .map_err(|e| CoreError::Analog(e.to_string()))
     }
 
@@ -194,10 +227,30 @@ impl MixedSignalAtpg {
         &self,
         deviations: &DeviationReport,
     ) -> Result<Vec<AnalogTestEntry>, CoreError> {
+        self.analog_tests_on(&WorkerPool::new(self.options.exec), deviations)
+    }
+
+    /// [`MixedSignalAtpg::analog_tests`] on a shared worker pool: the cheap
+    /// per-element parameter ranking happens inline, then the expensive
+    /// stimulus/propagation searches run one element per work unit through
+    /// [`AnalogAtpg::test_elements_on`], merged back in element order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn analog_tests_on(
+        &self,
+        pool: &WorkerPool,
+        deviations: &DeviationReport,
+    ) -> Result<Vec<AnalogTestEntry>, CoreError> {
         let atpg = AnalogAtpg::new(&self.circuit).with_tolerance(self.options.parameter_tolerance);
         let graph = CoverageGraph::from_report(deviations);
         let analog = self.circuit.analog();
-        let mut entries = Vec::new();
+        // Slot per element: either a ready entry (nothing detects the
+        // element — no simulation needed) or `None`, to be filled from the
+        // pooled test of the request with the same rank.
+        let mut slots: Vec<Option<AnalogTestEntry>> = Vec::new();
+        let mut requests: Vec<ElementTestRequest> = Vec::new();
         for (element_id, element_name) in deviations.elements() {
             // Rank the parameters for this element by detectable deviation
             // (the paper tests "the parameter that is the most sensitive to a
@@ -212,11 +265,15 @@ impl MixedSignalAtpg {
             let ranking: Vec<_> = ranked
                 .iter()
                 .filter_map(|(name, _)| {
-                    analog.parameters().iter().find(|p| &p.name == name).cloned()
+                    analog
+                        .parameters()
+                        .iter()
+                        .find(|p| &p.name == name)
+                        .cloned()
                 })
                 .collect();
             let Some(best) = graph.best_deviation(element_name) else {
-                entries.push(AnalogTestEntry {
+                slots.push(Some(AnalogTestEntry {
                     element: element_name.clone(),
                     parameter: "-".to_owned(),
                     deviation: f64::NAN,
@@ -224,16 +281,28 @@ impl MixedSignalAtpg {
                     outcome: crate::analog_atpg::AnalogTestOutcome::Failed(
                         crate::analog_atpg::AnalogTestFailure::ActivationFailed,
                     ),
-                });
+                }));
                 continue;
             };
             // Inject a deviation 20 % beyond the detectable threshold, in the
             // negative direction (component value drops), as on the paper's
             // validation board.
             let injected = -(best * 1.2).min(0.95);
-            entries.push(atpg.test_element(*element_id, injected, &ranking)?);
+            slots.push(None);
+            requests.push(ElementTestRequest {
+                element: *element_id,
+                deviation: injected,
+                ranking,
+            });
         }
-        Ok(entries)
+        let mut tested = atpg.test_elements_on(pool, &requests)?.into_iter();
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(entry) => entry,
+                None => tested.next().expect("one entry per request"),
+            })
+            .collect())
     }
 
     /// Computes the conversion-block ladder coverage inside the mixed
@@ -245,6 +314,20 @@ impl MixedSignalAtpg {
     ///
     /// Propagates propagation errors.
     pub fn conversion_tests(&self) -> Result<Vec<ConversionTestEntry>, CoreError> {
+        self.conversion_tests_on(&WorkerPool::new(self.options.exec))
+    }
+
+    /// [`MixedSignalAtpg::conversion_tests`] on a shared worker pool: the
+    /// per-comparator propagation studies are independent OBDD builds and
+    /// run one comparator per work unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates propagation errors.
+    pub fn conversion_tests_on(
+        &self,
+        pool: &WorkerPool,
+    ) -> Result<Vec<ConversionTestEntry>, CoreError> {
         let ConverterBlock::Flash(adc) = self.circuit.converter() else {
             return Ok(Vec::new());
         };
@@ -252,7 +335,7 @@ impl MixedSignalAtpg {
             .map_err(|e| CoreError::Conversion(e.to_string()))?;
         // Which comparators can propagate a flip through the digital block?
         let atpg = AnalogAtpg::new(&self.circuit);
-        let study = atpg.comparator_propagation_study()?;
+        let study = atpg.comparator_propagation_study_on(pool)?;
         let usable: Vec<usize> = study
             .iter()
             .enumerate()
@@ -272,16 +355,30 @@ impl MixedSignalAtpg {
 
     /// Runs the complete flow and assembles the [`TestPlan`].
     ///
+    /// One [`WorkerPool`] is threaded through every stage — the digital
+    /// ATPG pipelines on it, and the analog element tests, deviation rows
+    /// and conversion-block comparator studies ride the same pool — so its
+    /// [`msatpg_exec::PoolStats`] describe the entire mixed-signal run.
+    ///
     /// # Errors
     ///
     /// Propagates errors from any of the stages.
     pub fn run(&self) -> Result<TestPlan, CoreError> {
+        self.run_on(&WorkerPool::new(self.options.exec))
+    }
+
+    /// [`MixedSignalAtpg::run`] on a caller-provided pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any of the stages.
+    pub fn run_on(&self, pool: &WorkerPool) -> Result<TestPlan, CoreError> {
         self.circuit.validate()?;
-        let digital = self.digital_constrained()?;
-        let digital_unconstrained = self.digital_unconstrained()?;
-        let analog_deviations = self.analog_deviation_report()?;
-        let analog = self.analog_tests(&analog_deviations)?;
-        let conversion = self.conversion_tests()?;
+        let digital = self.digital_constrained_on(pool)?;
+        let digital_unconstrained = self.digital_unconstrained_on(pool)?;
+        let analog_deviations = self.analog_deviation_report_on(pool)?;
+        let analog = self.analog_tests_on(pool, &analog_deviations)?;
+        let conversion = self.conversion_tests_on(pool)?;
         Ok(TestPlan {
             digital,
             digital_unconstrained,
@@ -338,7 +435,10 @@ mod tests {
             collapse_faults: false,
             ..AtpgOptions::default()
         });
-        assert_eq!(uncollapsed.digital_unconstrained().unwrap().total_faults, 18);
+        assert_eq!(
+            uncollapsed.digital_unconstrained().unwrap().total_faults,
+            18
+        );
     }
 
     #[test]
@@ -359,6 +459,30 @@ mod tests {
         assert!(plan.digital.constrained);
         assert!(!plan.digital_unconstrained.constrained);
         assert!(!plan.analog_deviations.rows().is_empty());
+    }
+
+    #[test]
+    fn shared_pool_run_matches_serial_and_accounts_all_stages() {
+        let reference = MixedSignalAtpg::new(figure4()).run().unwrap();
+        let pool = WorkerPool::new(ExecPolicy::Threads(2));
+        let plan = MixedSignalAtpg::new(figure4())
+            .with_options(AtpgOptions {
+                exec: ExecPolicy::Threads(2),
+                ..AtpgOptions::default()
+            })
+            .run_on(&pool)
+            .unwrap();
+        assert_eq!(plan.digital.vectors, reference.digital.vectors);
+        assert_eq!(plan.digital.untestable, reference.digital.untestable);
+        assert_eq!(plan.analog, reference.analog);
+        assert_eq!(
+            plan.analog_deviations.rows(),
+            reference.analog_deviations.rows()
+        );
+        assert_eq!(plan.conversion, reference.conversion);
+        let stats = pool.stats();
+        assert!(stats.spawns > 0, "the threaded stages spawned worker sets");
+        assert!(stats.barriers > 0 && stats.jobs > 0);
     }
 
     #[test]

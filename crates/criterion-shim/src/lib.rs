@@ -251,9 +251,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
-        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| b.iter(|| n * 2));
         group.bench_function("plain".to_owned(), |b| b.iter(|| 1 + 1));
         group.finish();
     }

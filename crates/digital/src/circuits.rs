@@ -88,11 +88,7 @@ pub fn parity(bits: usize) -> Netlist {
         let mut next = Vec::new();
         for (j, pair) in layer.chunks(2).enumerate() {
             if pair.len() == 2 {
-                next.push(n.gate(
-                    GateKind::Xor,
-                    &format!("p{stage}_{j}"),
-                    &[pair[0], pair[1]],
-                ));
+                next.push(n.gate(GateKind::Xor, &format!("p{stage}_{j}"), &[pair[0], pair[1]]));
             } else {
                 next.push(pair[0]);
             }
@@ -112,7 +108,9 @@ pub fn parity(bits: usize) -> Netlist {
 pub fn multiplexer(sel: usize) -> Netlist {
     assert!(sel > 0, "multiplexer needs at least one select line");
     let mut n = Netlist::new(&format!("mux{}", 1 << sel));
-    let data: Vec<SignalId> = (0..1usize << sel).map(|i| n.input(&format!("d{i}"))).collect();
+    let data: Vec<SignalId> = (0..1usize << sel)
+        .map(|i| n.input(&format!("d{i}")))
+        .collect();
     let selects: Vec<SignalId> = (0..sel).map(|i| n.input(&format!("s{i}"))).collect();
     let select_bars: Vec<SignalId> = selects
         .iter()
@@ -255,13 +253,9 @@ mod tests {
     fn comparator_detects_equality() {
         let n = comparator(3);
         assert!(n.validate().is_ok());
-        let out = n
-            .evaluate(&[true, false, true, true, false, true])
-            .unwrap();
+        let out = n.evaluate(&[true, false, true, true, false, true]).unwrap();
         assert_eq!(out[0], true);
-        let out = n
-            .evaluate(&[true, false, true, true, true, true])
-            .unwrap();
+        let out = n.evaluate(&[true, false, true, true, true, true]).unwrap();
         assert_eq!(out[0], false);
     }
 

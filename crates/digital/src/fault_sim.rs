@@ -26,12 +26,23 @@
 //! [`PpsfpScratch`] word buffers — and the per-chunk detection results are
 //! merged back **in fault-list order**, so the detected / undetected vectors
 //! (and therefore every downstream report) are byte-identical to a serial
-//! run.  Fault dropping synchronizes through the shared detected set between
-//! blocks, exactly where the serial engine consults it.
+//! run.
+//!
+//! A whole campaign runs inside **one pool session**
+//! ([`msatpg_exec::WorkerPool::session`]): the worker set is spawned once
+//! and the 64-pattern blocks become pool rounds separated by barriers, so
+//! fault dropping synchronizes through the shared dropped-fault flags
+//! between blocks — exactly where the serial engine consults its detected
+//! set — without respawning threads per block.  While the workers propagate
+//! one block, the driver thread simulates the *next* block's good-circuit
+//! words, overlapping the only serial stage of the loop.
+//! [`msatpg_exec::PoolStats`] exposes the amortization: one spawn set and
+//! one barrier per block for the whole campaign.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use msatpg_exec::{par_map_chunks_with, ExecPolicy};
+use msatpg_exec::{ExecPolicy, WorkerPool};
 
 use crate::fault::{FaultList, StuckAtFault};
 use crate::netlist::{Netlist, SignalId};
@@ -282,8 +293,11 @@ impl PpsfpScratch {
             self.ins.clear();
             for input in &gate.inputs {
                 let i = input.index();
-                self.ins
-                    .push(if self.stamp[i] == cur { self.faulty[i] } else { good[i] });
+                self.ins.push(if self.stamp[i] == cur {
+                    self.faulty[i]
+                } else {
+                    good[i]
+                });
             }
             let o = gate.output.index();
             let word = gate.kind.eval_word(&self.ins);
@@ -407,10 +421,7 @@ impl<'a> FaultSimulator<'a> {
         faults: &FaultList,
         patterns: &[Vec<bool>],
     ) -> Result<FaultSimResult, DigitalError> {
-        let cones = FaultCones::build(
-            self.netlist,
-            faults.faults().iter().map(|f| f.signal),
-        );
+        let cones = FaultCones::build(self.netlist, faults.faults().iter().map(|f| f.signal));
         self.run_with_cones(faults, patterns, &cones)
     }
 
@@ -427,22 +438,38 @@ impl<'a> FaultSimulator<'a> {
         patterns: &[Vec<bool>],
         cones: &FaultCones,
     ) -> Result<FaultSimResult, DigitalError> {
+        let pool = WorkerPool::new(self.policy);
+        self.run_with_cones_on(&pool, faults, patterns, cones)
+    }
+
+    /// Like [`FaultSimulator::run_with_cones`], but rides a caller-provided
+    /// [`WorkerPool`], whose [`msatpg_exec::PoolStats`] then account for the
+    /// campaign: one worker-set spawn and one barrier per 64-pattern block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pattern width does not match, or panics if a
+    /// fault site is missing from `cones`.
+    pub fn run_with_cones_on(
+        &self,
+        pool: &WorkerPool,
+        faults: &FaultList,
+        patterns: &[Vec<bool>],
+        cones: &FaultCones,
+    ) -> Result<FaultSimResult, DigitalError> {
         let simulator = Simulator::new(self.netlist);
         let mut detected: Vec<StuckAtFault> = Vec::new();
         let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
         let fault_list = faults.faults();
-        // Serial fast path: one scratch hoisted above the block loop, no
-        // pool bookkeeping.
-        let mut serial_scratch = if self.policy.is_serial() {
-            Some(PpsfpScratch::new(self.netlist))
-        } else {
-            None
-        };
+        let n_chunks = fault_list.len().div_ceil(FAULT_CHUNK.max(1));
 
-        for chunk in patterns.chunks(64) {
-            let good = simulator.run_parallel_all(chunk)?;
-            let valid_mask = word_mask(chunk.len());
-            if let Some(scratch) = &mut serial_scratch {
+        if pool.policy().is_serial() || n_chunks <= 1 {
+            // Serial fast path: one scratch hoisted above the block loop, no
+            // pool bookkeeping.
+            let mut scratch = PpsfpScratch::new(self.netlist);
+            for chunk in patterns.chunks(64) {
+                let good = simulator.run_parallel_all(chunk)?;
+                let valid_mask = word_mask(chunk.len());
                 for &fault in fault_list {
                     if self.drop_detected && detected_set.contains(&fault) {
                         continue;
@@ -453,42 +480,78 @@ impl<'a> FaultSimulator<'a> {
                         detected.push(fault);
                     }
                 }
-                continue;
             }
+        } else {
+            // One pool session for the whole campaign: blocks are rounds,
+            // the barrier between them is where fault dropping syncs.
+            //
             // Within one 64-pattern block every fault is independent: the
             // serial engine consults the detected set only for faults caught
             // in *earlier* blocks (each fault is visited once per block), so
             // partitioning the fault list across workers — each with its own
             // scratch — and merging hits in fault order reproduces the
-            // serial detected order exactly.  `detection_word` results do
-            // not depend on prior scratch contents (generation stamps), so
-            // per-worker scratch reuse is schedule-safe.
-            let hits_per_chunk = par_map_chunks_with(
-                self.policy,
-                fault_list,
-                FAULT_CHUNK,
+            // serial detected order exactly.  The dropped flags are written
+            // by the driver strictly between rounds (the submit handshake
+            // publishes them), and `detection_word` results do not depend on
+            // prior scratch contents (generation stamps), so per-worker
+            // scratch reuse is schedule-safe.
+            let dropped: Vec<AtomicBool> =
+                fault_list.iter().map(|_| AtomicBool::new(false)).collect();
+            let drop_detected = self.drop_detected;
+            pool.session(
+                n_chunks,
                 || PpsfpScratch::new(self.netlist),
-                |scratch, _ci, offset, chunk_faults| {
-                    let mut hits: Vec<usize> = Vec::new();
-                    for (k, &fault) in chunk_faults.iter().enumerate() {
-                        if self.drop_detected && detected_set.contains(&fault) {
+                |scratch, block: &(Vec<u64>, u64), ci| {
+                    let offset = ci * FAULT_CHUNK;
+                    let end = (offset + FAULT_CHUNK).min(fault_list.len());
+                    let (good, valid_mask) = block;
+                    let mut hits: Vec<u32> = Vec::new();
+                    for k in offset..end {
+                        if drop_detected && dropped[k].load(Ordering::Relaxed) {
                             continue;
                         }
-                        let diff = scratch
-                            .detection_word(self.netlist, cones, fault, &good, valid_mask);
+                        let diff = scratch.detection_word(
+                            self.netlist,
+                            cones,
+                            fault_list[k],
+                            good,
+                            *valid_mask,
+                        );
                         if diff != 0 {
-                            hits.push(offset + k);
+                            hits.push(k as u32);
                         }
                     }
                     hits
                 },
-            );
-            for idx in hits_per_chunk.into_iter().flatten() {
-                let fault = fault_list[idx];
-                if detected_set.insert(fault) {
-                    detected.push(fault);
-                }
-            }
+                |session| -> Result<(), DigitalError> {
+                    let mut blocks = patterns.chunks(64);
+                    // While the workers propagate block b, the driver
+                    // simulates the good circuit of block b+1.
+                    let mut staged = match blocks.next() {
+                        Some(chunk) => {
+                            Some((simulator.run_parallel_all(chunk)?, word_mask(chunk.len())))
+                        }
+                        None => None,
+                    };
+                    while let Some(block) = staged.take() {
+                        session.submit(block, n_chunks);
+                        staged = match blocks.next() {
+                            Some(chunk) => {
+                                Some((simulator.run_parallel_all(chunk)?, word_mask(chunk.len())))
+                            }
+                            None => None,
+                        };
+                        for k in session.wait().into_iter().flatten() {
+                            let fault = fault_list[k as usize];
+                            if detected_set.insert(fault) {
+                                detected.push(fault);
+                                dropped[k as usize].store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )?;
         }
         let undetected = faults
             .faults()
@@ -608,7 +671,12 @@ mod tests {
         let result = sim.run(&faults, &patterns).unwrap();
         // The paper: considered alone, the Figure-3 digital circuit is fully
         // testable.
-        assert_eq!(result.undetected().len(), 0, "undetected: {:?}", result.undetected());
+        assert_eq!(
+            result.undetected().len(),
+            0,
+            "undetected: {:?}",
+            result.undetected()
+        );
         assert!((result.coverage() - 1.0).abs() < 1e-12);
         assert_eq!(result.patterns_used(), patterns.len());
     }
@@ -700,8 +768,14 @@ mod tests {
         let p2 = random_patterns(9, 40, 2);
         let r1 = sim.run_with_cones(&faults, &p1, &cones).unwrap();
         let r2 = sim.run_with_cones(&faults, &p2, &cones).unwrap();
-        assert_eq!(sorted(r1.detected()), sorted(sim.run(&faults, &p1).unwrap().detected()));
-        assert_eq!(sorted(r2.detected()), sorted(sim.run(&faults, &p2).unwrap().detected()));
+        assert_eq!(
+            sorted(r1.detected()),
+            sorted(sim.run(&faults, &p1).unwrap().detected())
+        );
+        assert_eq!(
+            sorted(r2.detected()),
+            sorted(sim.run(&faults, &p2).unwrap().detected())
+        );
     }
 
     #[test]
@@ -713,9 +787,7 @@ mod tests {
         let sim = FaultSimulator::new(&n);
         // Pattern drives l0 = 1, so s-a-1 on l0 is not activated.
         let pattern_l0_one = vec![true, false, false, false];
-        assert!(!sim
-            .detects(StuckAtFault::sa1(l0), &pattern_l0_one)
-            .unwrap());
+        assert!(!sim.detects(StuckAtFault::sa1(l0), &pattern_l0_one).unwrap());
     }
 
     #[test]
@@ -799,6 +871,40 @@ mod tests {
                 assert_eq!(parallel.patterns_used(), reference.patterns_used());
             }
         }
+    }
+
+    #[test]
+    fn campaign_spawns_one_worker_set_and_one_barrier_per_block() {
+        use msatpg_exec::{ExecPolicy, WorkerPool};
+        let n = benchmarks::by_name("c432").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let cones = FaultCones::build(&n, faults.faults().iter().map(|f| f.signal));
+        // 150 patterns = 3 blocks of 64/64/22.
+        let patterns = random_patterns(n.primary_inputs().len(), 150, 0xAB5);
+        let pool = WorkerPool::new(ExecPolicy::Threads(2));
+        let sim = FaultSimulator::new(&n).with_policy(ExecPolicy::Threads(2));
+        let parallel = sim
+            .run_with_cones_on(&pool, &faults, &patterns, &cones)
+            .unwrap();
+        let stats = pool.stats();
+        let n_chunks = faults.len().div_ceil(FAULT_CHUNK);
+        assert!(n_chunks >= 2, "campaign must exercise multiple chunks");
+        assert_eq!(
+            stats.spawns, 2,
+            "exactly one 2-worker set for the whole campaign, not one per block"
+        );
+        assert_eq!(stats.barriers, 3, "one barrier per 64-pattern block");
+        assert_eq!(
+            stats.jobs,
+            3 * n_chunks as u64,
+            "every chunk of every block runs exactly once"
+        );
+        // The session-based campaign stays byte-identical to the serial run.
+        let reference = FaultSimulator::new(&n)
+            .run_with_cones(&faults, &patterns, &cones)
+            .unwrap();
+        assert_eq!(parallel.detected(), reference.detected());
+        assert_eq!(parallel.undetected(), reference.undetected());
     }
 
     #[test]

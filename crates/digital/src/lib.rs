@@ -125,7 +125,10 @@ impl fmt::Display for DigitalError {
                 "pattern width mismatch: expected {expected} bits, got {actual}"
             ),
             DigitalError::TooManyPatterns { max, actual } => {
-                write!(f, "too many patterns: {actual} supplied, at most {max} allowed")
+                write!(
+                    f,
+                    "too many patterns: {actual} supplied, at most {max} allowed"
+                )
             }
             DigitalError::ParseError { line, reason } => {
                 if *line == 0 {
@@ -147,9 +150,7 @@ mod tests {
     #[test]
     fn error_display_variants() {
         let variants = vec![
-            DigitalError::InvalidNetlist {
-                reason: "x".into(),
-            },
+            DigitalError::InvalidNetlist { reason: "x".into() },
             DigitalError::PatternWidthMismatch {
                 expected: 4,
                 actual: 2,

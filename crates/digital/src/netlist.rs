@@ -183,7 +183,9 @@ impl Netlist {
 
     /// The gate driving `signal`, or `None` for primary inputs.
     pub fn driver(&self, signal: SignalId) -> Option<&Gate> {
-        self.signals[signal.index()].driver.map(|g| &self.gates[g.index()])
+        self.signals[signal.index()]
+            .driver
+            .map(|g| &self.gates[g.index()])
     }
 
     /// Returns `true` if the signal is a primary input.
@@ -243,7 +245,12 @@ impl Netlist {
     pub fn levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.signals.len()];
         for gate in &self.gates {
-            let max_in = gate.inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
+            let max_in = gate
+                .inputs
+                .iter()
+                .map(|i| level[i.index()])
+                .max()
+                .unwrap_or(0);
             level[gate.output.index()] = max_in + 1;
         }
         level

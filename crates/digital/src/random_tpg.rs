@@ -133,8 +133,7 @@ mod tests {
         let n = circuits::figure3_circuit();
         let mut generator = RandomPatternGenerator::new(&n, 3);
         // Constraint of Example 2: l0 OR l2 (inputs are l0,l1,l2,l4).
-        let (accepted, attempts) =
-            generator.constrained_patterns(20, 10_000, |p| p[0] || p[2]);
+        let (accepted, attempts) = generator.constrained_patterns(20, 10_000, |p| p[0] || p[2]);
         assert_eq!(accepted.len(), 20);
         assert!(attempts >= 20);
         for p in &accepted {

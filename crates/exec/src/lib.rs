@@ -1,33 +1,44 @@
 //! # msatpg-exec — the workspace's one concurrency story
 //!
-//! A std-only scoped worker pool with chunked, self-scheduling parallel
-//! iteration.  The three hot layers of the mixed-signal ATPG flow — PPSFP
-//! fault re-evaluation, per-parameter worst-case deviation rows, and
-//! per-fault test generation — are all embarrassingly parallel loops over an
-//! item list; this crate gives them a single execution substrate instead of
-//! three ad-hoc ones.
+//! A std-only **persistent worker pool** with chunked, self-scheduling
+//! parallel iteration and block-boundary barriers.  The hot layers of the
+//! mixed-signal ATPG flow — PPSFP fault re-evaluation, pipelined per-fault
+//! test generation, per-parameter worst-case deviation rows, per-element
+//! analog tests — all run on one execution substrate instead of ad-hoc
+//! threading.
 //!
 //! ## Design
 //!
 //! * **No external dependencies.**  The container builds offline, so the
-//!   pool is built on [`std::thread::scope`] (workers may borrow the caller's
-//!   data) and an [`AtomicUsize`] chunk cursor.
-//! * **Work stealing by chunk self-scheduling.**  The item list is split
-//!   into fixed-size chunks; idle workers claim the next unprocessed chunk
-//!   with a `fetch_add` on the shared cursor, so a worker that finishes its
-//!   chunk early immediately steals the next one instead of idling behind a
-//!   static partition.
+//!   pool is built on [`std::thread::scope`] (workers may borrow the
+//!   caller's data), a mutex/condvar round descriptor and an atomic claim
+//!   cursor.
+//! * **Persistent workers, round barriers.**  [`WorkerPool::session`]
+//!   spawns one worker set for a whole campaign; work is submitted in
+//!   rounds through a channel-free injector, and [`Session::wait`] is the
+//!   barrier at which the driver reads the round's results and updates
+//!   shared state (fault-dropping sets, covered flags) before the next
+//!   round.  [`PoolStats`] counts spawns, jobs and barriers so tests can
+//!   assert the amortization (one spawn set per campaign, not one per
+//!   64-pattern block).  See the [`pool`] module docs for the lifecycle.
+//! * **Work stealing by chunk self-scheduling.**  Idle workers claim the
+//!   next unprocessed chunk of the current round with a compare-and-swap on
+//!   the shared cursor, so a worker that finishes early immediately steals
+//!   the next chunk instead of idling behind a static partition.
 //! * **Deterministic ordered reduction.**  Every chunk's result is slotted
-//!   by chunk index and merged in chunk order after the pool drains, so the
-//!   output of [`par_map_chunks`] / [`par_reduce`] is a pure function of
-//!   `(items, chunk_size, f)` — never of the scheduling order or the worker
-//!   count.  Callers that keep per-item work schedule-independent (see
-//!   [`par_map_chunks_with`]) therefore get **byte-identical** results for
-//!   [`ExecPolicy::Serial`], `Threads(2)`, `Threads(8)`, … — the property
-//!   the workspace's determinism suite asserts.
+//!   by chunk index and merged in chunk order, so the output of
+//!   [`par_map_chunks`] / [`par_reduce`] / [`Session::wait`] is a pure
+//!   function of `(items, chunk_size, f)` — never of the scheduling order
+//!   or the worker count.  Callers that keep per-item work
+//!   schedule-independent (see [`par_map_chunks_with`]) therefore get
+//!   **byte-identical** results for [`ExecPolicy::Serial`], `Threads(2)`,
+//!   `Threads(8)`, … — the property the workspace's determinism suite
+//!   asserts.
 //! * **One policy knob.**  [`ExecPolicy`] is plumbed through the public
 //!   options structs of the digital, analog and core crates; `Serial` runs
-//!   inline on the caller's thread with zero setup cost.
+//!   inline on the caller's thread with zero setup cost.  `Auto` honors the
+//!   `MSATPG_THREADS` environment variable so CI can matrix thread counts
+//!   without code changes.
 //!
 //! ## Example
 //!
@@ -47,7 +58,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod pool;
+
+pub use pool::{PoolStats, Session, WorkerPool};
+
+/// Name of the environment variable [`ExecPolicy::Auto`] consults before
+/// falling back to [`std::thread::available_parallelism`].
+pub const THREADS_ENV_VAR: &str = "MSATPG_THREADS";
 
 /// How a parallelizable loop is executed.
 ///
@@ -62,8 +79,10 @@ pub enum ExecPolicy {
     /// Run on a scoped pool of exactly `n` workers (`0` and `1` degrade to
     /// the inline serial path).
     Threads(usize),
-    /// Run on one worker per available hardware thread
-    /// ([`std::thread::available_parallelism`]).
+    /// Run on one worker per hardware thread: the `MSATPG_THREADS`
+    /// environment variable when set to a positive integer (so CI can
+    /// matrix thread counts without code changes), otherwise
+    /// [`std::thread::available_parallelism`].
     Auto,
 }
 
@@ -73,9 +92,11 @@ impl ExecPolicy {
         match self {
             ExecPolicy::Serial => 1,
             ExecPolicy::Threads(n) => n.max(1),
-            ExecPolicy::Auto => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            ExecPolicy::Auto => env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
         }
     }
 
@@ -83,6 +104,21 @@ impl ExecPolicy {
     pub fn is_serial(self) -> bool {
         self.workers() <= 1
     }
+}
+
+/// Reads `MSATPG_THREADS`: a positive integer overrides the hardware
+/// thread count for [`ExecPolicy::Auto`]; anything else is ignored.
+fn env_threads() -> Option<usize> {
+    parse_thread_override(&std::env::var(THREADS_ENV_VAR).ok()?)
+}
+
+/// The value grammar of `MSATPG_THREADS`, kept pure so it is testable
+/// without mutating the process environment (concurrent `setenv`/`getenv`
+/// from parallel test threads is undefined behavior on glibc; the live env
+/// path is exercised by the CI determinism matrix, which sets the variable
+/// before the test process starts).
+fn parse_thread_override(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// Maps fixed-size chunks of `items` through `f`, possibly in parallel, and
@@ -97,20 +133,19 @@ impl ExecPolicy {
 ///
 /// Panics if `chunk_size` is zero, or propagates a panic raised by `f` on
 /// any worker.
-pub fn par_map_chunks<T, R, F>(
-    policy: ExecPolicy,
-    items: &[T],
-    chunk_size: usize,
-    f: F,
-) -> Vec<R>
+pub fn par_map_chunks<T, R, F>(policy: ExecPolicy, items: &[T], chunk_size: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, usize, &[T]) -> R + Sync,
 {
-    par_map_chunks_with(policy, items, chunk_size, || (), |(), ci, off, chunk| {
-        f(ci, off, chunk)
-    })
+    par_map_chunks_with(
+        policy,
+        items,
+        chunk_size,
+        || (),
+        |(), ci, off, chunk| f(ci, off, chunk),
+    )
 }
 
 /// Like [`par_map_chunks`], but each worker carries a scratch state created
@@ -144,57 +179,7 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, usize, &[T]) -> R + Sync,
 {
-    assert!(chunk_size > 0, "chunk_size must be positive");
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let n_chunks = items.len().div_ceil(chunk_size);
-    let workers = policy.workers().min(n_chunks);
-    if workers <= 1 {
-        let mut state = init();
-        return items
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(ci, chunk)| f(&mut state, ci, ci * chunk_size, chunk))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_chunks);
-    slots.resize_with(n_chunks, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut produced: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
-                        if ci >= n_chunks {
-                            break;
-                        }
-                        let off = ci * chunk_size;
-                        let end = (off + chunk_size).min(items.len());
-                        produced.push((ci, f(&mut state, ci, off, &items[off..end])));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(produced) => {
-                    for (ci, r) in produced {
-                        slots[ci] = Some(r);
-                    }
-                }
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every chunk index was claimed exactly once"))
-        .collect()
+    WorkerPool::new(policy).run_chunks(items, chunk_size, init, f)
 }
 
 /// Maps chunks in parallel with `map`, then folds the chunk results **in
@@ -229,7 +214,25 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn auto_policy_honors_msatpg_threads_values() {
+        // The value grammar is tested through the pure parser —
+        // `Auto.workers()` re-reads the variable on every call, so CI can
+        // matrix thread counts by setting the environment alone (which the
+        // determinism matrix does), and no test mutates the process
+        // environment from a parallel test thread.
+        assert_eq!(parse_thread_override("3"), Some(3));
+        assert_eq!(parse_thread_override(" 8 "), Some(8));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        // Invalid values fall back to the hardware thread count.
+        for invalid in ["0", "-2", "lots", "", "1.5"] {
+            assert_eq!(parse_thread_override(invalid), None, "value {invalid:?}");
+        }
+        // Whatever the ambient environment says, Auto resolves to >= 1.
+        assert!(ExecPolicy::Auto.workers() >= 1);
+    }
 
     #[test]
     fn policy_resolution() {

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== analog block ==");
     for entry in &plan.analog {
-        let status = if entry.outcome.is_tested() { "tested" } else { "NOT testable" };
+        let status = if entry.outcome.is_tested() {
+            "tested"
+        } else {
+            "NOT testable"
+        };
         println!(
             "  {:<4} via {:<5} deviation {:>5.1}% : {}",
             entry.element,
@@ -66,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             status
         );
     }
-    println!(
-        "  analog coverage: {:.0}%",
-        plan.analog_coverage() * 100.0
-    );
+    println!("  analog coverage: {:.0}%", plan.analog_coverage() * 100.0);
 
     println!("\n== conversion block ==");
     for entry in &plan.conversion {

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let atpg = MixedSignalAtpg::new(mixed);
     let analog_tests = atpg.analog_tests(&report)?;
 
-    println!("{:<10} {:<6} {:>8} {:>8}  {}", "parameter", "comp.", "CD [%]", "MPD [%]", "propagates");
+    println!(
+        "{:<10} {:<6} {:>8} {:>8}  {}",
+        "parameter", "comp.", "CD [%]", "MPD [%]", "propagates"
+    );
     for (element_id, element) in report.elements() {
         let Some((parameter, cd)) = report
             .rows()
@@ -57,8 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|p| p.name == parameter)
             .unwrap();
         let nominal = measure(analog.circuit(), spec)?;
-        let faulty =
-            AnalogFault::deviation(*element_id, -cd.min(0.95)).apply(analog.circuit());
+        let faulty = AnalogFault::deviation(*element_id, -cd.min(0.95)).apply(analog.circuit());
         let mpd = relative_deviation(measure(&faulty, spec)?, nominal).abs();
         let propagates = analog_tests
             .iter()

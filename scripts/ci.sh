@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The single local CI entry point: runs exactly the steps of
+# .github/workflows/ci.yml, in the same order, so the offline container and
+# the hosted workflow can never drift apart.  Keep the two files in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> test"
+cargo test -q
+
+echo "==> fmt check"
+cargo fmt --all --check
+
+echo "==> determinism matrix (proptest suite at MSATPG_THREADS=1/2/8)"
+for threads in 1 2 8; do
+    echo "    MSATPG_THREADS=${threads}"
+    MSATPG_THREADS=${threads} cargo test -q --release --test proptests
+done
+
+echo "==> perf-regression smoke (bench_kernels --check)"
+cargo run --release -p msatpg-bench --bin bench_kernels -- --check
+
+echo "==> CI passed"

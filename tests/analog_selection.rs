@@ -60,7 +60,10 @@ fn band_pass_nominal_parameters_match_the_design() {
     assert!((get("f0") - 4168.0).abs() / 4168.0 < 0.05);
     assert!(get("fc1") < get("f0"));
     assert!(get("fc2") > get("f0"));
-    assert!(get("A2") < get("A1"), "the 10 kHz gain is below the peak gain");
+    assert!(
+        get("A2") < get("A1"),
+        "the 10 kHz gain is below the peak gain"
+    );
 }
 
 #[test]

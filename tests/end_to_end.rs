@@ -92,7 +92,11 @@ fn board_circuit_flow_runs_with_a_binary_converter() {
         constrained.untestable_count(),
         unconstrained.untestable_count()
     );
-    assert_eq!(unconstrained.untestable_count(), 0, "the adder is fully testable");
+    assert_eq!(
+        unconstrained.untestable_count(),
+        0,
+        "the adder is fully testable"
+    );
     // The conversion plan is empty for binary converters (no ladder).
     assert!(atpg.conversion_tests().unwrap().is_empty());
 }

@@ -14,7 +14,10 @@ use msatpg::MixedCircuit;
 fn c432_constraints_increase_untestable_faults_and_effort() {
     let digital = benchmarks::c432();
     let faults = FaultList::collapsed(&digital);
-    assert!(faults.len() > 200, "c432 stand-in has a substantial fault list");
+    assert!(
+        faults.len() > 200,
+        "c432 stand-in has a substantial fault list"
+    );
 
     // Case 1: direct access to the digital block.
     let mut free = DigitalAtpg::new(&digital);
@@ -35,14 +38,19 @@ fn c432_constraints_increase_untestable_faults_and_effort() {
     assert!(report_constrained.untestable_count() >= report_free.untestable_count());
     assert!(report_constrained.detected <= report_free.detected);
     // The unconstrained circuit is (almost) fully testable.
-    assert!(report_free.coverage() > 0.95, "coverage {}", report_free.coverage());
+    assert!(
+        report_free.coverage() > 0.95,
+        "coverage {}",
+        report_free.coverage()
+    );
 
     // Every generated vector, in both cases, really detects its target fault.
     let sim = FaultSimulator::new(&digital);
     for report in [&report_free, &report_constrained] {
         for vector in &report.vectors {
             assert!(
-                sim.detects(vector.fault, &vector.concretize(false)).unwrap(),
+                sim.detects(vector.fault, &vector.concretize(false))
+                    .unwrap(),
                 "{} does not detect {}",
                 vector.to_pattern_string(),
                 vector.fault.describe(&digital)

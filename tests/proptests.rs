@@ -114,7 +114,11 @@ fn bdd_matches_truth_table() {
                 asg.set(i as u32, v);
             }
             let expected = formula.eval(&inputs);
-            assert_eq!(m.eval(bdd, &asg), expected, "formula {formula:?} at {bits:05b}");
+            assert_eq!(
+                m.eval(bdd, &asg),
+                expected,
+                "formula {formula:?} at {bits:05b}"
+            );
             if expected {
                 count += 1;
             }
@@ -151,7 +155,10 @@ fn bdd_shannon_expansion() {
         let left = m.and(x, f1);
         let right = m.and(nx, f0);
         let rebuilt = m.or(left, right);
-        assert_eq!(rebuilt, f, "Shannon expansion failed for {formula:?} on x{var}");
+        assert_eq!(
+            rebuilt, f,
+            "Shannon expansion failed for {formula:?} on x{var}"
+        );
     }
 }
 
@@ -194,8 +201,7 @@ fn parallel_simulation_matches_serial() {
     let mut rng = SplitMix64::new(0x9A12);
     for _ in 0..CASES {
         let batch = 1 + rng.below(31);
-        let patterns: Vec<Vec<bool>> =
-            (0..batch).map(|_| random_pattern(&mut rng, 4)).collect();
+        let patterns: Vec<Vec<bool>> = (0..batch).map(|_| random_pattern(&mut rng, 4)).collect();
         let words = sim.run_parallel(&patterns).unwrap();
         for (p, pattern) in patterns.iter().enumerate() {
             let serial = sim.run(pattern).unwrap();
@@ -224,7 +230,9 @@ fn composite_simulation_matches_good_and_faulty() {
         } else {
             StuckAtFault::sa0(signal)
         };
-        let detected = FaultSimulator::new(&circuit).detects(fault, &pattern).unwrap();
+        let detected = FaultSimulator::new(&circuit)
+            .detects(fault, &pattern)
+            .unwrap();
         // Only activated faults are interesting for the composite check.
         let good_at_line = good[line];
         if good_at_line == stuck {
@@ -378,11 +386,23 @@ fn assert_reports_identical(a: &AtpgReport, b: &AtpgReport, context: &str) {
     assert_eq!(a.constrained, b.constrained, "{context}: constrained");
 }
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+/// The policy grid of the determinism suite.  `Auto` is included so the CI
+/// thread matrix (which sets `MSATPG_THREADS` to 1, 2 and 8 around the same
+/// test binary) exercises genuinely different worker counts without any
+/// code change.
+fn determinism_policies() -> [ExecPolicy; 4] {
+    [
+        ExecPolicy::Threads(1),
+        ExecPolicy::Threads(2),
+        ExecPolicy::Threads(8),
+        ExecPolicy::Auto,
+    ]
+}
 
 /// Parallel PPSFP fault simulation detects exactly the same faults in
-/// exactly the same order as the serial engine, for thread counts 1, 2
-/// and 8, with and without fault dropping.
+/// exactly the same order as the serial engine, for thread counts 1, 2,
+/// 8 and `Auto` (whatever `MSATPG_THREADS` resolves it to), with and
+/// without fault dropping.
 #[test]
 fn parallel_ppsfp_is_byte_identical_to_serial() {
     use msatpg::digital::benchmarks;
@@ -398,10 +418,10 @@ fn parallel_ppsfp_is_byte_identical_to_serial() {
                 .with_fault_dropping(dropping)
                 .run(&faults, &patterns)
                 .unwrap();
-            for &threads in &THREAD_COUNTS {
+            for policy in determinism_policies() {
                 let parallel = FaultSimulator::new(&n)
                     .with_fault_dropping(dropping)
-                    .with_policy(ExecPolicy::Threads(threads))
+                    .with_policy(policy)
                     .run(&faults, &patterns)
                     .unwrap();
                 // Order-sensitive comparison: the detected vector, not the
@@ -409,10 +429,47 @@ fn parallel_ppsfp_is_byte_identical_to_serial() {
                 assert_eq!(
                     parallel.detected(),
                     reference.detected(),
-                    "{name} dropping={dropping} threads={threads}"
+                    "{name} dropping={dropping} policy={policy:?}"
                 );
                 assert_eq!(parallel.undetected(), reference.undetected());
             }
+        }
+    }
+}
+
+/// A whole PPSFP campaign spawns exactly one worker set, no matter how many
+/// 64-pattern blocks (pool rounds) it runs — the persistent-pool guarantee
+/// that replaced the spawn-per-block scoped pool.
+#[test]
+fn ppsfp_campaign_spawns_one_worker_set() {
+    use msatpg::digital::benchmarks;
+    use msatpg::digital::fault_sim::FaultCones;
+    use msatpg::exec::WorkerPool;
+    let mut rng = SplitMix64::new(0x5EED);
+    let n = benchmarks::by_name("c880").unwrap();
+    let faults = FaultList::collapsed(&n);
+    let cones = FaultCones::build(&n, faults.faults().iter().map(|f| f.signal));
+    // 300 patterns = 5 blocks; every block is one barrier-separated round.
+    let patterns: Vec<Vec<bool>> = (0..300)
+        .map(|_| random_pattern(&mut rng, n.primary_inputs().len()))
+        .collect();
+    for policy in determinism_policies() {
+        let pool = WorkerPool::new(policy);
+        let result = FaultSimulator::new(&n)
+            .with_policy(policy)
+            .run_with_cones_on(&pool, &faults, &patterns, &cones)
+            .unwrap();
+        assert!(result.patterns_used() == 300);
+        let stats = pool.stats();
+        let workers = policy.workers() as u64;
+        if workers > 1 {
+            assert_eq!(
+                stats.spawns, workers,
+                "{policy:?}: one worker set for the whole campaign"
+            );
+            assert_eq!(stats.barriers, 5, "{policy:?}: one barrier per block");
+        } else {
+            assert_eq!(stats.spawns, 0, "{policy:?}: serial path spawns nothing");
         }
     }
 }
@@ -432,17 +489,17 @@ fn parallel_deviation_analysis_is_byte_identical_to_serial() {
             .with_worst_case(worst_case)
             .run()
             .unwrap();
-        for &threads in &THREAD_COUNTS {
+        for policy in determinism_policies() {
             let parallel = WorstCaseAnalysis::new(filter.circuit(), specs)
                 .with_worst_case(worst_case)
-                .with_policy(ExecPolicy::Threads(threads))
+                .with_policy(policy)
                 .run()
                 .unwrap();
             // DeviationRow compares f64 thresholds with ==: bit-identity.
             assert_eq!(
                 parallel.rows(),
                 reference.rows(),
-                "worst_case={worst_case} threads={threads}"
+                "worst_case={worst_case} policy={policy:?}"
             );
         }
     }
@@ -475,10 +532,10 @@ fn parallel_test_plan_is_byte_identical_to_serial() {
         mixed
     };
     let reference = MixedSignalAtpg::new(figure4()).run().unwrap();
-    for &threads in &THREAD_COUNTS {
+    for policy in determinism_policies() {
         let plan = MixedSignalAtpg::new(figure4())
             .with_options(AtpgOptions {
-                exec: ExecPolicy::Threads(threads),
+                exec: policy,
                 ..AtpgOptions::default()
             })
             .run()
@@ -489,13 +546,13 @@ fn parallel_test_plan_is_byte_identical_to_serial() {
             &reference.digital_unconstrained,
             "unconstrained",
         );
-        assert_eq!(plan.analog, reference.analog, "threads={threads}");
+        assert_eq!(plan.analog, reference.analog, "policy={policy:?}");
         assert_eq!(
             plan.analog_deviations.rows(),
             reference.analog_deviations.rows(),
-            "threads={threads}"
+            "policy={policy:?}"
         );
-        assert_eq!(plan.conversion, reference.conversion, "threads={threads}");
+        assert_eq!(plan.conversion, reference.conversion, "policy={policy:?}");
     }
 }
 
