@@ -1,6 +1,6 @@
 //! Bipartite parameter/element coverage graph and test-set selection.
 //!
-//! The paper (via reference [8]) models the "which parameters should be
+//! The paper (via reference \[8\]) models the "which parameters should be
 //! measured" question as a bipartite graph between primary-output parameters
 //! and circuit elements, weighted by the detectable element deviation.  The
 //! test-set selection picks the smallest set of parameters that covers every

@@ -155,7 +155,12 @@ impl FromIterator<(VarId, bool)> for Cube {
 
 /// Iterator over the cubes (root-to-one paths) of a BDD.
 ///
-/// Produced by [`BddManager::cubes`].
+/// Produced by [`BddManager::cubes`].  The traversal resolves complement
+/// edges on the fly (a path satisfies `f` iff it reaches the terminal with
+/// even complement parity), so the cube cover of a function is identical
+/// whether the engine stored it in positive or negative polarity — and, as
+/// the garbage collector never renumbers live nodes, identical before and
+/// after any number of [`BddManager::gc`] cycles.
 pub struct CubeIter<'a> {
     manager: &'a BddManager,
     stack: Vec<(Bdd, Cube)>,
@@ -183,16 +188,20 @@ impl<'a> Iterator for CubeIter<'a> {
             if node.is_zero() {
                 continue;
             }
-            let n = self.manager.node(node);
+            let var = self.manager.node_var(node);
+            // Semantic children: the handle's complement flag pushed down,
+            // so `is_zero`/`is_one` checks see the function, not the
+            // stored polarity.
+            let (low, high) = self.manager.children(node);
             let mut low_cube = cube.clone();
-            low_cube.set(n.var, false);
+            low_cube.set(var, false);
             let mut high_cube = cube;
-            high_cube.set(n.var, true);
-            if !n.low.is_zero() {
-                self.stack.push((n.low, low_cube));
+            high_cube.set(var, true);
+            if !low.is_zero() {
+                self.stack.push((low, low_cube));
             }
-            if !n.high.is_zero() {
-                self.stack.push((n.high, high_cube));
+            if !high.is_zero() {
+                self.stack.push((high, high_cube));
             }
         }
         None
@@ -254,6 +263,62 @@ mod tests {
         let m = BddManager::new();
         assert_eq!(m.cubes(Bdd::ZERO).count(), 0);
         assert_eq!(m.cubes(Bdd::ONE).count(), 1);
+    }
+
+    #[test]
+    fn cubes_of_negated_function_cover_the_off_set() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let nf = m.not(f);
+        // (a&b)|c has 5 minterms over 3 variables, its complement the other 3.
+        let mut total = 0u32;
+        for cube in m.cubes(nf) {
+            assert!(!m.eval(f, &cube.to_assignment()));
+            total += 1 << (3 - cube.len());
+        }
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn cube_enumeration_survives_a_gc_cycle() {
+        // Enumerate, collect garbage (with the function protected),
+        // enumerate again: both the cube list and pattern renderings must be
+        // byte-identical, and so must an enumeration interleaved with fresh
+        // allocations that reuse the swept slots.
+        let mut m = BddManager::new();
+        for i in 0..6 {
+            m.var(&format!("x{i}"));
+        }
+        let mut f = m.zero();
+        for i in 0..5u32 {
+            let u = m.literal(i, i % 2 == 0);
+            let v = m.literal(i + 1, true);
+            let t = m.and(u, v);
+            f = m.or(f, t);
+        }
+        let before: Vec<Cube> = m.cubes(f).collect();
+        let patterns_before: Vec<String> = before.iter().map(|c| c.to_pattern(6)).collect();
+        m.protect(f);
+        let report = m.gc();
+        assert!(report.reclaimed > 0, "the build left garbage to sweep");
+        let after: Vec<Cube> = m.cubes(f).collect();
+        assert_eq!(before, after);
+        let patterns_after: Vec<String> = after.iter().map(|c| c.to_pattern(6)).collect();
+        assert_eq!(patterns_before, patterns_after);
+        // Reuse the freed slots with unrelated functions, then enumerate
+        // once more: the protected function's cover must not change.
+        let y = m.var("x5");
+        let z = m.var("x0");
+        let _noise = m.xor(y, z);
+        let again: Vec<Cube> = m.cubes(f).collect();
+        assert_eq!(before, again);
+        m.unprotect(f);
     }
 
     #[test]

@@ -2,45 +2,107 @@
 //!
 //! Used to regenerate Figure 6 of the paper (the OBDDs of `Vo1`/`Vo2` built
 //! with the composite values `l0 = D`, `l2 = D̄`).
+//!
+//! ## Rendering convention (complement edges)
+//!
+//! The engine stores only one polarity of each function; negation lives on
+//! the edges.  Both exporters therefore render the *stored* structure and
+//! mark the complement arcs explicitly:
+//!
+//! * every DOT edge is labelled `0` (low/else) or `1` (high/then);
+//! * **complement arcs are drawn as dashed edges** — by the canonical
+//!   invariant the high edge is never complemented, so every dashed arc is
+//!   a low edge whose target function is negated along the way.  The entry
+//!   arc from the graph-name stub is dashed iff the root handle itself is
+//!   complemented;
+//! * there is a single terminal box `1`; the constant `0` is a dashed
+//!   (complemented) arc into it.
+//!
+//! Node identifiers are assigned in traversal order, never from arena
+//! indices, so the output is byte-identical before and after
+//! [`BddManager::gc`] cycles and independent of free-slot reuse.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::manager::BddManager;
 use crate::node::Bdd;
 
+/// Assigns dense, traversal-ordered identifiers to the nodes reachable from
+/// `f` (complement flags stripped), depth-first, low child before high.
+fn number_nodes(m: &BddManager, f: Bdd) -> (Vec<Bdd>, HashMap<u32, usize>) {
+    let mut order: Vec<Bdd> = Vec::new();
+    let mut ids: HashMap<u32, usize> = HashMap::new();
+    let mut stack = vec![f.regular()];
+    while let Some(n) = stack.pop() {
+        if n.is_terminal() || ids.contains_key(&n.index()) {
+            continue;
+        }
+        ids.insert(n.index(), order.len());
+        order.push(n);
+        let (low, high) = m.stored_children(n);
+        // Push high first so the low child is numbered first (DFS preorder
+        // in low-then-high order).
+        stack.push(high.regular());
+        stack.push(low.regular());
+    }
+    (order, ids)
+}
+
+/// DOT name of an edge target: an interior node id or the terminal box.
+fn target_name(ids: &HashMap<u32, usize>, child: Bdd) -> String {
+    if child.is_terminal() {
+        "terminal".to_owned()
+    } else {
+        format!("n{}", ids[&child.index()])
+    }
+}
+
 /// Renders `f` as a Graphviz DOT digraph.
 ///
-/// Solid edges are `high` (variable = 1) edges, dashed edges are `low`
-/// (variable = 0) edges, matching the usual BDD drawing convention.
+/// Edges are labelled `0` (low) / `1` (high); dashed edges are complement
+/// arcs (see the crate docs).  The output depends only on the
+/// function's structure — node ids are traversal-ordered — so it is stable
+/// across garbage collections.
 pub fn to_dot(m: &BddManager, f: Bdd, graph_name: &str) -> String {
+    let (order, ids) = number_nodes(m, f);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{graph_name}\" {{");
     let _ = writeln!(out, "  rankdir=TB;");
-    let _ = writeln!(out, "  node0 [label=\"0\", shape=box];");
-    let _ = writeln!(out, "  node1 [label=\"1\", shape=box];");
-    let mut seen: HashSet<Bdd> = HashSet::new();
-    let mut stack = vec![f];
-    while let Some(n) = stack.pop() {
-        if n.is_terminal() || !seen.insert(n) {
-            continue;
-        }
-        let node = m.node(n);
+    let _ = writeln!(out, "  entry [label=\"{graph_name}\", shape=plaintext];");
+    let _ = writeln!(out, "  terminal [label=\"1\", shape=box];");
+    for (id, &n) in order.iter().enumerate() {
         let _ = writeln!(
             out,
-            "  node{} [label=\"{}\", shape=circle];",
-            n.index(),
-            m.var_name(node.var)
+            "  n{id} [label=\"{}\", shape=circle];",
+            m.var_name(m.node_var(n))
         );
+    }
+    // The entry arc carries the root handle's polarity.
+    let root_style = if f.is_complement() {
+        ", style=dashed"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "  entry -> {} [label=\"\"{root_style}];",
+        target_name(&ids, f)
+    );
+    for (id, &n) in order.iter().enumerate() {
+        let (low, high) = m.stored_children(n);
+        let low_style = if low.is_complement() {
+            ", style=dashed"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "  node{} -> node{} [style=dashed];",
-            n.index(),
-            node.low.index()
+            "  n{id} -> {} [label=\"0\"{low_style}];",
+            target_name(&ids, low)
         );
-        let _ = writeln!(out, "  node{} -> node{};", n.index(), node.high.index());
-        stack.push(node.low);
-        stack.push(node.high);
+        // Canonical invariant: the high edge is never complemented.
+        let _ = writeln!(out, "  n{id} -> {} [label=\"1\"];", target_name(&ids, high));
     }
     let _ = writeln!(out, "}}");
     out
@@ -48,15 +110,19 @@ pub fn to_dot(m: &BddManager, f: Bdd, graph_name: &str) -> String {
 
 /// Renders `f` as an indented text tree (shared nodes are printed once and
 /// referenced by `@id` afterwards), convenient for terminal output.
+///
+/// A leading `~` marks a complement arc: the subtree (or `@id` reference)
+/// below it denotes the negation of the printed structure.  Terminals print
+/// as `1`/`0` with the arc's polarity already folded in.
 pub fn to_text_tree(m: &BddManager, f: Bdd) -> String {
     let mut out = String::new();
-    let mut printed: HashMap<Bdd, usize> = HashMap::new();
+    let mut printed: HashMap<u32, usize> = HashMap::new();
     fn rec(
         m: &BddManager,
         f: Bdd,
         depth: usize,
         out: &mut String,
-        printed: &mut HashMap<Bdd, usize>,
+        printed: &mut HashMap<u32, usize>,
     ) {
         let indent = "  ".repeat(depth);
         if f.is_zero() {
@@ -67,16 +133,21 @@ pub fn to_text_tree(m: &BddManager, f: Bdd) -> String {
             let _ = writeln!(out, "{indent}1");
             return;
         }
-        if let Some(id) = printed.get(&f) {
-            let _ = writeln!(out, "{indent}@{id}");
+        let polarity = if f.is_complement() { "~" } else { "" };
+        if let Some(id) = printed.get(&f.index()) {
+            let _ = writeln!(out, "{indent}{polarity}@{id}");
             return;
         }
         let id = printed.len();
-        printed.insert(f, id);
-        let node = m.node(f);
-        let _ = writeln!(out, "{indent}{} (#{id})", m.var_name(node.var));
-        rec(m, node.low, depth + 1, out, printed);
-        rec(m, node.high, depth + 1, out, printed);
+        printed.insert(f.index(), id);
+        let (low, high) = m.stored_children(f);
+        let _ = writeln!(
+            out,
+            "{indent}{polarity}{} (#{id})",
+            m.var_name(m.node_var(f))
+        );
+        rec(m, low, depth + 1, out, printed);
+        rec(m, high, depth + 1, out, printed);
     }
     rec(m, f, 0, &mut out, &mut printed);
     out
@@ -96,8 +167,89 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("\"a\""));
         assert!(dot.contains("\"b\""));
-        assert!(dot.contains("node0"));
-        assert!(dot.contains("node1"));
+        assert!(dot.contains("terminal"));
+        assert!(dot.contains("label=\"0\""));
+        assert!(dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    fn complement_arcs_render_dashed() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        // A complemented root puts a dashed style on the entry arc.
+        let dot_nf = to_dot(&m, nf, "nf");
+        assert!(
+            dot_nf.contains("entry -> n0 [label=\"\", style=dashed];"),
+            "complemented root must dash the entry arc:\n{dot_nf}"
+        );
+        let dot_f = to_dot(&m, f, "f");
+        assert!(
+            dot_f.contains("entry -> n0 [label=\"\"];"),
+            "regular root keeps a solid entry arc:\n{dot_f}"
+        );
+        // a AND b stores low edges to the complemented terminal (0 = ~1):
+        // every such arc is dashed, and no high edge ever is.
+        assert!(dot_f.contains("[label=\"0\", style=dashed];"));
+        for line in dot_f.lines() {
+            if line.contains("label=\"1\"") && line.contains("->") {
+                assert!(
+                    !line.contains("dashed"),
+                    "high edges are never complement arcs: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negated_function_shares_the_drawing() {
+        // f and !f differ only in the entry arc — the stored structure (and
+        // therefore every node/edge line) is identical.
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        let f = {
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let nf = m.not(f);
+        let body = |dot: &str| {
+            dot.lines()
+                .filter(|l| !l.contains("entry"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&to_dot(&m, f, "g")), body(&to_dot(&m, nf, "g")));
+    }
+
+    #[test]
+    fn dot_output_is_stable_across_gc() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        let f = {
+            let ab = m.and(a, b);
+            let bc = m.xor(b, c);
+            m.or(ab, bc)
+        };
+        let before = to_dot(&m, f, "stable");
+        let tree_before = to_text_tree(&m, f);
+        m.protect(f);
+        let report = m.gc();
+        assert!(report.reclaimed > 0);
+        assert_eq!(to_dot(&m, f, "stable"), before);
+        assert_eq!(to_text_tree(&m, f), tree_before);
+        // Allocate into the freed slots, then render again: traversal-order
+        // ids keep the output byte-identical.
+        let d = m.var("d");
+        let _noise = m.xor(d, a);
+        assert_eq!(to_dot(&m, f, "stable"), before);
+        assert_eq!(to_text_tree(&m, f), tree_before);
+        m.unprotect(f);
     }
 
     #[test]
@@ -118,9 +270,22 @@ mod tests {
     }
 
     #[test]
+    fn text_tree_marks_complement_arcs() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        let tree = to_text_tree(&m, nf);
+        assert!(tree.starts_with('~'), "complemented root is marked: {tree}");
+    }
+
+    #[test]
     fn terminals_render() {
         let m = BddManager::new();
         assert_eq!(to_text_tree(&m, Bdd::ONE).trim(), "1");
         assert_eq!(to_text_tree(&m, Bdd::ZERO).trim(), "0");
+        let dot = to_dot(&m, Bdd::ZERO, "zero");
+        assert!(dot.contains("entry -> terminal [label=\"\", style=dashed];"));
     }
 }

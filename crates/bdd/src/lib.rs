@@ -9,26 +9,41 @@
 //! # Engine
 //!
 //! The manager follows the arena layout of modern BDD packages
-//! (rsdd, OBDDimal):
+//! (rsdd, OBDDimal, CUDD), with two memory-focused additions:
 //!
-//! * nodes live in a contiguous arena indexed by the `u32` inside [`Bdd`]
-//!   — child traversal is an array access, and handles stay valid for the
-//!   manager's lifetime (no garbage collection);
+//! * **complement edges** — a [`Bdd`] handle is a tagged pointer whose low
+//!   bit negates the referenced function.  Only one polarity of each
+//!   function is stored (the high edge of a node is never complemented),
+//!   so `f` and `!f` share every node, [`BddManager::not`] is an O(1) bit
+//!   flip, and the unique-table population of negation-heavy constraint
+//!   builds roughly halves (measured in the `bdd_memory` section of
+//!   `BENCH_kernels.json`);
+//! * **node-level garbage collection** — long-lived functions are
+//!   registered as counted roots ([`BddManager::protect`] /
+//!   [`BddManager::unprotect`]); [`BddManager::gc`] mark-and-sweeps
+//!   everything unreachable onto a free list, rebuilds the open-addressed
+//!   unique table and invalidates the lossy operation caches.  Live
+//!   handles are never renumbered, so cube enumeration, DOT export and
+//!   every `TestPlan` built on top are byte-identical with collection on
+//!   or off.  A watermark armed via [`BddManager::set_auto_gc`] triggers
+//!   collection automatically at operation entry;
+//!
+//! and the performance plumbing carried over from the arena overhaul:
+//!
+//! * nodes live in a contiguous arena indexed by [`Bdd::index`] — child
+//!   traversal is an array access;
 //! * hash consing goes through an open-addressed, linear-probed unique
 //!   table keyed by an FNV-1a hash of `(var, low, high)` — `mk_node` is one
 //!   probe with no heap allocation and no cryptographic hashing;
 //! * `apply`/`ite` memoization uses fixed-size, direct-mapped **lossy**
 //!   caches: a collision overwrites the resident entry, bounding cache
-//!   memory for arbitrarily long runs while keeping hit rates high for the
-//!   clustered access patterns of BDD recursion.  [`BddManager::stats`]
-//!   reports occupancy and hit/miss counters ([`CacheStats`]), and
-//!   [`BddManager::clear_caches`] / [`BddManager::reset_cache_stats`] give
-//!   long ATPG campaigns explicit control points.
+//!   memory for arbitrarily long runs.  [`BddManager::stats`] reports
+//!   occupancy, hit/miss counters ([`CacheStats`]) and the GC counters
+//!   (peak live nodes, reclaim totals).
 //!
-//! Operations are `O(|f|·|g|)` as usual for reduced OBDDs; the overhaul
-//! changes the constants, not the asymptotics (≈4× on the 24-bit
-//! carry-chain build versus the previous `HashMap`-based engine — see
-//! `BENCH_kernels.json` and the `bdd_ops` bench).
+//! Operations are `O(|f|·|g|)` as usual for reduced OBDDs; complement
+//! edges change the constants (and `not` to O(1)), not the asymptotics —
+//! see `BENCH_kernels.json` and the `bdd_ops` bench.
 //!
 //! # Example
 //!
@@ -42,11 +57,21 @@
 //! // Boolean difference with respect to `a`: df/da = f|a=0 XOR f|a=1 = b.
 //! let diff = m.boolean_difference(f, m.var_index("a").unwrap());
 //! assert_eq!(diff, b);
+//!
+//! // Negation is free, and only one polarity is ever stored.
+//! let nf = m.not(f);
+//! assert_eq!(m.size(f), m.size(nf));
+//!
+//! // Reclaim everything not reachable from a protected root.
+//! m.protect(f);
+//! let report = m.gc();
+//! assert_eq!(report.live_after, m.size(f));
 //! ```
 //!
 //! The terminals are exposed as [`BddManager::zero`] and [`BddManager::one`];
 //! every other node is created through the manager and is automatically
-//! reduced (no duplicate nodes, no redundant tests).
+//! reduced (no duplicate nodes, no redundant tests, one polarity per
+//! function).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,5 +85,5 @@ mod node;
 pub use cube::{Assignment, Cube, CubeIter};
 pub use dot::{to_dot, to_text_tree};
 pub use expr::Expr;
-pub use manager::{BddManager, BddStats, CacheStats};
+pub use manager::{BddManager, BddStats, CacheStats, GcReport};
 pub use node::{Bdd, VarId};

@@ -1,26 +1,54 @@
-//! The BDD manager: arena node store, open-addressed unique table and
-//! fixed-size lossy operation caches.
+//! The BDD manager: complement-edged arena node store, open-addressed
+//! unique table, fixed-size lossy operation caches and a mark-and-sweep
+//! node-level garbage collector.
 //!
 //! ## Engine layout
 //!
+//! * **Complement edges** — a [`Bdd`] is a tagged pointer: bit 0 negates the
+//!   referenced function.  Only one polarity of each function is stored
+//!   (canonical invariant: the high/then edge of a stored node is never
+//!   complemented), which roughly halves unique-table population on
+//!   negation-heavy workloads and makes [`BddManager::not`] an O(1) bit
+//!   flip.  There is a single terminal node; `false` is its complement.
 //! * **Node arena** — every internal node lives in one contiguous
-//!   `Vec<Node>` indexed by the `u32` inside [`Bdd`]; indices 0 and 1 are
-//!   the terminals.  Child lookups are a single bounds-checked array access,
-//!   and the arena is never garbage-collected, so `Bdd` handles stay valid
-//!   for the manager's lifetime.
-//! * **Unique table** — hash consing uses an open-addressed,
-//!   linear-probed table of node indices keyed by an FNV-1a hash of
-//!   `(var, low, high)` (rsdd/OBDDimal style) instead of a SipHash
-//!   `HashMap<Node, Bdd>`: no per-entry heap boxes, no DoS-resistant (slow)
-//!   hashing, and resizing rehashes plain `u32`s.
+//!   `Vec<Node>` indexed by [`Bdd::index`]; index 0 is the terminal.  Child
+//!   lookups are a single bounds-checked array access.  Nodes freed by the
+//!   garbage collector go onto a free list and their slots are reused, so
+//!   live handles are never renumbered.
+//! * **Unique table** — hash consing uses an open-addressed, linear-probed
+//!   table of node indices keyed by an FNV-1a hash of `(var, low, high)`
+//!   (rsdd/OBDDimal style) instead of a SipHash `HashMap<Node, Bdd>`: no
+//!   per-entry heap boxes, no DoS-resistant (slow) hashing, and resizing
+//!   rehashes plain `u32`s.  [`BddManager::gc`] rebuilds it over the
+//!   surviving nodes.
 //! * **Apply / ITE caches** — memoization uses direct-mapped, fixed-size
 //!   lossy caches: a colliding entry simply overwrites the previous one.
-//!   This bounds cache memory for arbitrarily long ATPG runs (the unbounded
-//!   `HashMap` caches of the previous engine grew monotonically) while
-//!   keeping the hit rate high for the clustered access patterns of
-//!   `apply`/`ite` recursions.  Hit/miss counters are exposed through
-//!   [`BddManager::stats`] and the caches can be reset with
-//!   [`BddManager::clear_caches`].
+//!   This bounds cache memory for arbitrarily long ATPG runs while keeping
+//!   the hit rate high for the clustered access patterns of `apply`/`ite`
+//!   recursions.  Hit/miss counters are exposed through
+//!   [`BddManager::stats`]; the caches are invalidated wholesale by
+//!   [`BddManager::gc`] (freed node indices may be reused) and can be reset
+//!   manually with [`BddManager::clear_caches`].
+//!
+//! ## Garbage collection
+//!
+//! External [`Bdd`] handles are plain `Copy` indices, so the manager cannot
+//! observe drops; instead, long-lived functions are registered as **counted
+//! roots** with [`BddManager::protect`] / [`BddManager::unprotect`].
+//! [`BddManager::gc`] marks every node reachable from the registered roots
+//! (plus the operands the manager itself is currently holding) and sweeps
+//! the rest onto the free list.  Collection runs only at *safe points*:
+//! explicit [`BddManager::gc`] / [`BddManager::gc_if_above`] calls, or —
+//! when a watermark is armed with [`BddManager::set_auto_gc`] — on entry to
+//! the public Boolean operations, whose operands are pinned for the
+//! duration of the call.
+//!
+//! **Auto-GC contract:** with a watermark armed, any handle the caller
+//! keeps across manager calls must be protected (or reachable from a
+//! protected root); unprotected handles may dangle after a collection.
+//! With auto-GC disarmed (the default) the engine behaves exactly like the
+//! non-collecting arena manager it replaced: every handle stays valid for
+//! the manager's lifetime unless an explicit `gc()` is requested.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -29,10 +57,13 @@ use crate::cube::{Assignment, Cube, CubeIter};
 use crate::node::{Bdd, Node, VarId};
 
 /// Binary operation codes used as keys of the apply cache.
+///
+/// `Or` is not in the list: with complement edges it is derived as
+/// `!(AND(!f, !g))` for free, so conjunction and disjunction share one set
+/// of cache entries.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum Op {
     And,
-    Or,
     Xor,
 }
 
@@ -44,6 +75,8 @@ const ITE_CACHE_BITS: usize = 14;
 const UNIQUE_INITIAL_SLOTS: usize = 1 << 10;
 /// Sentinel marking an empty cache slot / unique-table slot.
 const EMPTY: u32 = u32::MAX;
+/// `Node::var` sentinel of a swept (free-listed) arena slot.
+const FREED: VarId = VarId::MAX - 1;
 
 /// FNV-1a over a few words, with a final avalanche so the low bits (used to
 /// index power-of-two tables) depend on every input bit.
@@ -87,8 +120,21 @@ impl CacheStats {
 /// Statistics about the state of a [`BddManager`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BddStats {
-    /// Number of live internal nodes (excluding the two terminals).
+    /// Number of live internal nodes (excluding the terminal).
     pub node_count: usize,
+    /// High-water mark of `node_count` over the manager's lifetime (the
+    /// peak unique-table population).
+    pub peak_live_nodes: usize,
+    /// Total internal nodes ever created (free-list reuses count again).
+    pub created_nodes: u64,
+    /// Arena slots currently on the free list (swept, awaiting reuse).
+    pub free_nodes: usize,
+    /// Number of completed [`BddManager::gc`] passes.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed across all GC passes.
+    pub gc_reclaimed: u64,
+    /// Number of registered root entries (distinct protected nodes).
+    pub protected_roots: usize,
     /// Number of declared variables.
     pub var_count: usize,
     /// Number of entries currently stored in the apply and ITE caches.
@@ -107,15 +153,31 @@ impl fmt::Display for BddStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes, {} variables, {}/{} cached results (apply {:.0}% / ite {:.0}% hits)",
+            "{} nodes live (peak {}), {} variables, {} GC runs ({} reclaimed), \
+             {}/{} cached results (apply {:.0}% / ite {:.0}% hits)",
             self.node_count,
+            self.peak_live_nodes,
             self.var_count,
+            self.gc_runs,
+            self.gc_reclaimed,
             self.cache_entries,
             self.cache_capacity,
             self.apply_cache.hit_rate() * 100.0,
             self.ite_cache.hit_rate() * 100.0,
         )
     }
+}
+
+/// Outcome of one [`BddManager::gc`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Live internal nodes before the pass.
+    pub live_before: usize,
+    /// Live internal nodes after the pass.
+    pub live_after: usize,
+    /// Nodes swept onto the free list by this pass
+    /// (`live_before - live_after`).
+    pub reclaimed: usize,
 }
 
 /// One slot of the direct-mapped apply cache.
@@ -161,10 +223,20 @@ struct UniqueTable {
 
 impl UniqueTable {
     fn new() -> Self {
+        Self::with_slots(UNIQUE_INITIAL_SLOTS)
+    }
+
+    fn with_slots(slots: usize) -> Self {
         UniqueTable {
-            slots: vec![EMPTY; UNIQUE_INITIAL_SLOTS],
+            slots: vec![EMPTY; slots],
             len: 0,
         }
+    }
+
+    /// A fresh table sized so `live` entries sit under 50 % load.
+    fn for_live(live: usize) -> Self {
+        let want = (live.max(1) * 2).next_power_of_two();
+        Self::with_slots(want.max(UNIQUE_INITIAL_SLOTS))
     }
 
     #[inline]
@@ -201,6 +273,19 @@ impl UniqueTable {
         }
     }
 
+    /// Inserts a node index into whatever slot its hash chain ends at (used
+    /// when rebuilding after a sweep; the caller sizes the table up front).
+    fn insert_rehash(&mut self, nodes: &[Node], idx: u32) {
+        let node = &nodes[idx as usize];
+        let mask = self.mask();
+        let mut slot = fnv_mix([node.var, node.low.0, node.high.0]) as usize & mask;
+        while self.slots[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = idx;
+        self.len += 1;
+    }
+
     fn grow(&mut self, nodes: &[Node]) {
         let new_cap = self.slots.len() * 2;
         let mut new_slots = vec![EMPTY; new_cap];
@@ -217,13 +302,14 @@ impl UniqueTable {
     }
 }
 
-/// A reduced ordered BDD node store with memoized Boolean operations.
+/// A reduced ordered BDD node store with complement edges, memoized Boolean
+/// operations and a mark-and-sweep garbage collector.
 ///
-/// All [`Bdd`] references handed out by a manager stay valid for the
-/// manager's lifetime; the manager never garbage-collects nodes.  Variables
-/// are declared with [`BddManager::var`] (by name) or
+/// Variables are declared with [`BddManager::var`] (by name) or
 /// [`BddManager::new_var`], and their declaration order is the global
-/// variable ordering.
+/// variable ordering.  Handles stay valid for the manager's lifetime unless
+/// garbage collection is requested; see the crate docs for the
+/// root registry and the auto-GC contract.
 ///
 /// # Example
 ///
@@ -234,13 +320,20 @@ impl UniqueTable {
 /// let x = m.var("x");
 /// let y = m.var("y");
 /// let f = m.or(x, y);
-/// let g = m.not(f);
+/// let g = m.not(f); // O(1): complement edges store only one polarity
 /// let h = m.nor(x, y);
 /// assert_eq!(g, h); // canonical representation
+///
+/// // Reclaim everything not reachable from a registered root.
+/// m.protect(f);
+/// let report = m.gc();
+/// assert_eq!(report.live_after, m.size(f));
 /// ```
 #[derive(Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
+    /// Arena indices swept by the collector, ready for reuse.
+    free: Vec<u32>,
     unique: UniqueTable,
     apply_cache: Vec<ApplyEntry>,
     ite_cache: Vec<IteEntry>,
@@ -248,13 +341,25 @@ pub struct BddManager {
     ite_stats: CacheStats,
     names: Vec<String>,
     by_name: HashMap<String, VarId>,
+    /// Counted external roots: node index -> registration count.
+    roots: HashMap<u32, usize>,
+    /// Operand pin stack: handles the manager itself holds across nested
+    /// public operations, marked by the collector alongside the roots.
+    pins: Vec<Bdd>,
+    /// Live-node watermark that arms collection at operation entry.
+    auto_gc_watermark: Option<usize>,
+    peak_live: usize,
+    created: u64,
+    gc_runs: u64,
+    gc_reclaimed: u64,
 }
 
 impl fmt::Debug for BddManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BddManager")
-            .field("nodes", &self.nodes.len())
+            .field("live_nodes", &self.live_node_count())
             .field("vars", &self.names.len())
+            .field("gc_runs", &self.gc_runs)
             .finish()
     }
 }
@@ -266,17 +371,18 @@ impl Default for BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager containing only the two terminal nodes.
+    /// Creates an empty manager containing only the terminal node.
     pub fn new() -> Self {
         let terminal = Node {
             var: VarId::MAX,
             low: Bdd::ZERO,
             high: Bdd::ONE,
         };
-        // Index 0 and 1 are reserved for the terminals; their stored contents
-        // are never inspected, but the arena slots must exist.
+        // Index 0 is the single terminal; its stored contents are never
+        // inspected, but the arena slot must exist.
         BddManager {
-            nodes: vec![terminal, terminal],
+            nodes: vec![terminal],
+            free: Vec::new(),
             unique: UniqueTable::new(),
             apply_cache: vec![APPLY_EMPTY; 1 << APPLY_CACHE_BITS],
             ite_cache: vec![ITE_EMPTY; 1 << ITE_CACHE_BITS],
@@ -284,6 +390,13 @@ impl BddManager {
             ite_stats: CacheStats::default(),
             names: Vec::new(),
             by_name: HashMap::new(),
+            roots: HashMap::new(),
+            pins: Vec::new(),
+            auto_gc_watermark: None,
+            peak_live: 0,
+            created: 0,
+            gc_runs: 0,
+            gc_reclaimed: 0,
         }
     }
 
@@ -299,7 +412,7 @@ impl BddManager {
         Bdd::ONE
     }
 
-    /// Converts a `bool` into the corresponding terminal.
+    /// Converts a `bool` into the corresponding constant function.
     #[inline]
     pub fn constant(&self, value: bool) -> Bdd {
         if value {
@@ -315,12 +428,25 @@ impl BddManager {
         self.names.len()
     }
 
-    /// Returns statistics about the manager, including cache hit rates.
+    /// Number of live internal nodes (the current unique-table population).
+    #[inline]
+    pub fn live_node_count(&self) -> usize {
+        self.nodes.len() - 1 - self.free.len()
+    }
+
+    /// Returns statistics about the manager, including cache hit rates and
+    /// garbage-collection counters.
     pub fn stats(&self) -> BddStats {
         let apply_entries = self.apply_cache.iter().filter(|e| e.op != u8::MAX).count();
         let ite_entries = self.ite_cache.iter().filter(|e| e.f != EMPTY).count();
         BddStats {
-            node_count: self.nodes.len().saturating_sub(2),
+            node_count: self.live_node_count(),
+            peak_live_nodes: self.peak_live,
+            created_nodes: self.created,
+            free_nodes: self.free.len(),
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
+            protected_roots: self.roots.len(),
             var_count: self.names.len(),
             cache_entries: apply_entries + ite_entries,
             cache_capacity: self.apply_cache.len() + self.ite_cache.len(),
@@ -331,10 +457,10 @@ impl BddManager {
     }
 
     /// Empties the apply and ITE caches (the node arena and unique table are
-    /// untouched, so every existing [`Bdd`] stays valid).  Long ATPG runs
-    /// can call this between targets; with the fixed-size lossy caches it
-    /// mainly serves to drop stale entries and restart hit-rate measurement
-    /// via [`BddManager::reset_cache_stats`].
+    /// untouched, so every existing [`Bdd`] stays valid).  [`BddManager::gc`]
+    /// does this implicitly; calling it directly mainly serves to drop stale
+    /// entries and restart hit-rate measurement via
+    /// [`BddManager::reset_cache_stats`].
     pub fn clear_caches(&mut self) {
         self.apply_cache.fill(APPLY_EMPTY);
         self.ite_cache.fill(ITE_EMPTY);
@@ -345,6 +471,172 @@ impl BddManager {
         self.apply_stats = CacheStats::default();
         self.ite_stats = CacheStats::default();
     }
+
+    // ------------------------------------------------------------------
+    // Root registry and garbage collection
+    // ------------------------------------------------------------------
+
+    /// Registers `f` as an external root: the node (and everything reachable
+    /// from it) survives every garbage collection until a matching
+    /// [`BddManager::unprotect`].  Registrations are counted, so protecting
+    /// the same function twice requires two unprotects.  Terminals need no
+    /// protection and are ignored.
+    pub fn protect(&mut self, f: Bdd) {
+        if !f.is_terminal() {
+            *self.roots.entry(f.index()).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one registration of `f` made by [`BddManager::protect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not currently registered (an unbalanced unprotect is
+    /// always a caller bug that would otherwise surface as a dangling handle
+    /// much later).
+    pub fn unprotect(&mut self, f: Bdd) {
+        if f.is_terminal() {
+            return;
+        }
+        let count = self
+            .roots
+            .get_mut(&f.index())
+            .expect("unprotect of a handle that was never protected");
+        *count -= 1;
+        if *count == 0 {
+            self.roots.remove(&f.index());
+        }
+    }
+
+    /// Number of distinct nodes currently registered as roots.
+    pub fn protected_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Arms (`Some(watermark)`) or disarms (`None`) automatic collection:
+    /// when armed, entry to a public Boolean operation first runs
+    /// [`BddManager::gc`] if the live-node count is at or above the
+    /// watermark (the operation's own operands are pinned for the call).
+    /// After an automatic pass the watermark is raised to at least four
+    /// times the surviving population, so a build that genuinely needs more
+    /// nodes does not thrash the collector.
+    ///
+    /// See the crate docs for the contract: with auto-GC armed,
+    /// every handle held across manager calls must be protected.
+    pub fn set_auto_gc(&mut self, watermark: Option<usize>) {
+        self.auto_gc_watermark = watermark;
+    }
+
+    /// The currently armed auto-GC watermark, if any.
+    pub fn auto_gc(&self) -> Option<usize> {
+        self.auto_gc_watermark
+    }
+
+    /// Runs [`BddManager::gc`] only if the live-node count is at or above
+    /// `watermark`; the cheap explicit safe-point check for drivers that
+    /// hold unprotected intermediates and therefore cannot arm auto-GC.
+    pub fn gc_if_above(&mut self, watermark: usize) -> Option<GcReport> {
+        if self.live_node_count() >= watermark {
+            Some(self.gc())
+        } else {
+            None
+        }
+    }
+
+    /// Mark-and-sweep collection: marks every node reachable from the
+    /// registered roots (and the manager's own pinned operands), sweeps all
+    /// other internal nodes onto the free list, rebuilds the unique table
+    /// over the survivors and invalidates the apply/ITE caches (freed
+    /// indices may be reused, so stale cache entries would alias).
+    ///
+    /// Live handles are never renumbered: a protected function compares
+    /// equal to itself, and to any post-collection rebuild of the same
+    /// function, across arbitrarily many passes.
+    pub fn gc(&mut self) -> GcReport {
+        let live_before = self.live_node_count();
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        let mut stack: Vec<u32> = self.roots.keys().copied().collect();
+        stack.extend(
+            self.pins
+                .iter()
+                .filter(|f| !f.is_terminal())
+                .map(|f| f.index()),
+        );
+        while let Some(idx) = stack.pop() {
+            if marked[idx as usize] {
+                continue;
+            }
+            marked[idx as usize] = true;
+            let node = self.nodes[idx as usize];
+            if !node.low.is_terminal() {
+                stack.push(node.low.index());
+            }
+            if !node.high.is_terminal() {
+                stack.push(node.high.index());
+            }
+        }
+        let mut reclaimed = 0usize;
+        for idx in 1..self.nodes.len() {
+            if !marked[idx] && self.nodes[idx].var != FREED {
+                self.nodes[idx] = Node {
+                    var: FREED,
+                    low: Bdd::ONE,
+                    high: Bdd::ONE,
+                };
+                self.free.push(idx as u32);
+                reclaimed += 1;
+            }
+        }
+        let live_after = live_before - reclaimed;
+        self.unique = UniqueTable::for_live(live_after);
+        for idx in 1..self.nodes.len() {
+            if marked[idx] {
+                self.unique.insert_rehash(&self.nodes, idx as u32);
+            }
+        }
+        self.clear_caches();
+        self.gc_runs += 1;
+        self.gc_reclaimed += reclaimed as u64;
+        GcReport {
+            live_before,
+            live_after,
+            reclaimed,
+        }
+    }
+
+    /// Auto-GC safe point: called on entry to the public Boolean operations
+    /// after their operands are pinned.
+    fn checkpoint(&mut self) {
+        if let Some(watermark) = self.auto_gc_watermark {
+            if self.live_node_count() >= watermark {
+                self.gc();
+                let floor = self.live_node_count().saturating_mul(4);
+                self.auto_gc_watermark = Some(watermark.max(floor));
+            }
+        }
+    }
+
+    #[inline]
+    fn pin_mark(&self) -> usize {
+        self.pins.len()
+    }
+
+    #[inline]
+    fn pin(&mut self, f: Bdd) {
+        if !f.is_terminal() {
+            self.pins.push(f);
+        }
+    }
+
+    #[inline]
+    fn unpin_to(&mut self, mark: usize) {
+        self.pins.truncate(mark);
+    }
+
+    // ------------------------------------------------------------------
+    // Variables and literals
+    // ------------------------------------------------------------------
 
     /// Declares a new variable with an auto-generated name and returns the
     /// BDD of its positive literal.
@@ -394,6 +686,9 @@ impl BddManager {
 
     /// Returns the literal `var` (if `positive`) or `!var`.
     ///
+    /// With complement edges both polarities share one stored node, so this
+    /// never allocates more than one node per variable.
+    ///
     /// # Panics
     ///
     /// Panics if `var` has not been declared.
@@ -402,10 +697,11 @@ impl BddManager {
             (var as usize) < self.names.len(),
             "literal of undeclared variable {var}"
         );
+        let positive_literal = self.mk_node(var, Bdd::ZERO, Bdd::ONE);
         if positive {
-            self.mk_node(var, Bdd::ZERO, Bdd::ONE)
+            positive_literal
         } else {
-            self.mk_node(var, Bdd::ONE, Bdd::ZERO)
+            !positive_literal
         }
     }
 
@@ -416,41 +712,77 @@ impl BddManager {
         if f.is_terminal() {
             VarId::MAX
         } else {
-            self.nodes[f.0 as usize].var
+            self.nodes[f.index() as usize].var
         }
     }
 
-    /// Low (else) child of a non-terminal node.
+    /// Low (else) cofactor of a non-terminal node, with the handle's
+    /// complement flag resolved (this is the *semantic* child: the function
+    /// of `f` under `root_var(f) = 0`).
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn low(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminal nodes have no children");
-        self.nodes[f.0 as usize].low
+        self.children(f).0
     }
 
-    /// High (then) child of a non-terminal node.
+    /// High (then) cofactor of a non-terminal node, with the handle's
+    /// complement flag resolved.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn high(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminal nodes have no children");
-        self.nodes[f.0 as usize].high
+        self.children(f).1
+    }
+
+    /// Semantic `(low, high)` cofactors of a non-terminal handle: the stored
+    /// children with the handle's complement flag pushed down.
+    #[inline]
+    pub(crate) fn children(&self, f: Bdd) -> (Bdd, Bdd) {
+        let node = self.nodes[f.index() as usize];
+        let flip = f.is_complement();
+        (node.low.toggled_if(flip), node.high.toggled_if(flip))
     }
 
     fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
         if low == high {
             return low;
         }
+        // Canonical complement form: the high edge is never complemented.
+        // A would-be complemented then-edge stores the negated node instead
+        // and returns its complement, so f and !f share one arena slot.
+        if high.is_complement() {
+            return !self.mk_raw(var, !low, !high);
+        }
+        self.mk_raw(var, low, high)
+    }
+
+    fn mk_raw(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
+        debug_assert!(!high.is_complement(), "canonical high edge is regular");
         match self.unique.probe(&self.nodes, var, low, high) {
-            Ok(idx) => Bdd(idx),
+            Ok(idx) => Bdd(idx << 1),
             Err(slot) => {
-                let idx = self.nodes.len() as u32;
-                self.nodes.push(Node { var, low, high });
+                let node = Node { var, low, high };
+                let idx = match self.free.pop() {
+                    Some(idx) => {
+                        self.nodes[idx as usize] = node;
+                        idx
+                    }
+                    None => {
+                        let idx = self.nodes.len() as u32;
+                        assert!(idx < u32::MAX >> 1, "BDD arena exhausted");
+                        self.nodes.push(node);
+                        idx
+                    }
+                };
                 self.unique.insert(&self.nodes, slot, idx);
-                Bdd(idx)
+                self.created += 1;
+                self.peak_live = self.peak_live.max(self.live_node_count());
+                Bdd(idx << 1)
             }
         }
     }
@@ -459,168 +791,147 @@ impl BddManager {
     // Boolean operations
     // ------------------------------------------------------------------
 
-    /// Logical negation of `f`.
-    pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd::ZERO, Bdd::ONE)
+    /// Logical negation of `f` — an O(1) complement-flag flip (also
+    /// available as `!f` on the handle itself).
+    #[inline]
+    pub fn not(&self, f: Bdd) -> Bdd {
+        !f
     }
 
     /// Logical conjunction `f AND g`.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(Op::And, f, g)
+        let mark = self.pin_mark();
+        self.pin(f);
+        self.pin(g);
+        self.checkpoint();
+        let result = self.and_rec(f, g);
+        self.unpin_to(mark);
+        result
     }
 
-    /// Logical disjunction `f OR g`.
+    /// Logical disjunction `f OR g` (derived: `!(!f AND !g)`, sharing the
+    /// conjunction's cache entries).
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(Op::Or, f, g)
+        !self.and(!f, !g)
     }
 
     /// Exclusive or `f XOR g`.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(Op::Xor, f, g)
+        let mark = self.pin_mark();
+        self.pin(f);
+        self.pin(g);
+        self.checkpoint();
+        let result = self.xor_rec(f, g);
+        self.unpin_to(mark);
+        result
     }
 
     /// `NOT (f AND g)`.
     pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let t = self.and(f, g);
-        self.not(t)
+        !self.and(f, g)
     }
 
     /// `NOT (f OR g)`.
     pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let t = self.or(f, g);
-        self.not(t)
+        self.and(!f, !g)
     }
 
     /// `NOT (f XOR g)` (logical equivalence).
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let t = self.xor(f, g);
-        self.not(t)
+        !self.xor(f, g)
     }
 
     /// Logical implication `f -> g`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let nf = self.not(f);
-        self.or(nf, g)
+        !self.and(f, !g)
     }
 
     /// Conjunction of an iterator of functions (`one()` for an empty input).
     pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        // Fast path: with auto-GC disarmed no collection can fire mid-fold,
+        // so stream the iterator without buffering or pinning (this is the
+        // per-gate hot loop of the symbolic netlist builds).
+        if self.auto_gc_watermark.is_none() {
+            let mut acc = Bdd::ONE;
+            for f in fs {
+                acc = self.and(acc, f);
+                if acc.is_zero() {
+                    break;
+                }
+            }
+            return acc;
+        }
+        let mark = self.pin_mark();
+        let items: Vec<Bdd> = fs.into_iter().collect();
+        for &f in &items {
+            self.pin(f);
+        }
         let mut acc = Bdd::ONE;
-        for f in fs {
+        for f in items {
             acc = self.and(acc, f);
             if acc.is_zero() {
                 break;
             }
         }
+        self.unpin_to(mark);
         acc
     }
 
     /// Disjunction of an iterator of functions (`zero()` for an empty input).
     pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        if self.auto_gc_watermark.is_none() {
+            let mut acc = Bdd::ZERO;
+            for f in fs {
+                acc = self.or(acc, f);
+                if acc.is_one() {
+                    break;
+                }
+            }
+            return acc;
+        }
+        let mark = self.pin_mark();
+        let items: Vec<Bdd> = fs.into_iter().collect();
+        for &f in &items {
+            self.pin(f);
+        }
         let mut acc = Bdd::ZERO;
-        for f in fs {
+        for f in items {
             acc = self.or(acc, f);
             if acc.is_one() {
                 break;
             }
         }
+        self.unpin_to(mark);
         acc
     }
 
     /// If-then-else: `(f AND g) OR (NOT f AND h)`.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        // Terminal cases.
-        if f.is_one() {
-            return g;
-        }
-        if f.is_zero() {
-            return h;
-        }
-        if g == h {
-            return g;
-        }
-        if g.is_one() && h.is_zero() {
-            return f;
-        }
-        let slot = (fnv_mix([f.0, g.0, h.0]) as usize) & (self.ite_cache.len() - 1);
-        self.ite_stats.lookups += 1;
-        let entry = self.ite_cache[slot];
-        if entry.f == f.0 && entry.g == g.0 && entry.h == h.0 {
-            self.ite_stats.hits += 1;
-            return Bdd(entry.result);
-        }
-        let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let (h0, h1) = self.cofactors_at(h, top);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
-        let result = self.mk_node(top, low, high);
-        // Direct-mapped and lossy: colliding keys overwrite each other.
-        self.ite_cache[slot] = IteEntry {
-            f: f.0,
-            g: g.0,
-            h: h.0,
-            result: result.0,
-        };
+        let mark = self.pin_mark();
+        self.pin(f);
+        self.pin(g);
+        self.pin(h);
+        self.checkpoint();
+        let result = self.ite_rec(f, g, h);
+        self.unpin_to(mark);
         result
     }
 
-    fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
-        if f.is_terminal() || self.root_var(f) != var {
-            (f, f)
-        } else {
-            let n = self.nodes[f.0 as usize];
-            (n.low, n.high)
+    fn and_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal short-circuits, including the complement-edge rule
+        // f AND !f = 0 that needs no recursion at all.
+        if f.is_zero() || g.is_zero() || f == !g {
+            return Bdd::ZERO;
         }
-    }
-
-    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
-        // Terminal short-circuits.
-        match op {
-            Op::And => {
-                if f.is_zero() || g.is_zero() {
-                    return Bdd::ZERO;
-                }
-                if f.is_one() {
-                    return g;
-                }
-                if g.is_one() {
-                    return f;
-                }
-                if f == g {
-                    return f;
-                }
-            }
-            Op::Or => {
-                if f.is_one() || g.is_one() {
-                    return Bdd::ONE;
-                }
-                if f.is_zero() {
-                    return g;
-                }
-                if g.is_zero() {
-                    return f;
-                }
-                if f == g {
-                    return f;
-                }
-            }
-            Op::Xor => {
-                if f == g {
-                    return Bdd::ZERO;
-                }
-                if f.is_zero() {
-                    return g;
-                }
-                if g.is_zero() {
-                    return f;
-                }
-            }
+        if f.is_one() || f == g {
+            return g;
+        }
+        if g.is_one() {
+            return f;
         }
         // Commutative: normalize operand order for better cache hit rate.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        let op_code = op as u8;
+        let op_code = Op::And as u8;
         let slot =
             (fnv_mix([f.0, g.0, u32::from(op_code)]) as usize) & (self.apply_cache.len() - 1);
         self.apply_stats.lookups += 1;
@@ -632,8 +943,8 @@ impl BddManager {
         let top = self.root_var(f).min(self.root_var(g));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
-        let low = self.apply(op, f0, g0);
-        let high = self.apply(op, f1, g1);
+        let low = self.and_rec(f0, g0);
+        let high = self.and_rec(f1, g1);
         let result = self.mk_node(top, low, high);
         // Direct-mapped and lossy: colliding keys overwrite each other.
         self.apply_cache[slot] = ApplyEntry {
@@ -645,25 +956,171 @@ impl BddManager {
         result
     }
 
+    fn xor_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g {
+            return Bdd::ZERO;
+        }
+        if f == !g {
+            return Bdd::ONE;
+        }
+        if f.is_zero() {
+            return g;
+        }
+        if f.is_one() {
+            return !g;
+        }
+        if g.is_zero() {
+            return f;
+        }
+        if g.is_one() {
+            return !f;
+        }
+        // XOR ignores complements up to output parity: strip both flags so
+        // all four polarities of a pair share one cache entry.
+        let parity = f.is_complement() != g.is_complement();
+        let (f, g) = (f.regular(), g.regular());
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let op_code = Op::Xor as u8;
+        let slot =
+            (fnv_mix([f.0, g.0, u32::from(op_code)]) as usize) & (self.apply_cache.len() - 1);
+        self.apply_stats.lookups += 1;
+        let entry = self.apply_cache[slot];
+        if entry.f == f.0 && entry.g == g.0 && entry.op == op_code {
+            self.apply_stats.hits += 1;
+            return Bdd(entry.result).toggled_if(parity);
+        }
+        let top = self.root_var(f).min(self.root_var(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let low = self.xor_rec(f0, g0);
+        let high = self.xor_rec(f1, g1);
+        let result = self.mk_node(top, low, high);
+        self.apply_cache[slot] = ApplyEntry {
+            f: f.0,
+            g: g.0,
+            op: op_code,
+            result: result.0,
+        };
+        result.toggled_if(parity)
+    }
+
+    fn ite_rec(&mut self, f: Bdd, mut g: Bdd, mut h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        // Operand coincidences reduce the triple to a binary operation that
+        // shares the apply cache.
+        if f == g {
+            g = Bdd::ONE;
+        } else if f == !g {
+            g = Bdd::ZERO;
+        }
+        if f == h {
+            h = Bdd::ZERO;
+        } else if f == !h {
+            h = Bdd::ONE;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return !f;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() {
+            return !self.and_rec(!f, !h); // f OR h
+        }
+        if g.is_zero() {
+            return self.and_rec(!f, h);
+        }
+        if h.is_zero() {
+            return self.and_rec(f, g);
+        }
+        if h.is_one() {
+            return !self.and_rec(f, !g); // !f OR g
+        }
+        // Complement normalization for the cache: the condition and the
+        // then-branch are stored regular, the result carries the parity.
+        let (mut f, mut g, mut h) = (f, g, h);
+        if f.is_complement() {
+            std::mem::swap(&mut g, &mut h);
+            f = !f;
+        }
+        let flip = g.is_complement();
+        if flip {
+            g = !g;
+            h = !h;
+        }
+        let slot = (fnv_mix([f.0, g.0, h.0]) as usize) & (self.ite_cache.len() - 1);
+        self.ite_stats.lookups += 1;
+        let entry = self.ite_cache[slot];
+        if entry.f == f.0 && entry.g == g.0 && entry.h == h.0 {
+            self.ite_stats.hits += 1;
+            return Bdd(entry.result).toggled_if(flip);
+        }
+        let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite_rec(f0, g0, h0);
+        let high = self.ite_rec(f1, g1, h1);
+        let result = self.mk_node(top, low, high);
+        // Direct-mapped and lossy: colliding keys overwrite each other.
+        self.ite_cache[slot] = IteEntry {
+            f: f.0,
+            g: g.0,
+            h: h.0,
+            result: result.0,
+        };
+        result.toggled_if(flip)
+    }
+
+    fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
+        if f.is_terminal() || self.root_var(f) != var {
+            (f, f)
+        } else {
+            self.children(f)
+        }
+    }
+
     // ------------------------------------------------------------------
     // Cofactors, composition, quantification
     // ------------------------------------------------------------------
 
     /// Restriction (cofactor) of `f` with variable `var` fixed to `value`.
     pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+        let mark = self.pin_mark();
+        self.pin(f);
+        self.checkpoint();
+        let result = self.restrict_rec(f, var, value);
+        self.unpin_to(mark);
+        result
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
         if f.is_terminal() {
             return f;
         }
-        let node = self.nodes[f.0 as usize];
-        if node.var > var {
+        let node_var = self.nodes[f.index() as usize].var;
+        if node_var > var {
             return f;
         }
-        if node.var == var {
-            return if value { node.high } else { node.low };
+        let (low, high) = self.children(f);
+        if node_var == var {
+            return if value { high } else { low };
         }
-        let low = self.restrict(node.low, var, value);
-        let high = self.restrict(node.high, var, value);
-        self.mk_node(node.var, low, high)
+        let low = self.restrict_rec(low, var, value);
+        let high = self.restrict_rec(high, var, value);
+        self.mk_node(node_var, low, high)
     }
 
     /// Restriction of `f` under a partial assignment.
@@ -678,23 +1135,42 @@ impl BddManager {
     /// Functional composition: substitute function `g` for variable `var` in
     /// `f`, i.e. `f[var := g]`.
     pub fn compose(&mut self, f: Bdd, var: VarId, g: Bdd) -> Bdd {
+        let mark = self.pin_mark();
+        self.pin(f);
+        self.pin(g);
         let f1 = self.restrict(f, var, true);
+        self.pin(f1);
         let f0 = self.restrict(f, var, false);
-        self.ite(g, f1, f0)
+        self.pin(f0);
+        let result = self.ite(g, f1, f0);
+        self.unpin_to(mark);
+        result
     }
 
     /// Existential quantification over `var`: `f|var=0 OR f|var=1`.
     pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let mark = self.pin_mark();
+        self.pin(f);
         let f0 = self.restrict(f, var, false);
+        self.pin(f0);
         let f1 = self.restrict(f, var, true);
-        self.or(f0, f1)
+        self.pin(f1);
+        let result = self.or(f0, f1);
+        self.unpin_to(mark);
+        result
     }
 
     /// Universal quantification over `var`: `f|var=0 AND f|var=1`.
     pub fn forall(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let mark = self.pin_mark();
+        self.pin(f);
         let f0 = self.restrict(f, var, false);
+        self.pin(f0);
         let f1 = self.restrict(f, var, true);
-        self.and(f0, f1)
+        self.pin(f1);
+        let result = self.and(f0, f1);
+        self.unpin_to(mark);
+        result
     }
 
     /// Existential quantification over a set of variables.
@@ -713,9 +1189,15 @@ impl BddManager {
     /// which the value of `var` is observable at `f` — the propagation
     /// condition used by the BDD-based test generator.
     pub fn boolean_difference(&mut self, f: Bdd, var: VarId) -> Bdd {
+        let mark = self.pin_mark();
+        self.pin(f);
         let f0 = self.restrict(f, var, false);
+        self.pin(f0);
         let f1 = self.restrict(f, var, true);
-        self.xor(f0, f1)
+        self.pin(f1);
+        let result = self.xor(f0, f1);
+        self.unpin_to(mark);
+        result
     }
 
     // ------------------------------------------------------------------
@@ -727,9 +1209,10 @@ impl BddManager {
     pub fn eval(&self, f: Bdd, assignment: &Assignment) -> bool {
         let mut cur = f;
         while !cur.is_terminal() {
-            let node = self.nodes[cur.0 as usize];
-            let value = assignment.get(node.var).unwrap_or(false);
-            cur = if value { node.high } else { node.low };
+            let var = self.nodes[cur.index() as usize].var;
+            let (low, high) = self.children(cur);
+            let value = assignment.get(var).unwrap_or(false);
+            cur = if value { high } else { low };
         }
         cur.is_one()
     }
@@ -743,32 +1226,34 @@ impl BddManager {
     pub fn support(&self, f: Bdd) -> Vec<VarId> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !seen.insert(n.index()) {
                 continue;
             }
-            let node = self.nodes[n.0 as usize];
+            let node = self.nodes[n.index() as usize];
             vars.insert(node.var);
-            stack.push(node.low);
-            stack.push(node.high);
+            stack.push(node.low.regular());
+            stack.push(node.high.regular());
         }
         vars.into_iter().collect()
     }
 
-    /// Number of internal nodes reachable from `f` (the BDD's size).
+    /// Number of internal nodes reachable from `f` (the BDD's size).  With
+    /// complement edges `f` and `!f` share every node, so their sizes are
+    /// equal.
     pub fn size(&self, f: Bdd) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         let mut count = 0usize;
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !seen.insert(n.index()) {
                 continue;
             }
             count += 1;
-            let node = self.nodes[n.0 as usize];
-            stack.push(node.low);
-            stack.push(node.high);
+            let node = self.nodes[n.index() as usize];
+            stack.push(node.low.regular());
+            stack.push(node.high.regular());
         }
         count
     }
@@ -783,13 +1268,14 @@ impl BddManager {
         let mut cube = Cube::new();
         let mut cur = f;
         while !cur.is_terminal() {
-            let node = self.nodes[cur.0 as usize];
-            if !node.high.is_zero() {
-                cube.set(node.var, true);
-                cur = node.high;
+            let var = self.nodes[cur.index() as usize].var;
+            let (low, high) = self.children(cur);
+            if !high.is_zero() {
+                cube.set(var, true);
+                cur = high;
             } else {
-                cube.set(node.var, false);
-                cur = node.low;
+                cube.set(var, false);
+                cur = low;
             }
         }
         Some(cube)
@@ -815,9 +1301,9 @@ impl BddManager {
         let level = if f.is_terminal() {
             total_vars
         } else {
-            self.nodes[f.0 as usize].var
+            self.nodes[f.index() as usize].var
         };
-        let skipped = (level - from_level) as u32;
+        let skipped = level - from_level;
         let base = if f.is_zero() {
             0
         } else if f.is_one() {
@@ -825,9 +1311,10 @@ impl BddManager {
         } else if let Some(&c) = memo.get(&f) {
             c
         } else {
-            let node = self.nodes[f.0 as usize];
-            let low = self.sat_count_rec(node.low, node.var + 1, total_vars, memo);
-            let high = self.sat_count_rec(node.high, node.var + 1, total_vars, memo);
+            let var = self.nodes[f.index() as usize].var;
+            let (low, high) = self.children(f);
+            let low = self.sat_count_rec(low, var + 1, total_vars, memo);
+            let high = self.sat_count_rec(high, var + 1, total_vars, memo);
             let c = low + high;
             memo.insert(f, c);
             c
@@ -841,8 +1328,18 @@ impl BddManager {
         CubeIter::new(self, f)
     }
 
-    pub(crate) fn node(&self, f: Bdd) -> Node {
-        self.nodes[f.0 as usize]
+    /// Root variable of a non-terminal handle (stored form, for the
+    /// DOT/text exporters).
+    pub(crate) fn node_var(&self, f: Bdd) -> VarId {
+        self.nodes[f.index() as usize].var
+    }
+
+    /// Stored (canonical-form) children of a non-terminal handle, *without*
+    /// resolving the handle's own complement flag — exporters render the
+    /// stored structure and mark complement arcs explicitly.
+    pub(crate) fn stored_children(&self, f: Bdd) -> (Bdd, Bdd) {
+        let node = self.nodes[f.index() as usize];
+        (node.low, node.high)
     }
 }
 
@@ -868,6 +1365,27 @@ mod tests {
     }
 
     #[test]
+    fn complement_edges_store_one_polarity() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let f = m.and(a, b);
+        let nodes_before = m.live_node_count();
+        // Negation is a bit flip: no new nodes, shared arena slot.
+        let nf = m.not(f);
+        assert_eq!(m.live_node_count(), nodes_before);
+        assert_eq!(nf.index(), f.index());
+        assert_ne!(nf, f);
+        assert_eq!(m.size(f), m.size(nf));
+        // Materializing !f through the ordinary operations allocates
+        // nothing either: the canonical form reuses f's nodes.
+        let na = m.not(a);
+        let nb = m.not(b);
+        let nf2 = m.or(na, nb);
+        assert_eq!(nf2, nf);
+        assert_eq!(m.live_node_count(), nodes_before);
+    }
+
+    #[test]
     fn and_or_terminal_rules() {
         let mut m = BddManager::new();
         let (a, _, _) = three_vars(&mut m);
@@ -877,6 +1395,11 @@ mod tests {
         assert_eq!(m.or(a, m.one()), m.one());
         assert_eq!(m.xor(a, a), m.zero());
         assert_eq!(m.xor(a, m.zero()), a);
+        // Complement-edge short circuits.
+        let na = m.not(a);
+        assert_eq!(m.and(a, na), m.zero());
+        assert_eq!(m.or(a, na), m.one());
+        assert_eq!(m.xor(a, na), m.one());
     }
 
     #[test]
@@ -907,6 +1430,16 @@ mod tests {
             m.or(ab, nac)
         };
         assert_eq!(ite, expected);
+        // Complemented condition and branches.
+        let na = m.not(a);
+        let nb = m.not(b);
+        let ite2 = m.ite(na, nb, c);
+        let expected2 = {
+            let t = m.and(na, nb);
+            let e = m.and(a, c);
+            m.or(t, e)
+        };
+        assert_eq!(ite2, expected2);
     }
 
     #[test]
@@ -982,6 +1515,10 @@ mod tests {
         let full = cube.to_assignment();
         assert!(m.eval(f, &full));
         assert_eq!(m.sat_one(m.zero()), None);
+        // Negated function: sat_one must satisfy !f.
+        let nf = m.not(f);
+        let ncube = m.sat_one(nf).expect("satisfiable");
+        assert!(!m.eval(f, &ncube.to_assignment()));
     }
 
     #[test]
@@ -996,6 +1533,9 @@ mod tests {
         assert_eq!(m.sat_count(f), 5);
         assert_eq!(m.sat_count(m.one()), 8);
         assert_eq!(m.sat_count(m.zero()), 0);
+        // Complement: the negation covers the remaining minterms.
+        let nf = m.not(f);
+        assert_eq!(m.sat_count(nf), 3);
     }
 
     #[test]
@@ -1035,6 +1575,7 @@ mod tests {
         let stats = m.stats();
         assert!(stats.node_count >= 3);
         assert_eq!(stats.var_count, 3);
+        assert!(stats.peak_live_nodes >= stats.node_count);
         assert!(format!("{stats}").contains("nodes"));
     }
 
@@ -1057,6 +1598,12 @@ mod tests {
         let v0 = m.var_index("a0").unwrap();
         let _ = m.exists(carry, v0);
         let _ = m.boolean_difference(carry, v0);
+        // Distinct, non-coincident operands so the ternary recursion
+        // actually probes the ite cache (operand coincidences reduce to
+        // the apply cache).
+        let sel = m.var("a0");
+        let other = m.var("b3");
+        let _ = m.ite(carry, sel, other);
         let stats = m.stats();
         // Counters are coherent.
         assert!(stats.apply_cache.lookups > 0);
@@ -1111,5 +1658,162 @@ mod tests {
     fn literal_of_undeclared_variable_panics() {
         let mut m = BddManager::new();
         let _ = m.literal(3, true);
+    }
+
+    fn carry_chain(m: &mut BddManager, bits: usize) -> Bdd {
+        let mut carry = m.zero();
+        for i in 0..bits {
+            let a = m.var(&format!("a{i}"));
+            let b = m.var(&format!("b{i}"));
+            let ab = m.and(a, b);
+            let axb = m.xor(a, b);
+            let ac = m.and(axb, carry);
+            carry = m.or(ab, ac);
+        }
+        carry
+    }
+
+    #[test]
+    fn gc_reclaims_everything_unreachable_from_roots() {
+        let mut m = BddManager::new();
+        let carry = carry_chain(&mut m, 12);
+        let live_before = m.live_node_count();
+        assert!(
+            live_before > m.size(carry),
+            "the build leaves intermediates"
+        );
+        m.protect(carry);
+        let report = m.gc();
+        assert_eq!(report.live_before, live_before);
+        assert_eq!(report.live_after, m.size(carry));
+        assert_eq!(report.reclaimed, live_before - m.size(carry));
+        assert_eq!(m.live_node_count(), m.size(carry));
+        assert_eq!(m.stats().gc_runs, 1);
+        assert_eq!(m.stats().gc_reclaimed, report.reclaimed as u64);
+        // The protected function is untouched and still canonical: a full
+        // rebuild reproduces the identical handle.
+        let rebuilt = carry_chain(&mut m, 12);
+        assert_eq!(rebuilt, carry);
+        m.unprotect(carry);
+    }
+
+    #[test]
+    fn gc_reuses_freed_slots() {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 8);
+        m.protect(f);
+        let report = m.gc();
+        assert!(report.reclaimed > 0);
+        let arena_slots = m.nodes.len();
+        assert_eq!(m.stats().free_nodes, report.reclaimed);
+        // Rebuilding the collected intermediates reuses the free list
+        // instead of growing the arena.
+        let _ = carry_chain(&mut m, 8);
+        assert_eq!(m.nodes.len(), arena_slots, "free slots are reused");
+        assert!(m.stats().free_nodes < report.reclaimed);
+    }
+
+    #[test]
+    fn protect_is_counted_and_unprotect_balances() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let f = m.and(a, b);
+        m.protect(f);
+        m.protect(f);
+        assert_eq!(m.protected_count(), 1);
+        m.unprotect(f);
+        assert_eq!(m.protected_count(), 1, "still one registration left");
+        let report = m.gc();
+        assert!(m.live_node_count() >= m.size(f));
+        let _ = report;
+        m.unprotect(f);
+        assert_eq!(m.protected_count(), 0);
+        let report = m.gc();
+        assert_eq!(report.live_after, 0, "nothing is protected any more");
+        // Terminals never need protection and are silently ignored.
+        m.protect(Bdd::ONE);
+        m.unprotect(Bdd::ZERO);
+        assert_eq!(m.protected_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never protected")]
+    fn unbalanced_unprotect_panics() {
+        let mut m = BddManager::new();
+        let a = m.var("a");
+        let b = m.var("b");
+        let f = m.and(a, b);
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn gc_if_above_only_fires_past_the_watermark() {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 10);
+        m.protect(f);
+        assert!(m.gc_if_above(usize::MAX).is_none());
+        assert_eq!(m.stats().gc_runs, 0);
+        let report = m.gc_if_above(1).expect("watermark crossed");
+        assert!(report.reclaimed > 0);
+        assert_eq!(m.stats().gc_runs, 1);
+    }
+
+    #[test]
+    fn auto_gc_triggers_at_operation_entry_and_keeps_protected_roots() {
+        let mut m = BddManager::new();
+        m.set_auto_gc(Some(16));
+        assert_eq!(m.auto_gc(), Some(16));
+        // Build while protecting the running result — the auto-GC contract.
+        let mut carry = m.zero();
+        for i in 0..12 {
+            let a = m.var(&format!("a{i}"));
+            let b = m.var(&format!("b{i}"));
+            m.protect(a);
+            m.protect(b);
+            let ab = m.and(a, b);
+            m.protect(ab);
+            let axb = m.xor(a, b);
+            m.protect(axb);
+            let ac = m.and(axb, carry);
+            m.protect(ac);
+            let next = m.or(ab, ac);
+            m.protect(next);
+            m.unprotect(a);
+            m.unprotect(b);
+            m.unprotect(ab);
+            m.unprotect(axb);
+            m.unprotect(ac);
+            if !carry.is_terminal() {
+                m.unprotect(carry);
+            }
+            carry = next;
+        }
+        assert!(m.stats().gc_runs > 0, "the watermark must have fired");
+        // The watermark adapted upward instead of thrashing.
+        assert!(m.auto_gc().unwrap() >= 16);
+        // The surviving function is correct: compare against a fresh build.
+        let mut reference = BddManager::new();
+        let expected = carry_chain(&mut reference, 12);
+        assert_eq!(m.sat_count(carry), reference.sat_count(expected));
+        m.unprotect(carry);
+    }
+
+    #[test]
+    fn gc_invalidates_caches_and_preserves_semantics() {
+        let mut m = BddManager::new();
+        let carry = carry_chain(&mut m, 10);
+        let n = m.sat_count(carry);
+        m.protect(carry);
+        m.gc();
+        assert_eq!(m.stats().cache_entries, 0, "caches are invalidated");
+        // Recomputations after the sweep agree with pre-sweep results.
+        assert_eq!(m.sat_count(carry), n);
+        let v = m.var_index("a3").unwrap();
+        let diff = m.boolean_difference(carry, v);
+        let mut fresh = BddManager::new();
+        let carry2 = carry_chain(&mut fresh, 10);
+        let diff2 = fresh.boolean_difference(carry2, v);
+        assert_eq!(m.sat_count(diff), fresh.sat_count(diff2));
+        m.unprotect(carry);
     }
 }

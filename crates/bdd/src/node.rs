@@ -1,4 +1,5 @@
-//! Node references and variable identifiers.
+//! Node references (complement-edge tagged pointers) and variable
+//! identifiers.
 
 use std::fmt;
 
@@ -9,21 +10,34 @@ use std::fmt;
 /// same manager.
 pub type VarId = u32;
 
-/// A reference to a (reduced, ordered) BDD node owned by a
+/// A reference to a (reduced, ordered, complement-edged) BDD node owned by a
 /// [`crate::BddManager`].
 ///
-/// `Bdd` values are plain indices and are only meaningful together with the
-/// manager that created them.  They are cheap to copy and compare; structural
-/// equality of `Bdd` values is semantic equality of the Boolean functions they
-/// denote (canonical form).
+/// `Bdd` values are **tagged pointers**: bit 0 is the *complement flag* and
+/// the remaining bits are the index of a node in the manager's arena.  A set
+/// complement flag means "the negation of the function stored at the node",
+/// which is what makes [`crate::BddManager::not`] an O(1) bit flip — the
+/// negated function is never materialized as separate nodes.  The manager
+/// canonicalizes complements (the high/then edge of a stored node is never
+/// complemented), so structural equality of `Bdd` values is still semantic
+/// equality of the Boolean functions they denote.
+///
+/// There is a single terminal node (index 0, the constant `true`); the
+/// constant `false` is its complement.  Handles are cheap to copy and
+/// compare, and are only meaningful together with the manager that created
+/// them.
+///
+/// A handle stays valid as long as its node is alive: forever on a manager
+/// that never garbage-collects, or as long as the node is reachable from a
+/// registered root across [`crate::BddManager::gc`] calls.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The constant-false terminal.
-    pub const ZERO: Bdd = Bdd(0);
-    /// The constant-true terminal.
-    pub const ONE: Bdd = Bdd(1);
+    /// The constant-false function: the complemented terminal.
+    pub const ZERO: Bdd = Bdd(1);
+    /// The constant-true function: the (only) terminal node, uncomplemented.
+    pub const ONE: Bdd = Bdd(0);
 
     /// Returns `true` if this reference denotes the constant `false` function.
     #[inline]
@@ -37,32 +51,85 @@ impl Bdd {
         self == Self::ONE
     }
 
-    /// Returns `true` if this reference is one of the two terminals.
+    /// Returns `true` if this reference denotes a constant function (either
+    /// polarity of the terminal node).
     #[inline]
     pub fn is_terminal(self) -> bool {
         self.0 <= 1
     }
 
-    /// Raw index of the node inside its manager (stable for the manager's
-    /// lifetime).  Mostly useful for debugging and DOT export.
+    /// Returns `true` if the complement flag is set, i.e. this handle denotes
+    /// the negation of its stored node's function.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Index of the referenced node inside its manager's arena (the
+    /// complement flag stripped).  Stable for as long as the node is live;
+    /// mostly useful for debugging.
     #[inline]
     pub fn index(self) -> u32 {
-        self.0
+        self.0 >> 1
+    }
+
+    /// The same node reference with the complement flag cleared (the
+    /// "regular" polarity under which the node is stored).
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+
+    /// The same node reference with the complement flag toggled — the O(1)
+    /// negation that complement edges buy.
+    #[inline]
+    pub(crate) fn toggled(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// Toggles the complement flag iff `flip` is set (used to push a parent
+    /// handle's complement down onto its children during traversal).
+    #[inline]
+    pub(crate) fn toggled_if(self, flip: bool) -> Bdd {
+        Bdd(self.0 ^ u32::from(flip))
+    }
+}
+
+impl std::ops::Not for Bdd {
+    type Output = Bdd;
+
+    /// Logical negation as a free bit flip (same as
+    /// [`crate::BddManager::not`], which exists for API symmetry with the
+    /// other Boolean operations).
+    #[inline]
+    fn not(self) -> Bdd {
+        self.toggled()
     }
 }
 
 impl fmt::Debug for Bdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Bdd::ZERO => write!(f, "Bdd(0/FALSE)"),
-            Bdd::ONE => write!(f, "Bdd(1/TRUE)"),
-            Bdd(i) => write!(f, "Bdd({i})"),
+            Bdd::ZERO => write!(f, "Bdd(FALSE)"),
+            Bdd::ONE => write!(f, "Bdd(TRUE)"),
+            Bdd(_) => {
+                if self.is_complement() {
+                    write!(f, "Bdd(!{})", self.index())
+                } else {
+                    write!(f, "Bdd({})", self.index())
+                }
+            }
         }
     }
 }
 
 /// Internal node representation: a variable test with low (var = 0) and high
 /// (var = 1) children.
+///
+/// Canonical invariant maintained by the manager: `high` is never
+/// complemented (a would-be complemented then-edge is normalized by
+/// complementing the whole node and both children), so each Boolean function
+/// and its negation share one stored node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Node {
     pub var: VarId,
@@ -82,13 +149,35 @@ mod tests {
         assert!(Bdd::ONE.is_one());
         assert!(!Bdd::ONE.is_zero());
         assert!(!Bdd::ZERO.is_one());
-        assert!(!Bdd(5).is_terminal());
+        assert!(!Bdd(5 << 1).is_terminal());
+    }
+
+    #[test]
+    fn zero_and_one_are_complements_of_one_node() {
+        assert_eq!(!Bdd::ONE, Bdd::ZERO);
+        assert_eq!(!Bdd::ZERO, Bdd::ONE);
+        assert_eq!(Bdd::ZERO.index(), Bdd::ONE.index());
+        assert!(Bdd::ZERO.is_complement());
+        assert!(!Bdd::ONE.is_complement());
+    }
+
+    #[test]
+    fn complement_flag_round_trips() {
+        let f = Bdd(7 << 1);
+        assert!(!f.is_complement());
+        assert!((!f).is_complement());
+        assert_eq!(!!f, f);
+        assert_eq!(f.index(), (!f).index());
+        assert_eq!((!f).regular(), f);
+        assert_eq!(f.toggled_if(false), f);
+        assert_eq!(f.toggled_if(true), !f);
     }
 
     #[test]
     fn debug_formatting_names_terminals() {
         assert!(format!("{:?}", Bdd::ZERO).contains("FALSE"));
         assert!(format!("{:?}", Bdd::ONE).contains("TRUE"));
-        assert!(format!("{:?}", Bdd(7)).contains('7'));
+        assert!(format!("{:?}", Bdd(7 << 1)).contains('7'));
+        assert!(format!("{:?}", Bdd(7 << 1 | 1)).contains("!7"));
     }
 }

@@ -20,9 +20,12 @@ use msatpg_analog::filters;
 use msatpg_analog::mna::Mna;
 use msatpg_analog::response::{FrequencyResponse, SweepConfig};
 use msatpg_bdd::BddManager;
-use msatpg_bench::adder_carry_chain;
 use msatpg_bench::json::{self, Json};
-use msatpg_bench::naive::{naive_carry_chain, naive_sweep, NaiveBddManager};
+use msatpg_bench::naive::{
+    naive_carry_chain, naive_carry_chain_with_activations, naive_signal_functions, naive_sweep,
+    NaiveBddManager,
+};
+use msatpg_bench::{adder_carry_chain, adder_carry_chain_with_activations, signal_functions};
 use msatpg_digital::benchmarks;
 use msatpg_digital::fault::FaultList;
 use msatpg_digital::fault_sim::{FaultCones, FaultSimulator};
@@ -202,6 +205,126 @@ fn bench_bdd(bits: usize) -> BddReport {
     }
 }
 
+/// Memory profile of the complement-edged, garbage-collected BDD engine
+/// against the naive (no-complement, no-GC) reference on the two builds the
+/// paper's flow leans on.  All numbers are node counts — deterministic, so
+/// `--check` enforces the floors exactly (no timing tolerance needed).
+struct BddMemoryReport {
+    /// Bits of the carry-chain workload (chain + both stuck-at activation
+    /// polarities per stage line).
+    carry_bits: usize,
+    /// Peak unique-table population of the naive engine on the carry
+    /// workload.
+    carry_naive_nodes: usize,
+    /// Peak unique-table population of the complement-edged engine.
+    carry_complement_nodes: usize,
+    /// naive / complement (the acceptance floor is 1.5).
+    carry_reduction: f64,
+    /// Digital block of the Example-3 measurement.
+    example3_circuit: String,
+    /// Naive population of the Example-3 signal-function build.
+    example3_naive_nodes: usize,
+    /// Complement-edged population of the same build.
+    example3_complement_nodes: usize,
+    /// naive / complement (floor 1.5).
+    example3_reduction: f64,
+    /// Live nodes before the GC demo pass (carry workload, every handle
+    /// dropped except the final carry-out).
+    gc_live_before: usize,
+    /// Live nodes after the pass (= the protected function's size).
+    gc_live_after: usize,
+    /// Nodes swept onto the free list.
+    gc_reclaimed: usize,
+    /// Dead nodes at sweep time (`gc_live_before` minus the protected
+    /// function's reachable size) — the reclaim fraction's denominator.
+    gc_dead: usize,
+    /// reclaimed / dead (floor 0.9; mark-and-sweep reclaims 100 %).
+    gc_reclaim_fraction: f64,
+}
+
+/// Deterministic floor on the population reduction complement edges must
+/// deliver on both `bdd_memory` workloads.
+const BDD_MEMORY_REDUCTION_FLOOR: f64 = 1.5;
+/// Deterministic floor on the GC reclaim fraction after dropping all but
+/// one handle.
+const BDD_MEMORY_RECLAIM_FLOOR: f64 = 0.9;
+
+fn bench_bdd_memory(bits: usize, example3_circuit: &str) -> BddMemoryReport {
+    // Carry workload: chain + activation conditions of both polarities.
+    let mut naive = NaiveBddManager::new();
+    let _ = naive_carry_chain_with_activations(&mut naive, bits);
+    let carry_naive_nodes = naive.node_count();
+    let mut m = BddManager::new();
+    let carry = adder_carry_chain_with_activations(&mut m, bits);
+    let carry_complement_nodes = m.stats().peak_live_nodes;
+    // GC demo on the same manager: drop every handle except the final
+    // carry-out, collect, and measure the reclaim rate over the dead set.
+    let gc_live_before = m.live_node_count();
+    m.protect(carry);
+    let reachable = m.size(carry);
+    let report = m.gc();
+    let dead = gc_live_before - reachable;
+    let gc_reclaim_fraction = if dead == 0 {
+        1.0
+    } else {
+        report.reclaimed as f64 / dead as f64
+    };
+    // Example-3 workload: the constrained ATPG's symbolic netlist build
+    // (NAND/NOR-heavy, so the naive engine stores both polarities of almost
+    // every gate function).
+    let netlist = benchmarks::by_name(example3_circuit).expect("known benchmark");
+    let example3_naive_nodes = naive_signal_functions(&netlist);
+    let mut m3 = BddManager::new();
+    let _ = signal_functions(&mut m3, &netlist);
+    let example3_complement_nodes = m3.stats().peak_live_nodes;
+    BddMemoryReport {
+        carry_bits: bits,
+        carry_naive_nodes,
+        carry_complement_nodes,
+        carry_reduction: carry_naive_nodes as f64 / carry_complement_nodes as f64,
+        example3_circuit: example3_circuit.to_owned(),
+        example3_naive_nodes,
+        example3_complement_nodes,
+        example3_reduction: example3_naive_nodes as f64 / example3_complement_nodes as f64,
+        gc_live_before,
+        gc_live_after: report.live_after,
+        gc_reclaimed: report.reclaimed,
+        gc_dead: dead,
+        gc_reclaim_fraction,
+    }
+}
+
+/// The `bdd_memory` floors are exact node-count arithmetic, so they are
+/// enforced identically in record mode and under `--check`.
+fn check_bdd_memory(memory: &BddMemoryReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if memory.carry_reduction < BDD_MEMORY_REDUCTION_FLOOR {
+        violations.push(format!(
+            "bdd_memory carry-chain reduction {:.2}x < {BDD_MEMORY_REDUCTION_FLOOR}x \
+             ({} naive vs {} complement nodes)",
+            memory.carry_reduction, memory.carry_naive_nodes, memory.carry_complement_nodes
+        ));
+    }
+    if memory.example3_reduction < BDD_MEMORY_REDUCTION_FLOOR {
+        violations.push(format!(
+            "bdd_memory {} reduction {:.2}x < {BDD_MEMORY_REDUCTION_FLOOR}x \
+             ({} naive vs {} complement nodes)",
+            memory.example3_circuit,
+            memory.example3_reduction,
+            memory.example3_naive_nodes,
+            memory.example3_complement_nodes
+        ));
+    }
+    if memory.gc_reclaim_fraction < BDD_MEMORY_RECLAIM_FLOOR {
+        violations.push(format!(
+            "bdd_memory gc reclaim fraction {:.2} < {BDD_MEMORY_RECLAIM_FLOOR} \
+             ({} of {} dead nodes swept)",
+            memory.gc_reclaim_fraction, memory.gc_reclaimed, memory.gc_dead
+        ));
+    }
+    violations
+}
+
 struct AnalogReport {
     filter: String,
     unknowns: usize,
@@ -332,6 +455,7 @@ fn main() {
         .collect();
     let scaling = bench_ppsfp_scaling("c1355", 256);
     let bdd = bench_bdd(24);
+    let memory = bench_bdd_memory(24, "c432");
     let analog = bench_analog();
 
     let mut json = String::new();
@@ -390,6 +514,27 @@ fn main() {
     );
     let _ = write!(
         json,
+        "  \"bdd_memory\": {{\"carry_bits\": {}, \"carry_naive_nodes\": {}, \
+         \"carry_complement_nodes\": {}, \"carry_reduction\": {:.2}, \
+         \"example3_circuit\": \"{}\", \"example3_naive_nodes\": {}, \
+         \"example3_complement_nodes\": {}, \"example3_reduction\": {:.2}, \
+         \"gc_live_before\": {}, \"gc_live_after\": {}, \"gc_reclaimed\": {}, \
+         \"gc_reclaim_fraction\": {:.4}}},\n",
+        memory.carry_bits,
+        memory.carry_naive_nodes,
+        memory.carry_complement_nodes,
+        memory.carry_reduction,
+        memory.example3_circuit,
+        memory.example3_naive_nodes,
+        memory.example3_complement_nodes,
+        memory.example3_reduction,
+        memory.gc_live_before,
+        memory.gc_live_after,
+        memory.gc_reclaimed,
+        memory.gc_reclaim_fraction,
+    );
+    let _ = write!(
+        json,
         "  \"analog\": {{\"filter\": \"{}\", \"unknowns\": {}, \"sweep_points\": {}, \
          \"naive_seconds\": {:.6}, \"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, \
          \"naive_speedup\": {:.2}, \"warm_points_per_sec\": {:.1}}}\n",
@@ -408,7 +553,39 @@ fn main() {
         let committed = std::fs::read_to_string("BENCH_kernels.json")
             .expect("--check needs the committed BENCH_kernels.json baseline");
         let baseline = json::parse(&committed).expect("committed baseline parses");
-        let violations = check_against_baseline(&baseline, &fault_sim, &scaling, &bdd, &analog);
+        let mut violations = check_against_baseline(&baseline, &fault_sim, &scaling, &bdd, &analog);
+        // Node counts are exact and deterministic: beyond the static
+        // floors, the measured counts must equal the committed baseline —
+        // any drift means the engines (not the runner) changed, and the
+        // baseline must be consciously re-recorded.
+        violations.extend(check_bdd_memory(&memory));
+        let exact = [
+            ("carry_naive_nodes", memory.carry_naive_nodes),
+            ("carry_complement_nodes", memory.carry_complement_nodes),
+            ("example3_naive_nodes", memory.example3_naive_nodes),
+            (
+                "example3_complement_nodes",
+                memory.example3_complement_nodes,
+            ),
+            ("gc_live_before", memory.gc_live_before),
+            ("gc_live_after", memory.gc_live_after),
+            ("gc_reclaimed", memory.gc_reclaimed),
+        ];
+        for (key, measured) in exact {
+            match baseline
+                .path(&format!("bdd_memory.{key}"))
+                .and_then(Json::as_f64)
+            {
+                Some(committed) if committed == measured as f64 => {}
+                Some(committed) => violations.push(format!(
+                    "bdd_memory {key}: measured {measured} nodes != committed {committed:.0} \
+                     (node counts are deterministic; re-record the baseline if intended)"
+                )),
+                None => violations.push(format!(
+                    "bdd_memory {key}: missing from the committed baseline"
+                )),
+            }
+        }
         print!("{json}");
         if violations.is_empty() {
             eprintln!("perf check passed against the committed BENCH_kernels.json");
@@ -495,5 +672,11 @@ fn main() {
         analog.naive_speedup >= 1.0,
         "analog sweep reuse regressed vs naive: {:.2}x",
         analog.naive_speedup
+    );
+    let memory_violations = check_bdd_memory(&memory);
+    assert!(
+        memory_violations.is_empty(),
+        "bdd_memory floors violated: {}",
+        memory_violations.join("; ")
     );
 }

@@ -112,6 +112,12 @@ impl NaiveBddManager {
         id
     }
 
+    /// Logical negation (recursive — the naive engine has no complement
+    /// edges, so `!f` materializes a full second copy of the function).
+    pub fn not(&mut self, f: NaiveBdd) -> NaiveBdd {
+        self.ite(f, NAIVE_ZERO, NAIVE_ONE)
+    }
+
     /// Logical conjunction.
     pub fn and(&mut self, f: NaiveBdd, g: NaiveBdd) -> NaiveBdd {
         self.apply(NaiveOp::And, f, g)
@@ -227,6 +233,77 @@ pub fn naive_carry_chain(manager: &mut NaiveBddManager, bits: usize) -> NaiveBdd
     carry
 }
 
+/// The `bdd_memory` carry workload on the naive engine: the n-bit carry
+/// chain plus **both stuck-at activation conditions** of every stage's
+/// carry line (a fault *l* s-a-1 activates with `NOT f_l`, s-a-0 with
+/// `f_l` — exactly what BDD_FTEST materializes per fault target).  Without
+/// complement edges every negation stores a full second copy of the
+/// function.
+pub fn naive_carry_chain_with_activations(manager: &mut NaiveBddManager, bits: usize) -> NaiveBdd {
+    let mut carry = manager.zero();
+    let mut lines = Vec::with_capacity(bits);
+    for _ in 0..bits {
+        let a = manager.new_var();
+        let b = manager.new_var();
+        let ab = manager.and(a, b);
+        let axb = manager.xor(a, b);
+        let ac = manager.and(axb, carry);
+        carry = manager.or(ab, ac);
+        lines.push(carry);
+    }
+    for &line in &lines {
+        let _ = manager.not(line);
+    }
+    carry
+}
+
+/// Builds the fault-free function of every signal of `netlist` over its
+/// primary inputs on the naive engine — the `DigitalAtpg::new` workload of
+/// the Example-3 constrained runs.  The ISCAS-style benchmarks are
+/// NAND/NOR-heavy, so the naive engine materializes the negation of almost
+/// every gate output.  Returns the total node population of the build.
+pub fn naive_signal_functions(netlist: &msatpg_digital::netlist::Netlist) -> usize {
+    use msatpg_digital::gate::GateKind;
+    let mut m = NaiveBddManager::new();
+    let mut values: Vec<Option<NaiveBdd>> = vec![None; netlist.signal_count()];
+    for &pi in netlist.primary_inputs() {
+        values[pi.index()] = Some(m.new_var());
+    }
+    for gate in netlist.gates() {
+        let ins: Vec<NaiveBdd> = gate
+            .inputs
+            .iter()
+            .map(|i| values[i.index()].expect("topological order"))
+            .collect();
+        let fold_and =
+            |m: &mut NaiveBddManager| ins.iter().skip(1).fold(ins[0], |a, &b| m.and(a, b));
+        let fold_or = |m: &mut NaiveBddManager| ins.iter().skip(1).fold(ins[0], |a, &b| m.or(a, b));
+        let fold_xor =
+            |m: &mut NaiveBddManager| ins.iter().skip(1).fold(ins[0], |a, &b| m.xor(a, b));
+        let out = match gate.kind {
+            GateKind::Buf => ins[0],
+            GateKind::Not => m.not(ins[0]),
+            GateKind::And => fold_and(&mut m),
+            GateKind::Nand => {
+                let t = fold_and(&mut m);
+                m.not(t)
+            }
+            GateKind::Or => fold_or(&mut m),
+            GateKind::Nor => {
+                let t = fold_or(&mut m);
+                m.not(t)
+            }
+            GateKind::Xor => fold_xor(&mut m),
+            GateKind::Xnor => {
+                let t = fold_xor(&mut m);
+                m.not(t)
+            }
+        };
+        values[gate.output.index()] = Some(out);
+    }
+    m.node_count()
+}
+
 /// Frequency sweep that pays the full pre-overhaul cost per point: a fresh
 /// MNA engine (stamping + allocation + factorization) for every frequency.
 ///
@@ -256,15 +333,22 @@ mod tests {
     use msatpg_bdd::BddManager;
 
     #[test]
-    fn naive_and_arena_managers_agree_on_carry_chain_size() {
+    fn complement_engine_stores_fewer_nodes_than_naive() {
         let mut naive = NaiveBddManager::new();
         let naive_carry = naive_carry_chain(&mut naive, 8);
         let mut arena = BddManager::new();
-        let _ = crate::adder_carry_chain(&mut arena, 8);
-        // Both are reduced, ordered representations of the same function
-        // under the same variable order, so the reachable sizes agree.
-        assert_eq!(naive.node_count(), arena.stats().node_count);
+        let carry = crate::adder_carry_chain(&mut arena, 8);
+        // Same function under the same variable order, but the complement
+        // engine stores only one polarity of every subfunction: its total
+        // population is strictly smaller than the naive engine's.
+        assert!(
+            arena.stats().node_count < naive.node_count(),
+            "complement edges must shrink the unique table: {} vs naive {}",
+            arena.stats().node_count,
+            naive.node_count()
+        );
         assert!(naive_carry > 1);
+        assert!(!carry.is_terminal());
     }
 
     #[test]

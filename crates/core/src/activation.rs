@@ -1,6 +1,15 @@
 //! Analog fault activation: choosing the sine stimulus `(A, f)` that makes a
 //! conversion-block comparator behave differently in the fault-free and in
 //! the faulty circuit (Table 1 and §2.3 of the paper).
+//!
+//! Activation is the analog half of the mixed fault story: the composite
+//! `D`/`D̄` value a [`StimulusPlan`] places on a conversion-block output is
+//! what the symbolic half — the complement-edged OBDD engine driving
+//! [`crate::propagation`] — then pushes through the digital block.  The
+//! Table-1 rows map one-to-one onto those composite values: a fault-free
+//! `1` that turns into a faulty `0` is a `D`, the opposite flip a `D̄`
+//! (with complement edges, literally the same BDD node behind a negated
+//! edge).
 
 use std::fmt;
 

@@ -4,6 +4,15 @@
 //! can actually produce on the digital lines it drives (§2.2.1 of the
 //! paper).  Any test vector generated for the digital block must satisfy
 //! `Fc = 1`.
+//!
+//! The build is negation-heavy — every `0` bit of an allowed code becomes a
+//! complemented literal — so it benefits directly from the engine's
+//! complement edges: negative literals share the positive literal's node
+//! and each product term stores only one polarity.  `Fc` itself is
+//! long-lived (it conjoins into every per-fault test set), so
+//! [`DigitalAtpg`](crate::digital_atpg::DigitalAtpg) registers it as a GC
+//! root via [`BddManager::protect`] right after this module builds it; the
+//! intermediate product terms are swept at the next per-fault safe point.
 
 use msatpg_bdd::{Bdd, BddManager, VarId};
 use msatpg_conversion::constraints::AllowedCodes;

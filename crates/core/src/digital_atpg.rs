@@ -36,6 +36,14 @@ use crate::CoreError;
 /// The name of the auxiliary composite variable (kept last in the ordering).
 const D_VAR_NAME: &str = "__D";
 
+/// Live-node watermark above which the per-fault safe point sweeps the BDD
+/// arena.  Every fault target re-derives its faulty cone and test set from
+/// scratch, so the garbage fraction grows linearly with the fault count;
+/// the long-lived state (signal functions and `Fc`) is protected at
+/// construction and survives every collection, which makes the sweep
+/// invisible in the generated vectors.
+const GC_WATERMARK: usize = 1 << 16;
+
 /// A generated test vector: an assignment to the primary inputs, with
 /// don't-cares left open.
 #[derive(Clone, Debug, PartialEq)]
@@ -265,6 +273,12 @@ impl<'a> DigitalAtpg<'a> {
             let inputs: Vec<Bdd> = gate.inputs.iter().map(|i| signal_bdds[i.index()]).collect();
             signal_bdds[gate.output.index()] = apply_gate(&mut manager, gate.kind, &inputs);
         }
+        // The signal functions are the engine's long-lived state: register
+        // them as GC roots so the per-fault safe point in
+        // [`DigitalAtpg::generate`] can sweep everything else.
+        for &f in &signal_bdds {
+            manager.protect(f);
+        }
         let fc = manager.one();
         DigitalAtpg {
             netlist,
@@ -301,7 +315,9 @@ impl<'a> DigitalAtpg<'a> {
                 });
             }
         }
+        self.manager.unprotect(self.fc);
         self.fc = constraint_bdd(&mut self.manager, self.netlist, lines, codes);
+        self.manager.protect(self.fc);
         self.constrained = !codes.is_unconstrained();
         self.constraint_spec = Some((lines.to_vec(), codes.clone()));
         Ok(self)
@@ -342,6 +358,11 @@ impl<'a> DigitalAtpg<'a> {
     /// Generates a test for one fault, ignoring previously generated
     /// vectors.
     pub fn generate(&mut self, fault: StuckAtFault) -> TestOutcome {
+        // Safe point: no transient handle from a previous target is live
+        // here, so everything outside the protected signal functions and
+        // `Fc` is garbage.  The sweep never renumbers live nodes, so the
+        // generated vectors are byte-identical with or without it.
+        self.manager.gc_if_above(GC_WATERMARK);
         // 1. Activation: the line must carry the value opposite to the stuck
         //    value in the fault-free circuit.
         let line_fn = self.signal_bdds[fault.signal.index()];
@@ -581,7 +602,11 @@ impl<'a> DigitalAtpg<'a> {
     }
 }
 
-fn apply_gate(manager: &mut BddManager, kind: GateKind, inputs: &[Bdd]) -> Bdd {
+/// Lowers one gate onto the OBDD manager: the single definition of how a
+/// [`GateKind`] becomes Boolean operations, shared by the test generator,
+/// the propagation engine and the `bdd_memory` benchmark (which must
+/// measure exactly the build the ATPG performs).
+pub fn apply_gate(manager: &mut BddManager, kind: GateKind, inputs: &[Bdd]) -> Bdd {
     match kind {
         GateKind::Buf => inputs[0],
         GateKind::Not => manager.not(inputs[0]),
@@ -841,6 +866,45 @@ mod tests {
             "one worker set for the whole pipelined run, not one per chunk"
         );
         assert_eq!(stats.barriers, n_rounds, "one barrier per pipeline round");
+    }
+
+    #[test]
+    fn gc_between_targets_never_changes_outcomes() {
+        // Force a full collection after every fault target on one engine
+        // and none on the other: the per-fault outcomes (vectors, observed
+        // outputs, untestability) must be byte-identical, because the sweep
+        // never touches the protected signal functions or `Fc` and never
+        // renumbers live nodes.
+        let circuit = circuits::figure3_circuit();
+        let l0 = circuit.find_signal("l0").unwrap();
+        let l2 = circuit.find_signal("l2").unwrap();
+        let faults = FaultList::all(&circuit);
+        let mut collected = DigitalAtpg::new(&circuit)
+            .with_constraints(&[l0, l2], &example2_constraint())
+            .unwrap();
+        let mut plain = DigitalAtpg::new(&circuit)
+            .with_constraints(&[l0, l2], &example2_constraint())
+            .unwrap();
+        for &fault in faults.faults() {
+            let report = collected.manager.gc();
+            assert_eq!(
+                report.live_after,
+                collected.manager.live_node_count(),
+                "gc accounting is coherent"
+            );
+            assert_eq!(collected.generate(fault), plain.generate(fault), "{fault}");
+        }
+        assert!(
+            collected.manager.stats().gc_runs >= faults.len() as u64,
+            "one forced collection per target"
+        );
+        assert_eq!(plain.manager.stats().gc_runs, 0);
+        // The collected engine's arena is bounded by its live state; the
+        // plain engine accumulated every transient test set.
+        assert!(
+            collected.manager.stats().node_count <= plain.manager.stats().node_count,
+            "collection cannot leave more nodes live"
+        );
     }
 
     #[test]

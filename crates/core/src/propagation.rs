@@ -11,16 +11,22 @@
 
 use std::collections::HashMap;
 
-use msatpg_bdd::{Bdd, BddManager, Cube};
+use msatpg_bdd::{Bdd, BddManager, Cube, VarId};
 use msatpg_digital::logic::Logic;
 use msatpg_digital::netlist::{Netlist, SignalId};
 use msatpg_digital::sim::CompositeSimulator;
-use msatpg_digital::GateKind;
 
+use crate::digital_atpg::apply_gate;
 use crate::CoreError;
 
 /// The name of the composite variable (kept last in the ordering).
 const D_VAR_NAME: &str = "__D";
+
+/// Live-node watermark above which the engine sweeps the per-call manager
+/// once the output functions are built: every interior signal function is
+/// garbage at that point, only the primary-output BDDs (registered as GC
+/// roots) carry forward into the Boolean-difference search.
+const GC_WATERMARK: usize = 1 << 12;
 
 /// The result of a successful propagation search.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +73,33 @@ impl<'a> PropagationEngine<'a> {
         composite_line: SignalId,
         composite: Logic,
     ) -> Result<Option<PropagationResult>, CoreError> {
+        let (mut manager, outputs, d_var) =
+            self.build_output_functions(fixed, composite_line, composite)?;
+        for (po_index, &f) in outputs.iter().enumerate() {
+            // The fault is observable at this output iff the output depends
+            // on D for some external-input assignment.
+            let diff = manager.boolean_difference(f, d_var);
+            if diff.is_zero() {
+                continue;
+            }
+            let cube = manager.sat_one(diff).expect("non-zero BDD is satisfiable");
+            let result =
+                self.result_from_cube(&manager, &cube, po_index, fixed, composite_line, composite)?;
+            return Ok(Some(result));
+        }
+        Ok(None)
+    }
+
+    /// Builds the OBDDs of every primary output over the external inputs
+    /// plus the composite variable `D` (declared last), registers them as
+    /// GC roots and sweeps the interior signal functions the build left
+    /// behind.  Shared by the single-output and the all-outputs searches.
+    fn build_output_functions(
+        &self,
+        fixed: &HashMap<SignalId, bool>,
+        composite_line: SignalId,
+        composite: Logic,
+    ) -> Result<(BddManager, Vec<Bdd>, VarId), CoreError> {
         if !composite.is_fault_effect() {
             return Err(CoreError::Propagation {
                 reason: format!("composite value must be D or D', got {composite}"),
@@ -89,6 +122,7 @@ impl<'a> PropagationEngine<'a> {
         let d_var = manager.var_id(D_VAR_NAME);
         // The composite line is represented by the variable D for `D` and by
         // ¬D for `D̄`, so that D = 1 always means "the good-circuit value".
+        // With complement edges the negation shares the literal's node.
         let d_literal = manager.literal(d_var, true);
         values[composite_line.index()] = Some(match composite {
             Logic::D => d_literal,
@@ -105,20 +139,19 @@ impl<'a> PropagationEngine<'a> {
                 values[gate.output.index()] = Some(out);
             }
         }
-        for (po_index, &po) in self.netlist.primary_outputs().iter().enumerate() {
-            let f = values[po.index()].expect("all signals computed");
-            // The fault is observable at this output iff the output depends
-            // on D for some external-input assignment.
-            let diff = manager.boolean_difference(f, d_var);
-            if diff.is_zero() {
-                continue;
-            }
-            let cube = manager.sat_one(diff).expect("non-zero BDD is satisfiable");
-            let result =
-                self.result_from_cube(&manager, &cube, po_index, fixed, composite_line, composite)?;
-            return Ok(Some(result));
+        let outputs: Vec<Bdd> = self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| values[po.index()].expect("all signals computed"))
+            .collect();
+        // Only the output functions carry forward; reclaim the interior of
+        // the netlist build before the Boolean-difference search fans out.
+        for &f in &outputs {
+            manager.protect(f);
         }
-        Ok(None)
+        manager.gc_if_above(GC_WATERMARK);
+        Ok((manager, outputs, d_var))
     }
 
     /// Lists, for each primary output, whether the composite value can be
@@ -162,44 +195,10 @@ impl<'a> PropagationEngine<'a> {
         composite_line: SignalId,
         composite: Logic,
     ) -> Result<Vec<PropagationResult>, CoreError> {
+        let (mut manager, outputs, d_var) =
+            self.build_output_functions(fixed, composite_line, composite)?;
         let mut results = Vec::new();
-        if !composite.is_fault_effect() {
-            return Err(CoreError::Propagation {
-                reason: format!("composite value must be D or D', got {composite}"),
-            });
-        }
-        let mut manager = BddManager::new();
-        let mut values: Vec<Option<Bdd>> = vec![None; self.netlist.signal_count()];
-        for &pi in self.netlist.primary_inputs() {
-            if pi == composite_line {
-                continue;
-            }
-            if let Some(&v) = fixed.get(&pi) {
-                values[pi.index()] = Some(manager.constant(v));
-            } else {
-                let literal = manager.var(self.netlist.signal_name(pi));
-                values[pi.index()] = Some(literal);
-            }
-        }
-        let d_var = manager.var_id(D_VAR_NAME);
-        let d_literal = manager.literal(d_var, true);
-        values[composite_line.index()] = Some(match composite {
-            Logic::D => d_literal,
-            _ => manager.not(d_literal),
-        });
-        for gate in self.netlist.gates() {
-            let inputs: Vec<Bdd> = gate
-                .inputs
-                .iter()
-                .map(|i| values[i.index()].expect("topological order guarantees availability"))
-                .collect();
-            let out = apply_gate(&mut manager, gate.kind, &inputs);
-            if values[gate.output.index()].is_none() {
-                values[gate.output.index()] = Some(out);
-            }
-        }
-        for (po_index, &po) in self.netlist.primary_outputs().iter().enumerate() {
-            let f = values[po.index()].expect("all signals computed");
+        for (po_index, &f) in outputs.iter().enumerate() {
             let diff = manager.boolean_difference(f, d_var);
             if diff.is_zero() {
                 continue;
@@ -278,34 +277,6 @@ impl<'a> PropagationEngine<'a> {
             external_assignment,
             observed_value,
         })
-    }
-}
-
-fn apply_gate(manager: &mut BddManager, kind: GateKind, inputs: &[Bdd]) -> Bdd {
-    match kind {
-        GateKind::Buf => inputs[0],
-        GateKind::Not => manager.not(inputs[0]),
-        GateKind::And => manager.and_all(inputs.iter().copied()),
-        GateKind::Nand => {
-            let a = manager.and_all(inputs.iter().copied());
-            manager.not(a)
-        }
-        GateKind::Or => manager.or_all(inputs.iter().copied()),
-        GateKind::Nor => {
-            let o = manager.or_all(inputs.iter().copied());
-            manager.not(o)
-        }
-        GateKind::Xor => inputs
-            .iter()
-            .skip(1)
-            .fold(inputs[0], |acc, &b| manager.xor(acc, b)),
-        GateKind::Xnor => {
-            let x = inputs
-                .iter()
-                .skip(1)
-                .fold(inputs[0], |acc, &b| manager.xor(acc, b));
-            manager.not(x)
-        }
     }
 }
 

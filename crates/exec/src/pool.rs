@@ -81,6 +81,22 @@ pub struct PoolStats {
 /// session lifecycle.  One pool can be threaded through every stage of a
 /// larger flow (the mixed-signal ATPG passes a single pool to the digital,
 /// analog and conversion stages) so the stats describe the whole run.
+///
+/// # Example
+///
+/// ```
+/// use msatpg_exec::{ExecPolicy, WorkerPool};
+///
+/// let pool = WorkerPool::new(ExecPolicy::Threads(2));
+/// let sums = pool.run_chunks(
+///     &[1u32, 2, 3, 4],
+///     2,                                  // items per chunk
+///     || (),                              // per-worker scratch
+///     |(), _chunk, _offset, items| items.iter().sum::<u32>(),
+/// );
+/// assert_eq!(sums, vec![3, 7]);           // chunk order, not completion order
+/// assert_eq!(pool.stats().spawns, 2);     // one worker set for the session
+/// ```
 pub struct WorkerPool {
     policy: ExecPolicy,
     spawns: AtomicU64,

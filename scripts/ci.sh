@@ -14,6 +14,9 @@ cargo test -q
 echo "==> fmt check"
 cargo fmt --all --check
 
+echo "==> docs (rustdoc, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
 echo "==> determinism matrix (proptest suite at MSATPG_THREADS=1/2/8)"
 for threads in 1 2 8; do
     echo "    MSATPG_THREADS=${threads}"
