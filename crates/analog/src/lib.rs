@@ -94,6 +94,9 @@ pub enum AnalogError {
         /// Description of the feature that was searched for.
         what: String,
     },
+    /// A cooperative [`msatpg_exec::CancelToken`] fired while a sweep was in
+    /// progress; the partial work was discarded.
+    Cancelled,
 }
 
 impl fmt::Display for AnalogError {
@@ -108,6 +111,7 @@ impl fmt::Display for AnalogError {
             AnalogError::ParameterNotFound { what } => {
                 write!(f, "response feature not found in sweep range: {what}")
             }
+            AnalogError::Cancelled => write!(f, "analog sweep cancelled"),
         }
     }
 }

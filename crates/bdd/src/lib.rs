@@ -45,6 +45,22 @@
 //! edges change the constants (and `not` to O(1)), not the asymptotics —
 //! see `BENCH_kernels.json` and the `bdd_ops` bench.
 //!
+//! # Resource governance
+//!
+//! Symbolic blow-up is survivable: a [`BddBudget`] caps the live node
+//! count and/or the number of apply steps, and an external
+//! `CancelToken` (from `msatpg-exec`, attached via
+//! [`BddManager::set_cancel_token`]) imposes deadlines and shared step
+//! quotas.  The fallible `try_*` operation variants ([`BddManager::try_and`],
+//! [`BddManager::try_ite`], …) return a structured [`BddError`] —
+//! `NodeBudgetExceeded`, `StepBudgetExceeded` or `Cancelled`, each carrying
+//! the limit and the observed value — instead of panicking or growing
+//! without bound.  The manager stays fully usable after any such error:
+//! call [`BddManager::gc`] and [`BddManager::reset_steps`] to return to the
+//! protected baseline and retry or move on.  The infallible API is
+//! unchanged for ungoverned clients ([`BddBudget::UNLIMITED`] is the
+//! default).
+//!
 //! # Example
 //!
 //! ```
@@ -76,12 +92,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod cube;
 mod dot;
 mod expr;
 mod manager;
 mod node;
 
+pub use budget::{BddBudget, BddError};
 pub use cube::{Assignment, Cube, CubeIter};
 pub use dot::{to_dot, to_text_tree};
 pub use expr::Expr;

@@ -53,6 +53,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use msatpg_exec::CancelToken;
+
+use crate::budget::{BddBudget, BddError};
 use crate::cube::{Assignment, Cube, CubeIter};
 use crate::node::{Bdd, Node, VarId};
 
@@ -67,6 +70,15 @@ enum Op {
     Xor,
 }
 
+/// How [`BddManager::cofactor_combine`] merges the two cofactors (the shared
+/// body of `forall` / `exists` / `boolean_difference`).
+#[derive(Clone, Copy)]
+enum CofactorOp {
+    And,
+    Or,
+    Xor,
+}
+
 /// log2 of the number of slots in the apply cache.
 const APPLY_CACHE_BITS: usize = 14;
 /// log2 of the number of slots in the ITE cache.
@@ -75,6 +87,9 @@ const ITE_CACHE_BITS: usize = 14;
 const UNIQUE_INITIAL_SLOTS: usize = 1 << 10;
 /// Sentinel marking an empty cache slot / unique-table slot.
 const EMPTY: u32 = u32::MAX;
+/// How many recursion steps pass between polls of an armed
+/// [`CancelToken`] (amortizes the atomic load / deadline clock read).
+const CANCEL_POLL_INTERVAL: u64 = 256;
 /// `Node::var` sentinel of a swept (free-listed) arena slot.
 const FREED: VarId = VarId::MAX - 1;
 
@@ -90,6 +105,22 @@ fn fnv_mix(words: [u32; 3]) -> u64 {
     h ^= h >> 29;
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h ^ (h >> 32)
+}
+
+/// Unwraps a fallible-operation result on behalf of the infallible wrapper
+/// APIs.  With no budget and no cancel token armed the error is impossible;
+/// with one armed, calling an infallible operation is a contract violation
+/// (the caller opted into resource governance but ignored the fallible
+/// API), reported as a panic at the caller's site.
+#[track_caller]
+fn expect_ok(result: Result<Bdd, BddError>) -> Bdd {
+    match result {
+        Ok(f) => f,
+        Err(err) => panic!(
+            "infallible BDD operation interrupted: {err}; \
+             use the try_* APIs when a budget or cancel token is armed"
+        ),
+    }
 }
 
 /// Hit/miss counters of one memoization cache.
@@ -348,6 +379,13 @@ pub struct BddManager {
     pins: Vec<Bdd>,
     /// Live-node watermark that arms collection at operation entry.
     auto_gc_watermark: Option<usize>,
+    /// Resource quotas enforced by the fallible (`try_*`) operations.
+    budget: BddBudget,
+    /// Recursion steps counted since the last [`BddManager::reset_steps`].
+    steps_used: u64,
+    /// Cooperative cancellation signal polled at operation entry and every
+    /// [`CANCEL_POLL_INTERVAL`] recursion steps.
+    cancel: Option<CancelToken>,
     peak_live: usize,
     created: u64,
     gc_runs: u64,
@@ -393,6 +431,9 @@ impl BddManager {
             roots: HashMap::new(),
             pins: Vec::new(),
             auto_gc_watermark: None,
+            budget: BddBudget::UNLIMITED,
+            steps_used: 0,
+            cancel: None,
             peak_live: 0,
             created: 0,
             gc_runs: 0,
@@ -530,6 +571,79 @@ impl BddManager {
     /// The currently armed auto-GC watermark, if any.
     pub fn auto_gc(&self) -> Option<usize> {
         self.auto_gc_watermark
+    }
+
+    // ------------------------------------------------------------------
+    // Resource governance: budgets and cancellation
+    // ------------------------------------------------------------------
+
+    /// Arms (or, with [`BddBudget::UNLIMITED`], disarms) resource quotas for
+    /// the fallible `try_*` operations and resets the step counter.
+    ///
+    /// With a node quota armed, arm [`BddManager::set_auto_gc`] with a
+    /// watermark at or below the quota so dead nodes are collected at
+    /// operation entry before the quota can fire (see [`crate::budget`]).
+    /// While any quota (or a cancel token) is armed, use the `try_*`
+    /// operations: the infallible ones panic when interrupted.
+    pub fn set_budget(&mut self, budget: BddBudget) {
+        self.budget = budget;
+        self.steps_used = 0;
+    }
+
+    /// The currently armed budget.
+    pub fn budget(&self) -> BddBudget {
+        self.budget
+    }
+
+    /// Recursion steps consumed since the last [`BddManager::reset_steps`]
+    /// (or [`BddManager::set_budget`]).
+    pub fn steps_used(&self) -> u64 {
+        self.steps_used
+    }
+
+    /// Resets the recursion-step counter, re-opening the full
+    /// [`BddBudget::max_steps`] quota — the per-fault-target reset point of
+    /// the ATPG drivers.
+    pub fn reset_steps(&mut self) {
+        self.steps_used = 0;
+    }
+
+    /// Arms (or disarms) a cooperative [`CancelToken`]: fallible operations
+    /// poll it at entry and every `CANCEL_POLL_INTERVAL` (256) recursion steps,
+    /// returning [`BddError::Cancelled`] once it has fired.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The currently armed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Per-recursion-step bookkeeping of the fallible operations: counts the
+    /// step against [`BddBudget::max_steps`] and periodically polls the
+    /// cancel token.
+    #[inline]
+    fn step(&mut self) -> Result<(), BddError> {
+        self.steps_used += 1;
+        if let Some(limit) = self.budget.max_steps {
+            if self.steps_used > limit {
+                return Err(BddError::StepBudgetExceeded { limit });
+            }
+        }
+        if self.cancel.is_some() && self.steps_used % CANCEL_POLL_INTERVAL == 0 {
+            self.poll_cancel()?;
+        }
+        Ok(())
+    }
+
+    /// Operation-entry poll of the armed cancel token.
+    #[inline]
+    fn poll_cancel(&self) -> Result<(), BddError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(BddError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// Runs [`BddManager::gc`] only if the live-node count is at or above
@@ -697,7 +811,10 @@ impl BddManager {
             (var as usize) < self.names.len(),
             "literal of undeclared variable {var}"
         );
-        let positive_literal = self.mk_node(var, Bdd::ZERO, Bdd::ONE);
+        // One hash-consed node per variable: charge it against the node
+        // quota like any other allocation, but stay infallible (a budget
+        // too small for the variables themselves is a configuration bug).
+        let positive_literal = expect_ok(self.mk_node(var, Bdd::ZERO, Bdd::ONE));
         if positive {
             positive_literal
         } else {
@@ -748,24 +865,32 @@ impl BddManager {
         (node.low.toggled_if(flip), node.high.toggled_if(flip))
     }
 
-    fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
+    fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Result<Bdd, BddError> {
         if low == high {
-            return low;
+            return Ok(low);
         }
         // Canonical complement form: the high edge is never complemented.
         // A would-be complemented then-edge stores the negated node instead
         // and returns its complement, so f and !f share one arena slot.
         if high.is_complement() {
-            return !self.mk_raw(var, !low, !high);
+            return Ok(!self.mk_raw(var, !low, !high)?);
         }
         self.mk_raw(var, low, high)
     }
 
-    fn mk_raw(&mut self, var: VarId, low: Bdd, high: Bdd) -> Bdd {
+    fn mk_raw(&mut self, var: VarId, low: Bdd, high: Bdd) -> Result<Bdd, BddError> {
         debug_assert!(!high.is_complement(), "canonical high edge is regular");
         match self.unique.probe(&self.nodes, var, low, high) {
-            Ok(idx) => Bdd(idx << 1),
+            Ok(idx) => Ok(Bdd(idx << 1)),
             Err(slot) => {
+                // The node-allocation point is where the node quota is
+                // enforced: hash-consed hits above never grow the
+                // population, so they stay infallible.
+                if let Some(limit) = self.budget.max_live_nodes {
+                    if self.live_node_count() >= limit {
+                        return Err(BddError::NodeBudgetExceeded { limit });
+                    }
+                }
                 let node = Node { var, low, high };
                 let idx = match self.free.pop() {
                     Some(idx) => {
@@ -782,7 +907,7 @@ impl BddManager {
                 self.unique.insert(&self.nodes, slot, idx);
                 self.created += 1;
                 self.peak_live = self.peak_live.max(self.live_node_count());
-                Bdd(idx << 1)
+                Ok(Bdd(idx << 1))
             }
         }
     }
@@ -799,7 +924,18 @@ impl BddManager {
     }
 
     /// Logical conjunction `f AND g`.
+    ///
+    /// Infallible wrapper over [`BddManager::try_and`]; panics if a budget
+    /// or cancel token interrupts the operation.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        expect_ok(self.try_and(f, g))
+    }
+
+    /// Fallible conjunction: `Err` when the armed [`BddBudget`] or
+    /// [`CancelToken`] interrupts the operation (the partial build is
+    /// abandoned; manager and operands stay valid).
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        self.poll_cancel()?;
         let mark = self.pin_mark();
         self.pin(f);
         self.pin(g);
@@ -815,8 +951,22 @@ impl BddManager {
         !self.and(!f, !g)
     }
 
+    /// Fallible disjunction (see [`BddManager::try_and`]).
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        Ok(!self.try_and(!f, !g)?)
+    }
+
     /// Exclusive or `f XOR g`.
+    ///
+    /// Infallible wrapper over [`BddManager::try_xor`]; panics if a budget
+    /// or cancel token interrupts the operation.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        expect_ok(self.try_xor(f, g))
+    }
+
+    /// Fallible exclusive or (see [`BddManager::try_and`]).
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        self.poll_cancel()?;
         let mark = self.pin_mark();
         self.pin(f);
         self.pin(g);
@@ -831,9 +981,19 @@ impl BddManager {
         !self.and(f, g)
     }
 
+    /// Fallible NAND (see [`BddManager::try_and`]).
+    pub fn try_nand(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        Ok(!self.try_and(f, g)?)
+    }
+
     /// `NOT (f OR g)`.
     pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
         self.and(!f, !g)
+    }
+
+    /// Fallible NOR (see [`BddManager::try_and`]).
+    pub fn try_nor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        self.try_and(!f, !g)
     }
 
     /// `NOT (f XOR g)` (logical equivalence).
@@ -841,25 +1001,41 @@ impl BddManager {
         !self.xor(f, g)
     }
 
+    /// Fallible XNOR (see [`BddManager::try_and`]).
+    pub fn try_xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        Ok(!self.try_xor(f, g)?)
+    }
+
     /// Logical implication `f -> g`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
         !self.and(f, !g)
     }
 
+    /// Fallible implication (see [`BddManager::try_and`]).
+    pub fn try_implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        Ok(!self.try_and(f, !g)?)
+    }
+
     /// Conjunction of an iterator of functions (`one()` for an empty input).
     pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        expect_ok(self.try_and_all(fs))
+    }
+
+    /// Fallible conjunction of an iterator of functions (see
+    /// [`BddManager::try_and`]).
+    pub fn try_and_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Result<Bdd, BddError> {
         // Fast path: with auto-GC disarmed no collection can fire mid-fold,
         // so stream the iterator without buffering or pinning (this is the
         // per-gate hot loop of the symbolic netlist builds).
         if self.auto_gc_watermark.is_none() {
             let mut acc = Bdd::ONE;
             for f in fs {
-                acc = self.and(acc, f);
+                acc = self.try_and(acc, f)?;
                 if acc.is_zero() {
                     break;
                 }
             }
-            return acc;
+            return Ok(acc);
         }
         let mark = self.pin_mark();
         let items: Vec<Bdd> = fs.into_iter().collect();
@@ -867,27 +1043,43 @@ impl BddManager {
             self.pin(f);
         }
         let mut acc = Bdd::ONE;
+        let mut interrupted = None;
         for f in items {
-            acc = self.and(acc, f);
+            match self.try_and(acc, f) {
+                Ok(next) => acc = next,
+                Err(err) => {
+                    interrupted = Some(err);
+                    break;
+                }
+            }
             if acc.is_zero() {
                 break;
             }
         }
         self.unpin_to(mark);
-        acc
+        match interrupted {
+            Some(err) => Err(err),
+            None => Ok(acc),
+        }
     }
 
     /// Disjunction of an iterator of functions (`zero()` for an empty input).
     pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Bdd {
+        expect_ok(self.try_or_all(fs))
+    }
+
+    /// Fallible disjunction of an iterator of functions (see
+    /// [`BddManager::try_and`]).
+    pub fn try_or_all<I: IntoIterator<Item = Bdd>>(&mut self, fs: I) -> Result<Bdd, BddError> {
         if self.auto_gc_watermark.is_none() {
             let mut acc = Bdd::ZERO;
             for f in fs {
-                acc = self.or(acc, f);
+                acc = self.try_or(acc, f)?;
                 if acc.is_one() {
                     break;
                 }
             }
-            return acc;
+            return Ok(acc);
         }
         let mark = self.pin_mark();
         let items: Vec<Bdd> = fs.into_iter().collect();
@@ -895,18 +1087,37 @@ impl BddManager {
             self.pin(f);
         }
         let mut acc = Bdd::ZERO;
+        let mut interrupted = None;
         for f in items {
-            acc = self.or(acc, f);
+            match self.try_or(acc, f) {
+                Ok(next) => acc = next,
+                Err(err) => {
+                    interrupted = Some(err);
+                    break;
+                }
+            }
             if acc.is_one() {
                 break;
             }
         }
         self.unpin_to(mark);
-        acc
+        match interrupted {
+            Some(err) => Err(err),
+            None => Ok(acc),
+        }
     }
 
     /// If-then-else: `(f AND g) OR (NOT f AND h)`.
+    ///
+    /// Infallible wrapper over [`BddManager::try_ite`]; panics if a budget
+    /// or cancel token interrupts the operation.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        expect_ok(self.try_ite(f, g, h))
+    }
+
+    /// Fallible if-then-else (see [`BddManager::try_and`]).
+    pub fn try_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
+        self.poll_cancel()?;
         let mark = self.pin_mark();
         self.pin(f);
         self.pin(g);
@@ -917,18 +1128,19 @@ impl BddManager {
         result
     }
 
-    fn and_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    fn and_rec(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         // Terminal short-circuits, including the complement-edge rule
         // f AND !f = 0 that needs no recursion at all.
         if f.is_zero() || g.is_zero() || f == !g {
-            return Bdd::ZERO;
+            return Ok(Bdd::ZERO);
         }
         if f.is_one() || f == g {
-            return g;
+            return Ok(g);
         }
         if g.is_one() {
-            return f;
+            return Ok(f);
         }
+        self.step()?;
         // Commutative: normalize operand order for better cache hit rate.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let op_code = Op::And as u8;
@@ -938,14 +1150,14 @@ impl BddManager {
         let entry = self.apply_cache[slot];
         if entry.f == f.0 && entry.g == g.0 && entry.op == op_code {
             self.apply_stats.hits += 1;
-            return Bdd(entry.result);
+            return Ok(Bdd(entry.result));
         }
         let top = self.root_var(f).min(self.root_var(g));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
-        let low = self.and_rec(f0, g0);
-        let high = self.and_rec(f1, g1);
-        let result = self.mk_node(top, low, high);
+        let low = self.and_rec(f0, g0)?;
+        let high = self.and_rec(f1, g1)?;
+        let result = self.mk_node(top, low, high)?;
         // Direct-mapped and lossy: colliding keys overwrite each other.
         self.apply_cache[slot] = ApplyEntry {
             f: f.0,
@@ -953,28 +1165,29 @@ impl BddManager {
             op: op_code,
             result: result.0,
         };
-        result
+        Ok(result)
     }
 
-    fn xor_rec(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    fn xor_rec(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
         if f == g {
-            return Bdd::ZERO;
+            return Ok(Bdd::ZERO);
         }
         if f == !g {
-            return Bdd::ONE;
+            return Ok(Bdd::ONE);
         }
         if f.is_zero() {
-            return g;
+            return Ok(g);
         }
         if f.is_one() {
-            return !g;
+            return Ok(!g);
         }
         if g.is_zero() {
-            return f;
+            return Ok(f);
         }
         if g.is_one() {
-            return !f;
+            return Ok(!f);
         }
+        self.step()?;
         // XOR ignores complements up to output parity: strip both flags so
         // all four polarities of a pair share one cache entry.
         let parity = f.is_complement() != g.is_complement();
@@ -987,33 +1200,33 @@ impl BddManager {
         let entry = self.apply_cache[slot];
         if entry.f == f.0 && entry.g == g.0 && entry.op == op_code {
             self.apply_stats.hits += 1;
-            return Bdd(entry.result).toggled_if(parity);
+            return Ok(Bdd(entry.result).toggled_if(parity));
         }
         let top = self.root_var(f).min(self.root_var(g));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
-        let low = self.xor_rec(f0, g0);
-        let high = self.xor_rec(f1, g1);
-        let result = self.mk_node(top, low, high);
+        let low = self.xor_rec(f0, g0)?;
+        let high = self.xor_rec(f1, g1)?;
+        let result = self.mk_node(top, low, high)?;
         self.apply_cache[slot] = ApplyEntry {
             f: f.0,
             g: g.0,
             op: op_code,
             result: result.0,
         };
-        result.toggled_if(parity)
+        Ok(result.toggled_if(parity))
     }
 
-    fn ite_rec(&mut self, f: Bdd, mut g: Bdd, mut h: Bdd) -> Bdd {
+    fn ite_rec(&mut self, f: Bdd, mut g: Bdd, mut h: Bdd) -> Result<Bdd, BddError> {
         // Terminal cases.
         if f.is_one() {
-            return g;
+            return Ok(g);
         }
         if f.is_zero() {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         // Operand coincidences reduce the triple to a binary operation that
         // shares the apply cache.
@@ -1028,16 +1241,16 @@ impl BddManager {
             h = Bdd::ONE;
         }
         if g.is_one() && h.is_zero() {
-            return f;
+            return Ok(f);
         }
         if g.is_zero() && h.is_one() {
-            return !f;
+            return Ok(!f);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g.is_one() {
-            return !self.and_rec(!f, !h); // f OR h
+            return Ok(!self.and_rec(!f, !h)?); // f OR h
         }
         if g.is_zero() {
             return self.and_rec(!f, h);
@@ -1046,8 +1259,9 @@ impl BddManager {
             return self.and_rec(f, g);
         }
         if h.is_one() {
-            return !self.and_rec(f, !g); // !f OR g
+            return Ok(!self.and_rec(f, !g)?); // !f OR g
         }
+        self.step()?;
         // Complement normalization for the cache: the condition and the
         // then-branch are stored regular, the result carries the parity.
         let (mut f, mut g, mut h) = (f, g, h);
@@ -1065,15 +1279,15 @@ impl BddManager {
         let entry = self.ite_cache[slot];
         if entry.f == f.0 && entry.g == g.0 && entry.h == h.0 {
             self.ite_stats.hits += 1;
-            return Bdd(entry.result).toggled_if(flip);
+            return Ok(Bdd(entry.result).toggled_if(flip));
         }
         let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
-        let low = self.ite_rec(f0, g0, h0);
-        let high = self.ite_rec(f1, g1, h1);
-        let result = self.mk_node(top, low, high);
+        let low = self.ite_rec(f0, g0, h0)?;
+        let high = self.ite_rec(f1, g1, h1)?;
+        let result = self.mk_node(top, low, high)?;
         // Direct-mapped and lossy: colliding keys overwrite each other.
         self.ite_cache[slot] = IteEntry {
             f: f.0,
@@ -1081,7 +1295,7 @@ impl BddManager {
             h: h.0,
             result: result.0,
         };
-        result.toggled_if(flip)
+        Ok(result.toggled_if(flip))
     }
 
     fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
@@ -1098,6 +1312,12 @@ impl BddManager {
 
     /// Restriction (cofactor) of `f` with variable `var` fixed to `value`.
     pub fn restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+        expect_ok(self.try_restrict(f, var, value))
+    }
+
+    /// Fallible restriction (see [`BddManager::try_and`]).
+    pub fn try_restrict(&mut self, f: Bdd, var: VarId, value: bool) -> Result<Bdd, BddError> {
+        self.poll_cancel()?;
         let mark = self.pin_mark();
         self.pin(f);
         self.checkpoint();
@@ -1106,80 +1326,106 @@ impl BddManager {
         result
     }
 
-    fn restrict_rec(&mut self, f: Bdd, var: VarId, value: bool) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, var: VarId, value: bool) -> Result<Bdd, BddError> {
         if f.is_terminal() {
-            return f;
+            return Ok(f);
         }
         let node_var = self.nodes[f.index() as usize].var;
         if node_var > var {
-            return f;
+            return Ok(f);
         }
         let (low, high) = self.children(f);
         if node_var == var {
-            return if value { high } else { low };
+            return Ok(if value { high } else { low });
         }
-        let low = self.restrict_rec(low, var, value);
-        let high = self.restrict_rec(high, var, value);
+        self.step()?;
+        let low = self.restrict_rec(low, var, value)?;
+        let high = self.restrict_rec(high, var, value)?;
         self.mk_node(node_var, low, high)
     }
 
     /// Restriction of `f` under a partial assignment.
     pub fn restrict_all(&mut self, f: Bdd, assignment: &Assignment) -> Bdd {
+        expect_ok(self.try_restrict_all(f, assignment))
+    }
+
+    /// Fallible restriction under a partial assignment (see
+    /// [`BddManager::try_and`]).
+    pub fn try_restrict_all(&mut self, f: Bdd, assignment: &Assignment) -> Result<Bdd, BddError> {
         let mut acc = f;
         for (var, value) in assignment.iter() {
-            acc = self.restrict(acc, var, value);
+            acc = self.try_restrict(acc, var, value)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Functional composition: substitute function `g` for variable `var` in
     /// `f`, i.e. `f[var := g]`.
     pub fn compose(&mut self, f: Bdd, var: VarId, g: Bdd) -> Bdd {
+        expect_ok(self.try_compose(f, var, g))
+    }
+
+    /// Fallible composition (see [`BddManager::try_and`]).
+    pub fn try_compose(&mut self, f: Bdd, var: VarId, g: Bdd) -> Result<Bdd, BddError> {
         let mark = self.pin_mark();
         self.pin(f);
         self.pin(g);
-        let f1 = self.restrict(f, var, true);
-        self.pin(f1);
-        let f0 = self.restrict(f, var, false);
-        self.pin(f0);
-        let result = self.ite(g, f1, f0);
+        let result = self.compose_pinned(f, var, g);
         self.unpin_to(mark);
         result
     }
 
+    /// Body of [`BddManager::try_compose`] with operands already pinned, so
+    /// `?` can return early while the caller still unpins.
+    fn compose_pinned(&mut self, f: Bdd, var: VarId, g: Bdd) -> Result<Bdd, BddError> {
+        let f1 = self.try_restrict(f, var, true)?;
+        self.pin(f1);
+        let f0 = self.try_restrict(f, var, false)?;
+        self.pin(f0);
+        self.try_ite(g, f1, f0)
+    }
+
     /// Existential quantification over `var`: `f|var=0 OR f|var=1`.
     pub fn exists(&mut self, f: Bdd, var: VarId) -> Bdd {
+        expect_ok(self.try_exists(f, var))
+    }
+
+    /// Fallible existential quantification (see [`BddManager::try_and`]).
+    pub fn try_exists(&mut self, f: Bdd, var: VarId) -> Result<Bdd, BddError> {
         let mark = self.pin_mark();
         self.pin(f);
-        let f0 = self.restrict(f, var, false);
-        self.pin(f0);
-        let f1 = self.restrict(f, var, true);
-        self.pin(f1);
-        let result = self.or(f0, f1);
+        let result = self.cofactor_combine(f, var, CofactorOp::Or);
         self.unpin_to(mark);
         result
     }
 
     /// Universal quantification over `var`: `f|var=0 AND f|var=1`.
     pub fn forall(&mut self, f: Bdd, var: VarId) -> Bdd {
+        expect_ok(self.try_forall(f, var))
+    }
+
+    /// Fallible universal quantification (see [`BddManager::try_and`]).
+    pub fn try_forall(&mut self, f: Bdd, var: VarId) -> Result<Bdd, BddError> {
         let mark = self.pin_mark();
         self.pin(f);
-        let f0 = self.restrict(f, var, false);
-        self.pin(f0);
-        let f1 = self.restrict(f, var, true);
-        self.pin(f1);
-        let result = self.and(f0, f1);
+        let result = self.cofactor_combine(f, var, CofactorOp::And);
         self.unpin_to(mark);
         result
     }
 
     /// Existential quantification over a set of variables.
     pub fn exists_all(&mut self, f: Bdd, vars: &[VarId]) -> Bdd {
+        expect_ok(self.try_exists_all(f, vars))
+    }
+
+    /// Fallible existential quantification over a set of variables (see
+    /// [`BddManager::try_and`]).
+    pub fn try_exists_all(&mut self, f: Bdd, vars: &[VarId]) -> Result<Bdd, BddError> {
         let mut acc = f;
         for &v in vars {
-            acc = self.exists(acc, v);
+            acc = self.try_exists(acc, v)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Boolean difference of `f` with respect to `var`:
@@ -1189,15 +1435,32 @@ impl BddManager {
     /// which the value of `var` is observable at `f` — the propagation
     /// condition used by the BDD-based test generator.
     pub fn boolean_difference(&mut self, f: Bdd, var: VarId) -> Bdd {
+        expect_ok(self.try_boolean_difference(f, var))
+    }
+
+    /// Fallible Boolean difference (see [`BddManager::try_and`]).
+    pub fn try_boolean_difference(&mut self, f: Bdd, var: VarId) -> Result<Bdd, BddError> {
         let mark = self.pin_mark();
         self.pin(f);
-        let f0 = self.restrict(f, var, false);
-        self.pin(f0);
-        let f1 = self.restrict(f, var, true);
-        self.pin(f1);
-        let result = self.xor(f0, f1);
+        let result = self.cofactor_combine(f, var, CofactorOp::Xor);
         self.unpin_to(mark);
         result
+    }
+
+    /// Shared body of the quantifiers and the Boolean difference: both
+    /// cofactors of `f` at `var`, combined with `op`.  The operand `f` must
+    /// already be pinned by the caller, which also unpins the intermediates
+    /// pinned here (on success and on error alike).
+    fn cofactor_combine(&mut self, f: Bdd, var: VarId, op: CofactorOp) -> Result<Bdd, BddError> {
+        let f0 = self.try_restrict(f, var, false)?;
+        self.pin(f0);
+        let f1 = self.try_restrict(f, var, true)?;
+        self.pin(f1);
+        match op {
+            CofactorOp::And => self.try_and(f0, f1),
+            CofactorOp::Or => self.try_or(f0, f1),
+            CofactorOp::Xor => self.try_xor(f0, f1),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1796,6 +2059,164 @@ mod tests {
         let expected = carry_chain(&mut reference, 12);
         assert_eq!(m.sat_count(carry), reference.sat_count(expected));
         m.unprotect(carry);
+    }
+
+    #[test]
+    fn node_budget_fails_structurally_and_leaves_the_manager_usable() {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 8);
+        m.protect(f);
+        let baseline = m.live_node_count();
+        // A ceiling just above the current population: the next big build
+        // must fail with a structured error instead of growing the arena.
+        m.set_budget(BddBudget::UNLIMITED.with_max_live_nodes(baseline + 4));
+        let mut acc = f;
+        let mut failed = None;
+        for i in 0..16 {
+            let v = m.var(&format!("c{i}"));
+            match m.try_xor(acc, v) {
+                Ok(next) => acc = next,
+                Err(err) => {
+                    failed = Some(err);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            failed,
+            Some(BddError::NodeBudgetExceeded {
+                limit: baseline + 4
+            })
+        );
+        // The manager and the protected function both survive the failure.
+        assert!(m.live_node_count() <= baseline + 4 + 16);
+        // Disarming restores infallibility; the protected function is
+        // untouched (a rebuild reproduces the identical handle).
+        m.set_budget(BddBudget::UNLIMITED);
+        assert_eq!(carry_chain(&mut m, 8), f);
+        let v = m.var("later");
+        let _ = m.xor(f, v);
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn node_budget_composes_with_gc() {
+        // Dead intermediates must not count against the quota after a
+        // collection: the same build succeeds under a budget that the
+        // intermediate garbage alone would exceed.
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 10);
+        m.protect(f);
+        let garbage_heavy = m.live_node_count();
+        let live = m.size(f);
+        assert!(garbage_heavy > live * 2, "the build leaves garbage");
+        m.gc();
+        m.set_budget(BddBudget::UNLIMITED.with_max_live_nodes(live + 64));
+        // Rebuilding a collected function under the tight budget works:
+        // hash consing revives mostly shared nodes.
+        let rebuilt = {
+            let a = m.var("a0");
+            let b = m.var("b0");
+            m.try_and(a, b)
+        };
+        assert!(rebuilt.is_ok());
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn step_budget_fails_deterministically() {
+        let run = |budget: Option<u64>| -> (Result<Bdd, BddError>, u64) {
+            let mut m = BddManager::new();
+            if let Some(steps) = budget {
+                m.set_budget(BddBudget::UNLIMITED.with_max_steps(steps));
+            }
+            let mut acc = m.zero();
+            let mut result = Ok(acc);
+            for i in 0..10 {
+                let a = m.var(&format!("a{i}"));
+                let b = m.var(&format!("b{i}"));
+                result = m
+                    .try_and(a, b)
+                    .and_then(|ab| m.try_xor(ab, acc))
+                    .and_then(|t| m.try_or(acc, t));
+                match result {
+                    Ok(next) => acc = next,
+                    Err(_) => break,
+                }
+            }
+            (result, m.steps_used())
+        };
+        let (unbounded, total_steps) = run(None);
+        assert!(unbounded.is_ok());
+        assert!(total_steps > 0);
+        let limit = total_steps / 2;
+        let (bounded_a, steps_a) = run(Some(limit));
+        let (bounded_b, steps_b) = run(Some(limit));
+        assert_eq!(
+            bounded_a,
+            Err(BddError::StepBudgetExceeded { limit }),
+            "half the steps cannot finish the build"
+        );
+        assert_eq!(bounded_a, bounded_b, "abort point is deterministic");
+        assert_eq!(steps_a, steps_b);
+        // A full quota completes.
+        let (full, _) = run(Some(total_steps));
+        assert_eq!(full, unbounded);
+    }
+
+    #[test]
+    fn reset_steps_reopens_the_quota() {
+        let mut m = BddManager::new();
+        m.set_budget(BddBudget::UNLIMITED.with_max_steps(10_000));
+        let f = carry_chain(&mut m, 6);
+        assert!(m.steps_used() > 0);
+        m.reset_steps();
+        assert_eq!(m.steps_used(), 0);
+        assert_eq!(m.budget().max_steps, Some(10_000));
+        let _ = f;
+    }
+
+    #[test]
+    fn cancel_token_interrupts_at_operation_entry() {
+        let mut m = BddManager::new();
+        let (a, b, _) = three_vars(&mut m);
+        let token = msatpg_exec::CancelToken::new();
+        m.set_cancel_token(Some(token.clone()));
+        assert_eq!(m.try_and(a, b), Ok(m.and(a, b)));
+        token.cancel();
+        assert_eq!(m.try_and(a, b), Err(BddError::Cancelled));
+        assert_eq!(m.try_ite(a, b, a), Err(BddError::Cancelled));
+        assert_eq!(m.try_restrict(a, 0, true), Err(BddError::Cancelled));
+        m.set_cancel_token(None);
+        let _ = m.try_and(a, b).expect("disarmed manager is infallible");
+    }
+
+    #[test]
+    #[should_panic(expected = "infallible BDD operation interrupted")]
+    fn infallible_wrapper_panics_when_budget_fires() {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 8);
+        m.set_budget(BddBudget::UNLIMITED.with_max_steps(1));
+        let v = m.var("x");
+        let _ = m.xor(f, v); // must panic: quota of one step cannot finish
+    }
+
+    #[test]
+    fn failed_operation_leaves_no_pins_behind() {
+        let mut m = BddManager::new();
+        let f = carry_chain(&mut m, 8);
+        m.protect(f);
+        m.set_budget(BddBudget::UNLIMITED.with_max_steps(3));
+        let v = m.var_index("a3").unwrap();
+        assert!(m.try_boolean_difference(f, v).is_err());
+        assert!(m.try_compose(f, v, Bdd::ONE).is_err());
+        assert!(m.try_exists(f, v).is_err());
+        assert!(m.try_forall(f, v).is_err());
+        m.set_budget(BddBudget::UNLIMITED);
+        // With no pins left, a GC reclaims everything except the root.
+        let report = m.gc();
+        assert_eq!(report.live_after, m.size(f), "no stray pins kept garbage");
+        m.unprotect(f);
     }
 
     #[test]

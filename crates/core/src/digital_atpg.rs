@@ -18,17 +18,20 @@
 //! output means the fault is untestable under the constraints.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use msatpg_bdd::{Bdd, BddManager, Cube, VarId};
+use msatpg_bdd::{Bdd, BddBudget, BddError, BddManager, Cube, VarId};
 use msatpg_conversion::constraints::AllowedCodes;
 use msatpg_digital::fault::{FaultList, StuckAtFault};
-use msatpg_digital::fault_sim::{word_mask, FaultCones, PpsfpScratch};
+use msatpg_digital::fault_sim::{word_mask, FaultCones, FaultSimulator, PpsfpScratch};
 use msatpg_digital::gate::GateKind;
 use msatpg_digital::netlist::{Netlist, SignalId};
+use msatpg_digital::random_tpg::RandomPatternGenerator;
 use msatpg_digital::sim::Simulator;
-use msatpg_exec::{ExecPolicy, WorkerPool};
+use msatpg_exec::{CancelToken, ChaosEvent, ChaosInjector, ExecPolicy, PanicPolicy, WorkerPool};
 
 use crate::constraint::{constraint_bdd, declare_input_variables};
 use crate::CoreError;
@@ -76,6 +79,36 @@ impl TestVector {
     }
 }
 
+/// Why a fault target was abandoned without a definitive answer.
+///
+/// An aborted fault is neither detected nor proven untestable: the
+/// backtrack-free generator gave up (resource quota, deadline or an isolated
+/// panic) before the test set was derived, and the random-pattern fallback
+/// (when one ran) did not detect the fault either.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The armed [`BddBudget`] (node or step quota) was exhausted while
+    /// deriving the fault's test set, and the degradation fallback did not
+    /// detect the fault.
+    Budget,
+    /// The armed [`CancelToken`] fired — step quota, wall-clock deadline or
+    /// an explicit [`CancelToken::cancel`] — before this fault was targeted.
+    Deadline,
+    /// Generating this fault's test set panicked and
+    /// [`PanicPolicy::Isolate`] confined the damage to this fault.
+    Panic,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Budget => write!(f, "resource budget exhausted"),
+            AbortReason::Deadline => write!(f, "cancelled (deadline or quota)"),
+            AbortReason::Panic => write!(f, "generation panicked (isolated)"),
+        }
+    }
+}
+
 /// The outcome of generating a test for one fault.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TestOutcome {
@@ -87,6 +120,14 @@ pub enum TestOutcome {
     /// No assignment activates the fault, propagates it to a primary output
     /// and satisfies the constraints.
     Untestable,
+    /// Deterministic generation hit a resource limit, but a seeded random
+    /// pattern (drawn under the constraints and verified by the PPSFP
+    /// kernel) detects the fault: graceful degradation.  The vector is fully
+    /// specified (no don't-cares) and counts toward coverage.
+    Degraded(TestVector),
+    /// The fault target was abandoned for the given reason; its
+    /// detectability is unknown.
+    Aborted(AbortReason),
 }
 
 /// Summary of a full ATPG run over a fault list.
@@ -101,6 +142,12 @@ pub struct AtpgReport {
     pub detected: usize,
     /// Faults for which no constrained test exists.
     pub untestable: Vec<StuckAtFault>,
+    /// Faults detected only by the random-pattern degradation fallback
+    /// (a subset of the `detected` count), in fault-list order.
+    pub degraded: Vec<StuckAtFault>,
+    /// Faults abandoned without detection, with the reason, in fault-list
+    /// order.
+    pub aborted: Vec<(StuckAtFault, AbortReason)>,
     /// The generated vectors (after on-the-fly fault dropping).
     pub vectors: Vec<TestVector>,
     /// Wall-clock time spent.
@@ -115,17 +162,57 @@ impl AtpgReport {
         self.untestable.len()
     }
 
+    /// Number of faults detected only through the degradation fallback.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Number of faults abandoned without detection.
+    pub fn aborted_count(&self) -> usize {
+        self.aborted.len()
+    }
+
     /// Number of generated vectors.
     pub fn vector_count(&self) -> usize {
         self.vectors.len()
     }
 
-    /// Fault coverage: detected / total.
+    /// Fault coverage: detected / total.  Aborted faults count as not
+    /// detected; degraded faults were verified by simulation and count.
     pub fn coverage(&self) -> f64 {
         if self.total_faults == 0 {
             return 1.0;
         }
         self.detected as f64 / self.total_faults as f64
+    }
+}
+
+/// Configuration of the graceful-degradation fallback: when the armed
+/// [`BddBudget`] aborts a fault's deterministic generation, the driver draws
+/// seeded random patterns (filtered against the constraint codes, when
+/// constraints are installed) and verifies them against the fault with the
+/// PPSFP kernel.  The first detecting pattern becomes the fault's
+/// [`TestOutcome::Degraded`] vector; if none detects it the fault is
+/// reported as [`TestOutcome::Aborted`] with [`AbortReason::Budget`].
+///
+/// The fallback is a pure function of `(seed, fault)`, so degraded outcomes
+/// are byte-identical across thread counts and runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Base seed of the per-fault pattern generator (each fault derives its
+    /// own stream from this seed and its identity).
+    pub seed: u64,
+    /// Number of candidate patterns drawn per aborted fault (constraint
+    /// filtering may accept fewer).
+    pub patterns: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            seed: 0x5EED_FA11,
+            patterns: 192,
+        }
     }
 }
 
@@ -156,6 +243,8 @@ struct ReplayState<'n> {
     open_block: Vec<Vec<bool>>,
     vectors: Vec<TestVector>,
     untestable: Vec<StuckAtFault>,
+    degraded: Vec<StuckAtFault>,
+    aborted: Vec<(StuckAtFault, AbortReason)>,
     detected: usize,
 }
 
@@ -177,6 +266,8 @@ impl<'n> ReplayState<'n> {
             open_block: Vec::new(),
             vectors: Vec::new(),
             untestable: Vec::new(),
+            degraded: Vec::new(),
+            aborted: Vec::new(),
             detected: 0,
         }
     }
@@ -195,33 +286,50 @@ impl<'n> ReplayState<'n> {
     }
 
     /// Applies one fault's outcome: bumps the detected count, folds a new
-    /// vector into the word blocks, or records the fault as untestable.
+    /// vector into the word blocks, or records the fault as untestable,
+    /// degraded or aborted.
     fn consume(&mut self, fault: StuckAtFault, outcome: TestOutcome) -> Result<(), CoreError> {
         match outcome {
             TestOutcome::Detected(vector) => {
                 self.detected += 1;
-                if let Some((_, _, word_sim)) = &self.dropping {
-                    self.open_block.push(vector.concretize(false));
-                    let words = word_sim
-                        .run_parallel_all(&self.open_block)
-                        .map_err(|e| CoreError::Digital(e.to_string()))?;
-                    let mask = word_mask(self.open_block.len());
-                    if self.open_block.len() == 1 {
-                        self.blocks.push((words, mask));
-                    } else {
-                        *self.blocks.last_mut().expect("open block exists") = (words, mask);
-                    }
-                    if self.open_block.len() == 64 {
-                        self.open_block.clear();
-                    }
-                }
-                self.vectors.push(vector);
+                self.absorb_vector(vector)?;
             }
             TestOutcome::PreviouslyDetected => {
                 self.detected += 1;
             }
             TestOutcome::Untestable => self.untestable.push(fault),
+            TestOutcome::Degraded(vector) => {
+                // A degraded vector is a real, simulation-verified test: it
+                // counts toward coverage and feeds the fault-dropping blocks
+                // exactly like a deterministically generated one.
+                self.detected += 1;
+                self.degraded.push(fault);
+                self.absorb_vector(vector)?;
+            }
+            TestOutcome::Aborted(reason) => self.aborted.push((fault, reason)),
         }
+        Ok(())
+    }
+
+    /// Records a new test vector and folds it into the word-parallel
+    /// coverage blocks used by the fault-dropping pre-checks.
+    fn absorb_vector(&mut self, vector: TestVector) -> Result<(), CoreError> {
+        if let Some((_, _, word_sim)) = &self.dropping {
+            self.open_block.push(vector.concretize(false));
+            let words = word_sim
+                .run_parallel_all(&self.open_block)
+                .map_err(|e| CoreError::Digital(e.to_string()))?;
+            let mask = word_mask(self.open_block.len());
+            if self.open_block.len() == 1 {
+                self.blocks.push((words, mask));
+            } else {
+                *self.blocks.last_mut().expect("open block exists") = (words, mask);
+            }
+            if self.open_block.len() == 64 {
+                self.open_block.clear();
+            }
+        }
+        self.vectors.push(vector);
         Ok(())
     }
 }
@@ -255,6 +363,19 @@ pub struct DigitalAtpg<'a> {
     /// The inputs of [`DigitalAtpg::with_constraints`], kept so parallel
     /// workers can rebuild an equivalent engine.
     constraint_spec: Option<(Vec<SignalId>, AllowedCodes)>,
+    budget: BddBudget,
+    cancel: Option<CancelToken>,
+    chaos: Option<ChaosInjector>,
+    panic_policy: PanicPolicy,
+    degrade: DegradePolicy,
+}
+
+/// A per-fault generation failure the driver translates into an outcome.
+enum GenFailure {
+    /// The BDD layer reported a structured interruption.
+    Bdd(BddError),
+    /// The generation job panicked under [`PanicPolicy::Isolate`].
+    Panicked,
 }
 
 impl<'a> DigitalAtpg<'a> {
@@ -290,6 +411,11 @@ impl<'a> DigitalAtpg<'a> {
             constrained: false,
             policy: ExecPolicy::Serial,
             constraint_spec: None,
+            budget: BddBudget::UNLIMITED,
+            cancel: None,
+            chaos: None,
+            panic_policy: PanicPolicy::FailFast,
+            degrade: DegradePolicy::default(),
         }
     }
 
@@ -299,12 +425,23 @@ impl<'a> DigitalAtpg<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error if a constrained line is not a primary input.
+    /// Returns an error if a constrained line is not a primary input, or if
+    /// the allowed-code width does not match the number of constrained
+    /// lines.
     pub fn with_constraints(
         mut self,
         lines: &[SignalId],
         codes: &AllowedCodes,
     ) -> Result<Self, CoreError> {
+        if !codes.is_unconstrained() && codes.width() != lines.len() {
+            return Err(CoreError::InvalidConnection {
+                reason: format!(
+                    "allowed-code width {} does not match the {} constrained lines",
+                    codes.width(),
+                    lines.len()
+                ),
+            });
+        }
         for &line in lines {
             if !self.netlist.is_primary_input(line) {
                 return Err(CoreError::InvalidConnection {
@@ -340,6 +477,70 @@ impl<'a> DigitalAtpg<'a> {
         self
     }
 
+    /// Arms a [`BddBudget`] on the engine's OBDD manager.  Fault targets
+    /// whose test-set derivation exceeds the quota are degraded to the
+    /// random-pattern fallback (see [`DigitalAtpg::with_degradation`]) or
+    /// reported as [`TestOutcome::Aborted`] with [`AbortReason::Budget`];
+    /// every other fault is unaffected.
+    ///
+    /// Budgeted outcomes are deterministic: with a budget armed the engine
+    /// collects to its protected baseline and re-opens the step quota before
+    /// every fault target, so each outcome is a pure function of the fault —
+    /// identical across serial, pipelined and worker engines.
+    pub fn with_budget(mut self, budget: BddBudget) -> Self {
+        self.budget = budget;
+        self.manager.set_budget(budget);
+        self
+    }
+
+    /// Arms a cooperative [`CancelToken`].  The replay driver charges one
+    /// step of the token's quota per targeted fault **in fault-list order**,
+    /// so a step-quota token aborts at the identical fault on every thread
+    /// count; workers only *observe* the token (wasted speculation, never
+    /// the report).  Once the token fires, every remaining fault is reported
+    /// as [`TestOutcome::Aborted`] with [`AbortReason::Deadline`].
+    /// Wall-clock deadlines cancel cooperatively too, but their abort point
+    /// is inherently timing-dependent.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.manager.set_cancel_token(Some(token.clone()));
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Installs a deterministic fault-injection harness: at each fault
+    /// target the injector (a pure function of its seed and the fault
+    /// index) may simulate a budget exhaustion, a cancellation, or — under
+    /// [`PanicPolicy::Isolate`] — genuinely panic inside the generation job
+    /// to exercise the isolation machinery.  The *report* is decided by the
+    /// replay driver from the injector alone, so it is byte-identical across
+    /// thread counts for a given seed.
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets how generation panics are handled (default
+    /// [`PanicPolicy::FailFast`]): under [`PanicPolicy::Isolate`] a panic
+    /// while generating one fault's test set is confined to that fault
+    /// (reported as [`TestOutcome::Aborted`] with [`AbortReason::Panic`])
+    /// and the run — including the worker pool and its sessions — continues.
+    pub fn with_panic_policy(mut self, panic_policy: PanicPolicy) -> Self {
+        self.panic_policy = panic_policy;
+        self
+    }
+
+    /// Replaces the graceful-degradation configuration used for
+    /// budget-aborted faults.
+    pub fn with_degradation(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// `true` when a budget or a cancel token makes generation fallible.
+    fn governed(&self) -> bool {
+        !self.budget.is_unlimited() || self.cancel.is_some()
+    }
+
     /// The constraint function currently in force.
     pub fn constraint(&self) -> Bdd {
         self.fc
@@ -350,6 +551,18 @@ impl<'a> DigitalAtpg<'a> {
         &self.manager
     }
 
+    /// Runs a full garbage collection, keeping only the engine's protected
+    /// baseline (the signal functions and the constraint `Fc`), and returns
+    /// that baseline's live node count.  This is the state every governed
+    /// fault target restarts from, so `collect_garbage() + margin` is the
+    /// right way to size a deliberately tight
+    /// [`BddBudget::with_max_live_nodes`] quota — the count observed during
+    /// construction overstates the baseline by the build's transients.
+    pub fn collect_garbage(&mut self) -> usize {
+        self.manager.gc();
+        self.manager.live_node_count()
+    }
+
     /// The BDD of a signal's fault-free function over the primary inputs.
     pub fn signal_function(&self, signal: SignalId) -> Bdd {
         self.signal_bdds[signal.index()]
@@ -357,12 +570,49 @@ impl<'a> DigitalAtpg<'a> {
 
     /// Generates a test for one fault, ignoring previously generated
     /// vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the armed budget or cancel token interrupts the
+    /// derivation; use [`DigitalAtpg::try_generate`] when governance is
+    /// armed.
     pub fn generate(&mut self, fault: StuckAtFault) -> TestOutcome {
+        match self.try_generate(fault) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!(
+                "infallible test generation interrupted: {err}; \
+                 use try_generate when a budget or cancel token is armed"
+            ),
+        }
+    }
+
+    /// Fallible [`DigitalAtpg::generate`]: returns the structured
+    /// [`BddError`] when the armed budget or cancel token interrupts the
+    /// derivation.  The partial build is abandoned (reclaimed at the next
+    /// safe point) and the engine stays fully usable for the next fault.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeBudgetExceeded`] / [`BddError::StepBudgetExceeded`]
+    /// when the armed [`BddBudget`] is exhausted, [`BddError::Cancelled`]
+    /// when the armed [`CancelToken`] has fired.
+    pub fn try_generate(&mut self, fault: StuckAtFault) -> Result<TestOutcome, BddError> {
         // Safe point: no transient handle from a previous target is live
         // here, so everything outside the protected signal functions and
         // `Fc` is garbage.  The sweep never renumbers live nodes, so the
         // generated vectors are byte-identical with or without it.
-        self.manager.gc_if_above(GC_WATERMARK);
+        if self.governed() {
+            // Determinism of governed outcomes: collect to the protected
+            // baseline and re-open the step quota, so the resources consumed
+            // by this target are a pure function of the fault — independent
+            // of which faults this particular engine processed before, and
+            // therefore identical across serial, pipelined and worker
+            // engines.
+            self.manager.gc();
+            self.manager.reset_steps();
+        } else {
+            self.manager.gc_if_above(GC_WATERMARK);
+        }
         // 1. Activation: the line must carry the value opposite to the stuck
         //    value in the fault-free circuit.
         let line_fn = self.signal_bdds[fault.signal.index()];
@@ -372,31 +622,29 @@ impl<'a> DigitalAtpg<'a> {
             line_fn
         };
         if activation.is_zero() {
-            return TestOutcome::Untestable;
+            return Ok(TestOutcome::Untestable);
         }
         // 2. Re-derive the outputs with the fault site replaced by the free
         //    variable D (only the fanout cone needs recomputation).
-        let faulty = self.functions_with_free_line(fault.signal);
+        let faulty = self.functions_with_free_line(fault.signal)?;
         // 3. For each primary output, the test set is
         //    activation · (∂PO/∂D) · Fc.
         for (po_index, &po) in self.netlist.primary_outputs().iter().enumerate() {
             let f = faulty[po.index()];
-            let observability = self.manager.boolean_difference(f, self.d_var);
+            let observability = self.manager.try_boolean_difference(f, self.d_var)?;
             if observability.is_zero() {
                 continue;
             }
-            let act_obs = self.manager.and(activation, observability);
-            let test_set = self.manager.and(act_obs, self.fc);
-            if test_set.is_zero() {
+            let act_obs = self.manager.try_and(activation, observability)?;
+            let test_set = self.manager.try_and(act_obs, self.fc)?;
+            let Some(cube) = self.manager.sat_one(test_set) else {
                 continue;
-            }
-            let cube = self
-                .manager
-                .sat_one(test_set)
-                .expect("non-zero BDD has a satisfying cube");
-            return TestOutcome::Detected(self.vector_from_cube(&cube, fault, po_index));
+            };
+            return Ok(TestOutcome::Detected(
+                self.vector_from_cube(&cube, fault, po_index),
+            ));
         }
-        TestOutcome::Untestable
+        Ok(TestOutcome::Untestable)
     }
 
     /// Runs the generator over a whole fault list, with fault dropping.
@@ -411,7 +659,7 @@ impl<'a> DigitalAtpg<'a> {
     /// Propagates simulation errors from the fault-dropping pass (cannot
     /// occur for well-formed vectors).
     pub fn run(&mut self, faults: &FaultList) -> Result<AtpgReport, CoreError> {
-        let pool = WorkerPool::new(self.policy);
+        let pool = WorkerPool::new(self.policy).with_panic_policy(self.panic_policy);
         self.run_on(&pool, faults)
     }
 
@@ -444,12 +692,12 @@ impl<'a> DigitalAtpg<'a> {
         let start = Instant::now();
         let mut replay = ReplayState::new(self.netlist, self.fault_dropping, faults);
         if pool.policy().is_serial() {
-            for &fault in faults.faults() {
+            for (k, &fault) in faults.faults().iter().enumerate() {
                 if replay.covered(fault) {
                     replay.detected += 1;
                     continue;
                 }
-                let outcome = self.generate(fault);
+                let outcome = self.decide(k, fault, None)?;
                 replay.consume(fault, outcome)?;
             }
         } else {
@@ -460,10 +708,155 @@ impl<'a> DigitalAtpg<'a> {
             total_faults: faults.len(),
             detected: replay.detected,
             untestable: replay.untestable,
+            degraded: replay.degraded,
+            aborted: replay.aborted,
             vectors: replay.vectors,
             cpu: start.elapsed(),
             constrained: self.constrained,
         })
+    }
+
+    /// Decides the outcome of fault-list entry `index` — the one place
+    /// where resource failures become [`TestOutcome`]s.  It runs on the
+    /// replay driver **in fault-list order**, and every input it consults is
+    /// schedule-independent (the chaos injector is a pure function of the
+    /// fault index, the cancel token is charged only here, and governed
+    /// generation is a pure function of the fault), so the report is
+    /// byte-identical across thread counts.
+    ///
+    /// `speculative` carries a worker's pre-computed result when one exists;
+    /// governed generation is a pure function of the fault, so reusing it is
+    /// indistinguishable from generating inline.
+    fn decide(
+        &mut self,
+        index: usize,
+        fault: StuckAtFault,
+        speculative: Option<Result<TestOutcome, BddError>>,
+    ) -> Result<TestOutcome, CoreError> {
+        if let Some(chaos) = self.chaos {
+            match chaos.fires(index as u64) {
+                Some(ChaosEvent::Panic) => {
+                    if self.panic_policy == PanicPolicy::Isolate {
+                        return Ok(TestOutcome::Aborted(AbortReason::Panic));
+                    }
+                    // FailFast means exactly that, in serial and pipelined
+                    // runs alike (the pipelined run usually dies earlier, at
+                    // the barrier that relays the worker's injected panic).
+                    panic!("chaos: injected panic at fault target {index}");
+                }
+                Some(ChaosEvent::Budget) => return self.degrade_or_abort(fault),
+                Some(ChaosEvent::Cancel) => return Ok(TestOutcome::Aborted(AbortReason::Deadline)),
+                None => {}
+            }
+        }
+        // One charge per targeted fault, strictly in replay order: the
+        // token's step quota therefore fires at the identical fault on every
+        // thread count.
+        if let Some(token) = &self.cancel {
+            if !token.charge(1) {
+                return Ok(TestOutcome::Aborted(AbortReason::Deadline));
+            }
+        }
+        let result = match speculative {
+            Some(result) => result.map_err(GenFailure::Bdd),
+            None => self.guarded_generate(fault),
+        };
+        match result {
+            Ok(outcome) => Ok(outcome),
+            Err(GenFailure::Bdd(BddError::Cancelled)) => {
+                Ok(TestOutcome::Aborted(AbortReason::Deadline))
+            }
+            Err(GenFailure::Bdd(_)) => self.degrade_or_abort(fault),
+            Err(GenFailure::Panicked) => Ok(TestOutcome::Aborted(AbortReason::Panic)),
+        }
+    }
+
+    /// Inline generation with the panic policy applied: under
+    /// [`PanicPolicy::Isolate`] a panic is caught and confined to this
+    /// fault (the manager may retain a few pinned transient nodes from the
+    /// interrupted recursion — safe, at worst a small arena leak).
+    fn guarded_generate(&mut self, fault: StuckAtFault) -> Result<TestOutcome, GenFailure> {
+        if self.panic_policy == PanicPolicy::Isolate {
+            match catch_unwind(AssertUnwindSafe(|| self.try_generate(fault))) {
+                Ok(result) => result.map_err(GenFailure::Bdd),
+                Err(_) => Err(GenFailure::Panicked),
+            }
+        } else {
+            self.try_generate(fault).map_err(GenFailure::Bdd)
+        }
+    }
+
+    /// The budget-exhaustion path: try the seeded random fallback, abort if
+    /// it finds nothing.
+    fn degrade_or_abort(&mut self, fault: StuckAtFault) -> Result<TestOutcome, CoreError> {
+        match self.degrade(fault)? {
+            Some(vector) => Ok(TestOutcome::Degraded(vector)),
+            None => Ok(TestOutcome::Aborted(AbortReason::Budget)),
+        }
+    }
+
+    /// Graceful degradation for one budget-aborted fault: draw seeded random
+    /// patterns (filtered against the constraint codes when constraints are
+    /// installed), verify them against the fault with the PPSFP kernel, and
+    /// return the first detecting pattern as a fully specified vector.
+    ///
+    /// A pure function of `(degrade.seed, fault)` — it never touches the
+    /// OBDD manager — so degraded outcomes are deterministic everywhere.
+    fn degrade(&self, fault: StuckAtFault) -> Result<Option<TestVector>, CoreError> {
+        let netlist = self.netlist;
+        let fault_key = ((fault.signal.index() as u64) << 1) | fault.stuck_at as u64;
+        let mut generator = RandomPatternGenerator::new(
+            netlist,
+            self.degrade
+                .seed
+                .wrapping_add(fault_key.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let candidates = match &self.constraint_spec {
+            Some((lines, codes)) => {
+                // The constrained lines were validated as primary inputs
+                // when the constraints were installed.
+                let positions: Vec<usize> = lines
+                    .iter()
+                    .filter_map(|&l| netlist.primary_inputs().iter().position(|&pi| pi == l))
+                    .collect();
+                let (accepted, _attempts) = generator.constrained_patterns(
+                    self.degrade.patterns,
+                    self.degrade.patterns.saturating_mul(64),
+                    |p| {
+                        let assignment: Vec<bool> = positions.iter().map(|&i| p[i]).collect();
+                        codes.allows(&assignment)
+                    },
+                );
+                accepted
+            }
+            None => generator.patterns(self.degrade.patterns),
+        };
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let cones = FaultCones::build(netlist, [fault.signal]);
+        let mut scratch = PpsfpScratch::new(netlist);
+        let simulator = Simulator::new(netlist);
+        for block in candidates.chunks(64) {
+            let good = simulator
+                .run_parallel_all(block)
+                .map_err(|e| CoreError::Digital(e.to_string()))?;
+            let diff =
+                scratch.detection_word(netlist, &cones, fault, &good, word_mask(block.len()));
+            if diff != 0 {
+                let pattern = &block[diff.trailing_zeros() as usize];
+                let observed_output = FaultSimulator::new(netlist)
+                    .detecting_output(fault, pattern)
+                    .map_err(|e| CoreError::Digital(e.to_string()))?
+                    .unwrap_or(0);
+                return Ok(Some(TestVector {
+                    assignment: pattern.iter().map(|&b| Some(b)).collect(),
+                    fault,
+                    observed_output,
+                }));
+            }
+        }
+        Ok(None)
     }
 
     /// The pipelined engine behind [`Self::run_on`]: one pool session whose
@@ -477,6 +870,9 @@ impl<'a> DigitalAtpg<'a> {
         let list = faults.faults();
         let netlist = self.netlist;
         let spec = self.constraint_spec.clone();
+        let budget = self.budget;
+        let cancel = self.cancel.clone();
+        let chaos = self.chaos;
         // Replay-side coverage flags: set by the driver strictly between
         // rounds (prescreen), read by the workers to skip doomed
         // speculation.  They only gate whether a speculative outcome is
@@ -493,10 +889,18 @@ impl<'a> DigitalAtpg<'a> {
             chunks_per_round,
             || {
                 let engine = DigitalAtpg::new(netlist);
-                match &spec {
+                let engine = match &spec {
                     Some((lines, codes)) => engine
                         .with_constraints(lines, codes)
                         .expect("constraints were validated when installed on the primary engine"),
+                    None => engine,
+                };
+                // Worker engines mirror the primary's governance so their
+                // speculative results match inline generation bit for bit;
+                // they only *observe* the cancel token (never charge it).
+                let engine = engine.with_budget(budget);
+                match &cancel {
+                    Some(token) => engine.with_cancel_token(token.clone()),
                     None => engine,
                 }
             },
@@ -505,13 +909,29 @@ impl<'a> DigitalAtpg<'a> {
                 let end = (base + GENERATE_CHUNK)
                     .min(round_start + REPLAY_CHUNK)
                     .min(list.len());
-                let mut outcomes: Vec<Option<TestOutcome>> = Vec::new();
+                let mut outcomes: Vec<Option<Result<TestOutcome, BddError>>> = Vec::new();
                 for k in base..end.max(base) {
                     if covered[k].load(Ordering::Relaxed) {
                         outcomes.push(None);
-                    } else {
-                        outcomes.push(Some(engine.generate(list[k])));
+                        continue;
                     }
+                    if let Some(chaos) = chaos {
+                        if let Some(event) = chaos.fires(k as u64) {
+                            if event == ChaosEvent::Panic {
+                                // A genuine panic inside the job: exercises
+                                // the pool's panic machinery (isolation or
+                                // fail-fast relay).  The *outcome* of fault
+                                // `k` is decided by the replay driver from
+                                // the injector alone.
+                                panic!("chaos: injected panic at fault target {k}");
+                            }
+                            // Simulated budget/cancel events are decided by
+                            // the driver; skip the doomed speculation.
+                            outcomes.push(None);
+                            continue;
+                        }
+                    }
+                    outcomes.push(Some(engine.try_generate(list[k])));
                 }
                 outcomes
             },
@@ -519,8 +939,25 @@ impl<'a> DigitalAtpg<'a> {
                 session.submit(0usize, chunks_per_round);
                 for round in 0..n_rounds {
                     let round_start = round * REPLAY_CHUNK;
-                    let outcomes: Vec<Option<TestOutcome>> =
-                        session.wait().into_iter().flatten().collect();
+                    // The panic-isolating barrier: a chunk whose job
+                    // panicked (chaos or genuine) simply loses its
+                    // speculative outcomes — the replay regenerates them
+                    // inline, where `decide` applies the panic policy with
+                    // per-fault granularity.
+                    let mut outcomes: Vec<Option<Result<TestOutcome, BddError>>> =
+                        Vec::with_capacity(REPLAY_CHUNK);
+                    for (ci, chunk_result) in session.wait_results().into_iter().enumerate() {
+                        match chunk_result {
+                            Ok(chunk) => outcomes.extend(chunk),
+                            Err(_chunk_panic) => {
+                                let base = round_start + ci * GENERATE_CHUNK;
+                                let end = (base + GENERATE_CHUNK)
+                                    .min(round_start + REPLAY_CHUNK)
+                                    .min(list.len());
+                                outcomes.extend((base..end.max(base)).map(|_| None));
+                            }
+                        }
+                    }
                     if round + 1 < n_rounds {
                         // Pre-screen the next round against the blocks
                         // replayed so far (rounds < `round`), then hand it
@@ -535,8 +972,9 @@ impl<'a> DigitalAtpg<'a> {
                         session.submit(next_start, chunks_per_round);
                     }
                     // Replay round `round` while the workers generate round
-                    // `round + 1` — exactly the serial loop, with `generate`
-                    // replaced by the speculative outcome where available.
+                    // `round + 1` — exactly the serial loop, with inline
+                    // generation replaced by the speculative result where
+                    // available.
                     for (j, slot) in outcomes.into_iter().enumerate() {
                         let k = round_start + j;
                         let fault = list[k];
@@ -550,10 +988,7 @@ impl<'a> DigitalAtpg<'a> {
                             replay.detected += 1;
                             continue;
                         }
-                        let outcome = match slot {
-                            Some(outcome) => outcome,
-                            None => self.generate(fault),
-                        };
+                        let outcome = self.decide(k, fault, slot)?;
                         replay.consume(fault, outcome)?;
                     }
                 }
@@ -564,7 +999,7 @@ impl<'a> DigitalAtpg<'a> {
 
     /// Signal functions with `line` replaced by the free variable `D`
     /// (faulty-cone recomputation).
-    fn functions_with_free_line(&mut self, line: SignalId) -> Vec<Bdd> {
+    fn functions_with_free_line(&mut self, line: SignalId) -> Result<Vec<Bdd>, BddError> {
         let mut values = self.signal_bdds.clone();
         values[line.index()] = self.manager.literal(self.d_var, true);
         let cone: HashMap<usize, ()> = self
@@ -578,9 +1013,9 @@ impl<'a> DigitalAtpg<'a> {
                 continue;
             }
             let inputs: Vec<Bdd> = gate.inputs.iter().map(|i| values[i.index()]).collect();
-            values[gate.output.index()] = apply_gate(&mut self.manager, gate.kind, &inputs);
+            values[gate.output.index()] = try_apply_gate(&mut self.manager, gate.kind, &inputs)?;
         }
-        values
+        Ok(values)
     }
 
     fn vector_from_cube(&self, cube: &Cube, fault: StuckAtFault, po_index: usize) -> TestVector {
@@ -606,32 +1041,57 @@ impl<'a> DigitalAtpg<'a> {
 /// [`GateKind`] becomes Boolean operations, shared by the test generator,
 /// the propagation engine and the `bdd_memory` benchmark (which must
 /// measure exactly the build the ATPG performs).
+///
+/// # Panics
+///
+/// Panics if a budget or cancel token armed on `manager` interrupts the
+/// build; use [`try_apply_gate`] under governance.
 pub fn apply_gate(manager: &mut BddManager, kind: GateKind, inputs: &[Bdd]) -> Bdd {
-    match kind {
+    match try_apply_gate(manager, kind, inputs) {
+        Ok(f) => f,
+        Err(err) => panic!("infallible gate lowering interrupted: {err}"),
+    }
+}
+
+/// Fallible [`apply_gate`]: returns the structured [`BddError`] when the
+/// budget or cancel token armed on `manager` interrupts the build.
+///
+/// # Errors
+///
+/// Propagates [`BddError`] from the underlying `try_*` operations.
+pub fn try_apply_gate(
+    manager: &mut BddManager,
+    kind: GateKind,
+    inputs: &[Bdd],
+) -> Result<Bdd, BddError> {
+    Ok(match kind {
         GateKind::Buf => inputs[0],
         GateKind::Not => manager.not(inputs[0]),
-        GateKind::And => manager.and_all(inputs.iter().copied()),
+        GateKind::And => manager.try_and_all(inputs.iter().copied())?,
         GateKind::Nand => {
-            let a = manager.and_all(inputs.iter().copied());
+            let a = manager.try_and_all(inputs.iter().copied())?;
             manager.not(a)
         }
-        GateKind::Or => manager.or_all(inputs.iter().copied()),
+        GateKind::Or => manager.try_or_all(inputs.iter().copied())?,
         GateKind::Nor => {
-            let o = manager.or_all(inputs.iter().copied());
+            let o = manager.try_or_all(inputs.iter().copied())?;
             manager.not(o)
         }
-        GateKind::Xor => inputs
-            .iter()
-            .skip(1)
-            .fold(inputs[0], |acc, &b| manager.xor(acc, b)),
-        GateKind::Xnor => {
-            let x = inputs
-                .iter()
-                .skip(1)
-                .fold(inputs[0], |acc, &b| manager.xor(acc, b));
-            manager.not(x)
+        GateKind::Xor => {
+            let mut acc = inputs[0];
+            for &b in inputs.iter().skip(1) {
+                acc = manager.try_xor(acc, b)?;
+            }
+            acc
         }
-    }
+        GateKind::Xnor => {
+            let mut acc = inputs[0];
+            for &b in inputs.iter().skip(1) {
+                acc = manager.try_xor(acc, b)?;
+            }
+            manager.not(acc)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -917,6 +1377,16 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_code_width_is_a_structured_error() {
+        // Two-bit codes over one constrained line must be rejected with an
+        // error, not an assertion failure inside the Fc build.
+        let circuit = circuits::figure3_circuit();
+        let l0 = circuit.find_signal("l0").unwrap();
+        let result = DigitalAtpg::new(&circuit).with_constraints(&[l0], &example2_constraint());
+        assert!(result.is_err());
+    }
+
+    #[test]
     fn signal_functions_are_exposed() {
         let circuit = circuits::figure3_circuit();
         let atpg = DigitalAtpg::new(&circuit);
@@ -925,5 +1395,227 @@ mod tests {
         // l6 = l0 OR l3 = l0 OR l2 (through the buffer).
         assert_eq!(atpg.manager().support(f).len(), 2);
         assert!(atpg.constraint().is_one());
+    }
+
+    /// Every report field except the wall-clock must match.
+    fn assert_reports_identical(a: &AtpgReport, b: &AtpgReport) {
+        assert_eq!(a.total_faults, b.total_faults);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.untestable, b.untestable);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.constrained, b.constrained);
+    }
+
+    #[test]
+    fn tiny_step_budget_degrades_gracefully_and_deterministically() {
+        // A one-step quota per fault target: deterministic generation fails
+        // on every fault that needs real BDD work, and the seeded random
+        // fallback takes over.  The run must complete without panicking,
+        // account for every fault, and be byte-identical across thread
+        // counts.
+        let circuit = circuits::adder4();
+        let faults = FaultList::collapsed(&circuit);
+        let budget = BddBudget::UNLIMITED.with_max_steps(1);
+        let reference = DigitalAtpg::new(&circuit)
+            .with_budget(budget)
+            .run(&faults)
+            .unwrap();
+        assert_eq!(
+            reference.detected + reference.untestable_count() + reference.aborted_count(),
+            faults.len(),
+            "every fault is accounted for"
+        );
+        assert!(
+            reference.degraded_count() > 0,
+            "the random fallback rescues budget-aborted faults"
+        );
+        assert!(reference
+            .aborted
+            .iter()
+            .all(|(_, r)| *r == AbortReason::Budget));
+        // Degraded vectors are real tests: fully specified and verified.
+        let sim = FaultSimulator::new(&circuit);
+        for vector in &reference.vectors {
+            assert!(vector.assignment.iter().all(Option::is_some));
+            assert!(sim
+                .detects(vector.fault, &vector.concretize(false))
+                .unwrap());
+        }
+        for threads in [2usize, 8] {
+            let parallel = DigitalAtpg::new(&circuit)
+                .with_budget(budget)
+                .with_policy(ExecPolicy::Threads(threads))
+                .run(&faults)
+                .unwrap();
+            assert_reports_identical(&parallel, &reference);
+        }
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        // A budget large enough never to fire must leave the report
+        // byte-identical to the ungoverned run — the governed path's extra
+        // collections cannot change outcomes.
+        let circuit = circuits::adder4();
+        let faults = FaultList::collapsed(&circuit);
+        let clean = DigitalAtpg::new(&circuit).run(&faults).unwrap();
+        let governed = DigitalAtpg::new(&circuit)
+            .with_budget(BddBudget::UNLIMITED.with_max_steps(u64::MAX / 2))
+            .run(&faults)
+            .unwrap();
+        assert_reports_identical(&governed, &clean);
+        assert!(governed.degraded.is_empty());
+        assert!(governed.aborted.is_empty());
+    }
+
+    #[test]
+    fn step_quota_token_aborts_the_tail_at_the_same_fault_everywhere() {
+        // The driver charges the token once per targeted fault in replay
+        // order, and the charge that exhausts the quota itself fails, so a
+        // quota of five decides exactly four faults and abandons the rest as
+        // Aborted(Deadline) — at the identical fault on every thread count.
+        let circuit = circuits::adder4();
+        let faults = FaultList::collapsed(&circuit);
+        let quota = 5u64;
+        let reference = DigitalAtpg::new(&circuit)
+            .with_cancel_token(CancelToken::with_step_quota(quota))
+            .run(&faults)
+            .unwrap();
+        assert!(reference.aborted_count() > 0, "quota fired mid-campaign");
+        assert!(reference
+            .aborted
+            .iter()
+            .all(|(_, r)| *r == AbortReason::Deadline));
+        assert_eq!(
+            reference.vector_count() + reference.untestable_count() + reference.degraded_count(),
+            quota as usize - 1,
+            "the exhausting charge fails, so quota - 1 faults were decided"
+        );
+        assert_eq!(
+            reference.detected + reference.untestable_count() + reference.aborted_count(),
+            faults.len()
+        );
+        for threads in [2usize, 8] {
+            let parallel = DigitalAtpg::new(&circuit)
+                .with_cancel_token(CancelToken::with_step_quota(quota))
+                .with_policy(ExecPolicy::Threads(threads))
+                .run(&faults)
+                .unwrap();
+            assert_reports_identical(&parallel, &reference);
+        }
+    }
+
+    #[test]
+    fn engine_and_token_state_survive_cancellation() {
+        // After a cancelled campaign the engine (and a fresh token) run the
+        // full list as if nothing happened.
+        let circuit = circuits::figure3_circuit();
+        let faults = FaultList::all(&circuit);
+        let clean = DigitalAtpg::new(&circuit).run(&faults).unwrap();
+        let mut atpg =
+            DigitalAtpg::new(&circuit).with_cancel_token(CancelToken::with_step_quota(2));
+        let cancelled = atpg.run(&faults).unwrap();
+        assert!(cancelled.aborted_count() > 0);
+        // Re-arm with an unlimited token: the same engine recovers fully.
+        let mut atpg = atpg.with_cancel_token(CancelToken::new());
+        let recovered = atpg.run(&faults).unwrap();
+        assert_reports_identical(&recovered, &clean);
+    }
+
+    #[test]
+    fn chaos_isolate_confines_injected_panics_and_stays_deterministic() {
+        let circuit = circuits::adder4();
+        let faults = FaultList::collapsed(&circuit);
+        let chaos = ChaosInjector::new(0xC0FFEE).with_panic_rate(5);
+        let reference = DigitalAtpg::new(&circuit)
+            .with_chaos(chaos)
+            .with_panic_policy(PanicPolicy::Isolate)
+            .run(&faults)
+            .unwrap();
+        assert!(
+            reference
+                .aborted
+                .iter()
+                .any(|(_, r)| *r == AbortReason::Panic),
+            "the injector hit at least one targeted fault"
+        );
+        assert_eq!(
+            reference.detected + reference.untestable_count() + reference.aborted_count(),
+            faults.len()
+        );
+        for threads in [2usize, 8] {
+            let parallel = DigitalAtpg::new(&circuit)
+                .with_chaos(chaos)
+                .with_panic_policy(PanicPolicy::Isolate)
+                .with_policy(ExecPolicy::Threads(threads))
+                .run(&faults)
+                .unwrap();
+            assert_reports_identical(&parallel, &reference);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected panic")]
+    fn chaos_failfast_propagates_the_injected_panic() {
+        let circuit = circuits::figure3_circuit();
+        let faults = FaultList::all(&circuit);
+        // Rate 1: the very first targeted fault panics under FailFast.
+        let chaos = ChaosInjector::new(1).with_panic_rate(1);
+        let _ = DigitalAtpg::new(&circuit).with_chaos(chaos).run(&faults);
+    }
+
+    #[test]
+    fn chaos_budget_events_degrade_under_constraints() {
+        // Simulated budget exhaustion on a constrained engine: the degraded
+        // vectors must satisfy the constraint codes (they were drawn through
+        // the constrained pattern generator) and really detect their faults.
+        let circuit = circuits::figure3_circuit();
+        let faults = FaultList::all(&circuit);
+        let l0 = circuit.find_signal("l0").unwrap();
+        let l2 = circuit.find_signal("l2").unwrap();
+        let codes = example2_constraint();
+        let chaos = ChaosInjector::new(3).with_budget_rate(2);
+        let mut atpg = DigitalAtpg::new(&circuit)
+            .with_constraints(&[l0, l2], &codes)
+            .unwrap()
+            .with_chaos(chaos);
+        let report = atpg.run(&faults).unwrap();
+        assert!(report.degraded_count() > 0, "some faults were degraded");
+        let sim = FaultSimulator::new(&circuit);
+        for vector in &report.vectors {
+            let pattern = vector.concretize(false);
+            // PI order: l0, l1, l2, l4 → constrained assignment is (l0, l2).
+            assert!(codes.allows(&vec![pattern[0], pattern[2]]));
+            if report.degraded.contains(&vector.fault) {
+                assert!(sim.detects(vector.fault, &pattern).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_chaos_and_cancellation_and_stays_reusable() {
+        // One pool across three campaigns: injected worker panics
+        // (isolated), a mid-run cancellation, then a clean run that must be
+        // byte-identical to a fresh pool's.
+        let circuit = circuits::adder4();
+        let faults = FaultList::collapsed(&circuit);
+        let clean_reference = DigitalAtpg::new(&circuit).run(&faults).unwrap();
+        let pool = WorkerPool::new(ExecPolicy::Threads(2)).with_panic_policy(PanicPolicy::Isolate);
+        let chaotic = DigitalAtpg::new(&circuit)
+            .with_chaos(ChaosInjector::new(0xBAD).with_panic_rate(4))
+            .with_panic_policy(PanicPolicy::Isolate)
+            .run_on(&pool, &faults)
+            .unwrap();
+        assert!(chaotic.aborted_count() > 0);
+        let cancelled = DigitalAtpg::new(&circuit)
+            .with_cancel_token(CancelToken::with_step_quota(3))
+            .run_on(&pool, &faults)
+            .unwrap();
+        assert!(cancelled.aborted_count() > 0);
+        let clean = DigitalAtpg::new(&circuit).run_on(&pool, &faults).unwrap();
+        assert_reports_identical(&clean, &clean_reference);
+        assert!(clean.degraded.is_empty() && clean.aborted.is_empty());
     }
 }

@@ -34,11 +34,14 @@ pub mod test_plan;
 
 /// Execution policy and persistent worker pool of the workspace (re-export
 /// of [`msatpg_exec`]).
-pub use msatpg_exec::{ExecPolicy, PoolStats, WorkerPool};
+pub use msatpg_bdd::{BddBudget, BddError};
+pub use msatpg_exec::{CancelToken, ChaosInjector, ExecPolicy, PanicPolicy, PoolStats, WorkerPool};
 
 pub use activation::{DeviationSign, StimulusPlan};
 pub use analog_atpg::{AnalogAtpg, AnalogTestEntry, AnalogTestOutcome, AnalogTestVector};
-pub use digital_atpg::{AtpgReport, DigitalAtpg, TestOutcome, TestVector};
+pub use digital_atpg::{
+    AbortReason, AtpgReport, DegradePolicy, DigitalAtpg, TestOutcome, TestVector,
+};
 pub use mixed_circuit::{ConverterBlock, MixedCircuit};
 pub use propagation::{PropagationEngine, PropagationResult};
 pub use test_plan::{AtpgOptions, MixedSignalAtpg, TestPlan};

@@ -4,6 +4,7 @@
 
 use msatpg_analog::coverage::CoverageGraph;
 use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
+use msatpg_bdd::BddBudget;
 use msatpg_conversion::fault::ladder_coverage;
 use msatpg_digital::fault::FaultList;
 use msatpg_exec::{ExecPolicy, WorkerPool};
@@ -30,6 +31,11 @@ pub struct AtpgOptions {
     /// generation and the deviation analysis).  Every policy produces a
     /// byte-identical [`TestPlan`]; `Serial` is the default.
     pub exec: ExecPolicy,
+    /// Resource budget for the digital OBDD engines.  Unlimited by default;
+    /// arming it makes the stuck-at passes degrade gracefully instead of
+    /// blowing up on pathological cones (see
+    /// [`DigitalAtpg::with_budget`](crate::DigitalAtpg::with_budget)).
+    pub bdd_budget: BddBudget,
 }
 
 impl Default for AtpgOptions {
@@ -41,6 +47,7 @@ impl Default for AtpgOptions {
             max_deviation: 5.0,
             collapse_faults: true,
             exec: ExecPolicy::Serial,
+            bdd_budget: BddBudget::UNLIMITED,
         }
     }
 }
@@ -160,7 +167,9 @@ impl MixedSignalAtpg {
         let faults = self.fault_list();
         let lines = self.circuit.constrained_inputs();
         let codes = self.circuit.allowed_codes();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital()).with_constraints(&lines, &codes)?;
+        let mut atpg = DigitalAtpg::new(self.circuit.digital())
+            .with_budget(self.options.bdd_budget)
+            .with_constraints(&lines, &codes)?;
         atpg.run_on(pool, &faults)
     }
 
@@ -182,7 +191,8 @@ impl MixedSignalAtpg {
     /// Propagates ATPG errors.
     pub fn digital_unconstrained_on(&self, pool: &WorkerPool) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital());
+        let mut atpg =
+            DigitalAtpg::new(self.circuit.digital()).with_budget(self.options.bdd_budget);
         atpg.run_on(pool, &faults)
     }
 

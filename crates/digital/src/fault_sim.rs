@@ -42,7 +42,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use msatpg_exec::{ExecPolicy, WorkerPool};
+use msatpg_exec::{CancelToken, ExecPolicy, WorkerPool};
 
 use crate::fault::{FaultList, StuckAtFault};
 use crate::netlist::{Netlist, SignalId};
@@ -328,6 +328,7 @@ pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
     drop_detected: bool,
     policy: ExecPolicy,
+    cancel: Option<CancelToken>,
 }
 
 /// Number of faults per work unit handed to the pool; large enough that a
@@ -343,6 +344,7 @@ impl<'a> FaultSimulator<'a> {
             netlist,
             drop_detected: true,
             policy: ExecPolicy::Serial,
+            cancel: None,
         }
     }
 
@@ -358,6 +360,25 @@ impl<'a> FaultSimulator<'a> {
     pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Arms a cooperative [`CancelToken`] on the PPSFP campaign loop: the
+    /// driver checks it **between 64-pattern blocks** (the natural safe
+    /// point where fault dropping already synchronizes) and stops consuming
+    /// further blocks once the token has fired.  The partial result keeps
+    /// every detection made so far and [`FaultSimResult::patterns_used`]
+    /// reports how many patterns were actually simulated, so a
+    /// deterministically triggered token yields a deterministic partial
+    /// result on every thread count.  Workers never consult the token —
+    /// block granularity keeps the detected order byte-identical.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` once the armed token (if any) has fired.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// Good-circuit values of every signal under `pattern`, for use with
@@ -460,6 +481,7 @@ impl<'a> FaultSimulator<'a> {
         let simulator = Simulator::new(self.netlist);
         let mut detected: Vec<StuckAtFault> = Vec::new();
         let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
+        let mut simulated = 0usize;
         let fault_list = faults.faults();
         let n_chunks = fault_list.len().div_ceil(FAULT_CHUNK.max(1));
 
@@ -468,8 +490,14 @@ impl<'a> FaultSimulator<'a> {
             // pool bookkeeping.
             let mut scratch = PpsfpScratch::new(self.netlist);
             for chunk in patterns.chunks(64) {
+                // Cooperative cancellation at the block boundary: keep every
+                // detection made so far, stop consuming further blocks.
+                if self.cancelled() {
+                    break;
+                }
                 let good = simulator.run_parallel_all(chunk)?;
                 let valid_mask = word_mask(chunk.len());
+                simulated += chunk.len();
                 for &fault in fault_list {
                     if self.drop_detected && detected_set.contains(&fault) {
                         continue;
@@ -534,6 +562,13 @@ impl<'a> FaultSimulator<'a> {
                         None => None,
                     };
                     while let Some(block) = staged.take() {
+                        // The driver alone consults the cancel token, at the
+                        // same block boundary as the serial loop, so the
+                        // partial detected order stays byte-identical.
+                        if self.cancelled() {
+                            break;
+                        }
+                        simulated += (block.1.count_ones()) as usize;
                         session.submit(block, n_chunks);
                         staged = match blocks.next() {
                             Some(chunk) => {
@@ -562,7 +597,7 @@ impl<'a> FaultSimulator<'a> {
         Ok(FaultSimResult {
             detected,
             undetected,
-            patterns_used: patterns.len(),
+            patterns_used: simulated,
         })
     }
 
@@ -580,8 +615,13 @@ impl<'a> FaultSimulator<'a> {
     ) -> Result<FaultSimResult, DigitalError> {
         let mut detected = Vec::new();
         let mut detected_set: HashSet<StuckAtFault> = HashSet::new();
+        let mut simulated = 0usize;
         for pattern in patterns {
+            if self.cancelled() {
+                break;
+            }
             let good = self.good_values(pattern)?;
+            simulated += 1;
             for &fault in faults.faults() {
                 if self.drop_detected && detected_set.contains(&fault) {
                     continue;
@@ -600,8 +640,32 @@ impl<'a> FaultSimulator<'a> {
         Ok(FaultSimResult {
             detected,
             undetected,
-            patterns_used: patterns.len(),
+            patterns_used: simulated,
         })
+    }
+
+    /// Index of the first primary output (in primary-output order) at which
+    /// `pattern` detects `fault`, or `None` when the pattern does not detect
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern width does not match.
+    pub fn detecting_output(
+        &self,
+        fault: StuckAtFault,
+        pattern: &[bool],
+    ) -> Result<Option<usize>, DigitalError> {
+        let good = self.good_values(pattern)?;
+        if good[fault.signal.index()] == fault.stuck_at {
+            return Ok(None);
+        }
+        let faulty = self.evaluate_faulty(fault, pattern)?;
+        Ok(self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .position(|o| good[o.index()] != faulty[o.index()]))
     }
 
     fn evaluate_faulty(
@@ -915,5 +979,76 @@ mod tests {
             .run(&FaultList::from_faults(vec![]), &[vec![false; 4]])
             .unwrap();
         assert_eq!(result.coverage(), 1.0);
+    }
+
+    #[test]
+    fn fired_token_yields_an_empty_partial_result_on_every_policy() {
+        let n = benchmarks::c432();
+        let faults = FaultList::collapsed(&n);
+        let patterns = random_patterns(n.primary_inputs().len(), 256, 0xCAFE);
+        for policy in [ExecPolicy::Serial, ExecPolicy::Threads(2)] {
+            let token = CancelToken::new();
+            token.cancel();
+            let sim = FaultSimulator::new(&n)
+                .with_policy(policy)
+                .with_cancel_token(token);
+            let result = sim.run(&faults, &patterns).unwrap();
+            assert_eq!(result.patterns_used(), 0, "no block was consumed");
+            assert!(result.detected().is_empty());
+            assert_eq!(sorted(result.undetected()), sorted(faults.faults()));
+        }
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let n = circuits::adder4();
+        let faults = FaultList::collapsed(&n);
+        let patterns = random_patterns(n.primary_inputs().len(), 192, 0xFEED);
+        let reference = FaultSimulator::new(&n).run(&faults, &patterns).unwrap();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Threads(2)] {
+            let governed = FaultSimulator::new(&n)
+                .with_policy(policy)
+                .with_cancel_token(CancelToken::new())
+                .run(&faults, &patterns)
+                .unwrap();
+            assert_eq!(sorted(governed.detected()), sorted(reference.detected()));
+            assert_eq!(governed.patterns_used(), reference.patterns_used());
+        }
+    }
+
+    #[test]
+    fn run_serial_respects_a_fired_token_per_pattern() {
+        let n = circuits::figure3_circuit();
+        let faults = FaultList::all(&n);
+        let patterns = exhaustive_patterns(n.primary_inputs().len());
+        let token = CancelToken::new();
+        token.cancel();
+        let sim = FaultSimulator::new(&n).with_cancel_token(token);
+        let result = sim.run_serial(&faults, &patterns).unwrap();
+        assert_eq!(result.patterns_used(), 0);
+        assert!(result.detected().is_empty());
+    }
+
+    #[test]
+    fn detecting_output_agrees_with_detects() {
+        let n = circuits::figure3_circuit();
+        let faults = FaultList::all(&n);
+        let sim = FaultSimulator::new(&n);
+        for pattern in exhaustive_patterns(n.primary_inputs().len()) {
+            let good = sim.good_values(&pattern).unwrap();
+            for &fault in faults.faults() {
+                let output = sim.detecting_output(fault, &pattern).unwrap();
+                let detected = sim.detects(fault, &pattern).unwrap();
+                assert_eq!(output.is_some(), detected);
+                if let Some(po_index) = output {
+                    // The reported output really is one where the faulty
+                    // circuit disagrees with the good one.
+                    assert!(po_index < n.primary_outputs().len());
+                    let po = n.primary_outputs()[po_index];
+                    let faulty = sim.evaluate_faulty(fault, &pattern).unwrap();
+                    assert_ne!(good[po.index()], faulty[po.index()]);
+                }
+            }
+        }
     }
 }

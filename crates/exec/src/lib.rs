@@ -58,12 +58,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod chaos;
 pub mod pool;
 
-pub use pool::{PoolStats, Session, WorkerPool};
+pub use cancel::{CancelReason, CancelToken};
+pub use chaos::{ChaosEvent, ChaosInjector};
+pub use pool::{ChunkPanic, PanicPolicy, PoolStats, Session, WorkerPool};
 
 /// Name of the environment variable [`ExecPolicy::Auto`] consults before
 /// falling back to [`std::thread::available_parallelism`].
+///
+/// # Value grammar
+///
+/// The value is trimmed and parsed as a positive decimal integer; exactly
+/// the values accepted by `usize::from_str` with the result `>= 1` override
+/// the hardware thread count.  **Anything else is silently ignored** — the
+/// empty string, `"0"`, `"abc"`, `"-2"`, `"1.5"`, unparsable garbage — and
+/// [`ExecPolicy::Auto`] falls back to
+/// [`std::thread::available_parallelism`].  A malformed value never panics
+/// and never serializes the run to one thread: robustness of a campaign
+/// must not hinge on a typo in a CI environment block.
 pub const THREADS_ENV_VAR: &str = "MSATPG_THREADS";
 
 /// How a parallelizable loop is executed.
@@ -226,8 +241,10 @@ mod tests {
         assert_eq!(parse_thread_override("3"), Some(3));
         assert_eq!(parse_thread_override(" 8 "), Some(8));
         assert_eq!(parse_thread_override("1"), Some(1));
-        // Invalid values fall back to the hardware thread count.
-        for invalid in ["0", "-2", "lots", "", "1.5"] {
+        // Invalid values fall back to the hardware thread count: the
+        // documented grammar of THREADS_ENV_VAR ignores anything that is
+        // not a positive decimal integer, and never panics.
+        for invalid in ["abc", "0", "-2", "lots", "", " ", "1.5", "0x4", "+"] {
             assert_eq!(parse_thread_override(invalid), None, "value {invalid:?}");
         }
         // Whatever the ambient environment says, Auto resolves to >= 1.

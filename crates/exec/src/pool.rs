@@ -45,9 +45,21 @@
 //!
 //! ## Panics
 //!
-//! A panic inside a job is caught on the worker, relayed through the round
-//! descriptor, and re-raised on the driver at the next barrier.  The session
-//! shuts its workers down cleanly even when the driver itself unwinds.
+//! A panic inside a job is caught on the worker; what happens next is the
+//! pool's [`PanicPolicy`]:
+//!
+//! * [`PanicPolicy::FailFast`] (default) — the panic is relayed through the
+//!   round descriptor and re-raised on the driver at the next barrier,
+//!   aborting the round early.
+//! * [`PanicPolicy::Isolate`] — the panic is converted into a per-chunk
+//!   [`ChunkPanic`] record, the worker re-initializes its scratch state
+//!   (whatever the job left behind is suspect) and keeps claiming chunks;
+//!   the driver reads per-chunk `Result`s at the
+//!   [`Session::wait_results`] barrier and decides fault-level outcomes
+//!   itself.  One poisoned chunk never unwinds the campaign.
+//!
+//! Under either policy the session shuts its workers down cleanly even when
+//! the driver itself unwinds.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -55,6 +67,51 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::ExecPolicy;
+
+/// What a session does with a panic caught inside a chunk job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PanicPolicy {
+    /// Relay the panic to the driver and re-raise it at the next barrier,
+    /// abandoning the rest of the round (the pre-existing behavior).
+    #[default]
+    FailFast,
+    /// Record the panic as a per-chunk [`ChunkPanic`], re-initialize the
+    /// worker's scratch state, and finish the round; the driver reads
+    /// per-chunk `Result`s from [`Session::wait_results`].
+    Isolate,
+}
+
+/// A panic caught inside one chunk job under [`PanicPolicy::Isolate`].
+///
+/// Carries the chunk index and the panic message (stringified payload), not
+/// the payload itself, so it is `Clone` and safe to store in reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPanic {
+    /// Chunk index (within its round) whose job panicked.
+    pub chunk: usize,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for ChunkPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk {} panicked: {}", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for ChunkPanic {}
+
+/// Stringifies a caught panic payload (the conventional `&str` / `String`
+/// payloads verbatim; anything else gets a placeholder).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Lifetime counters of a [`WorkerPool`], for tests and diagnostics.
 ///
@@ -99,25 +156,39 @@ pub struct PoolStats {
 /// ```
 pub struct WorkerPool {
     policy: ExecPolicy,
+    panic_policy: PanicPolicy,
     spawns: AtomicU64,
     jobs: AtomicU64,
     barriers: AtomicU64,
 }
 
 impl WorkerPool {
-    /// Creates a pool handle executing under `policy`.
+    /// Creates a pool handle executing under `policy` (with the default
+    /// [`PanicPolicy::FailFast`]).
     pub fn new(policy: ExecPolicy) -> Self {
         WorkerPool {
             policy,
+            panic_policy: PanicPolicy::FailFast,
             spawns: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
         }
     }
 
+    /// Sets the pool's [`PanicPolicy`] (builder style).
+    pub fn with_panic_policy(mut self, panic_policy: PanicPolicy) -> Self {
+        self.panic_policy = panic_policy;
+        self
+    }
+
     /// The policy this pool resolves workers from.
     pub fn policy(&self) -> ExecPolicy {
         self.policy
+    }
+
+    /// How this pool's sessions treat panics caught inside chunk jobs.
+    pub fn panic_policy(&self) -> PanicPolicy {
+        self.panic_policy
     }
 
     /// Snapshot of the lifetime counters.
@@ -163,14 +234,30 @@ impl WorkerPool {
         R: Send,
     {
         let workers = self.policy.workers().min(width.max(1));
+        let panic_policy = self.panic_policy;
         if workers <= 1 {
             let mut scratch: Option<S> = None;
-            let mut run = |input: I, n_chunks: usize| -> Vec<R> {
-                let state = scratch.get_or_insert_with(&init);
+            let mut run = |input: I, n_chunks: usize| -> Vec<Result<R, ChunkPanic>> {
                 (0..n_chunks)
                     .map(|ci| {
                         self.jobs.fetch_add(1, Ordering::Relaxed);
-                        job(state, &input, ci)
+                        if panic_policy == PanicPolicy::Isolate {
+                            let state = scratch.get_or_insert_with(&init);
+                            match catch_unwind(AssertUnwindSafe(|| job(state, &input, ci))) {
+                                Ok(result) => Ok(result),
+                                Err(payload) => {
+                                    // The job may have left the scratch in an
+                                    // inconsistent state; rebuild it.
+                                    scratch = None;
+                                    Err(ChunkPanic {
+                                        chunk: ci,
+                                        message: payload_message(payload.as_ref()),
+                                    })
+                                }
+                            }
+                        } else {
+                            Ok(job(scratch.get_or_insert_with(&init), &input, ci))
+                        }
                     })
                     .collect()
             };
@@ -197,6 +284,7 @@ impl WorkerPool {
             input: RwLock::new(None),
             cursor: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
+            panic_policy,
             to_workers: Condvar::new(),
             to_driver: Condvar::new(),
         };
@@ -273,7 +361,7 @@ pub struct Session<'a, I, R> {
 enum SessionInner<'a, I, R> {
     /// Serial fallback: rounds execute inline at the barrier.
     Inline {
-        run: &'a mut (dyn FnMut(I, usize) -> Vec<R> + 'a),
+        run: &'a mut (dyn FnMut(I, usize) -> Vec<Result<R, ChunkPanic>> + 'a),
         pending: Option<(I, usize)>,
     },
     Threaded {
@@ -326,9 +414,33 @@ impl<I, R> Session<'_, I, R> {
     ///
     /// # Panics
     ///
-    /// Panics if no round is in flight, and re-raises any panic a job of the
-    /// round produced.
+    /// Panics if no round is in flight.  Re-raises any panic a job of the
+    /// round produced — under [`PanicPolicy::FailFast`] the original payload
+    /// relayed from the worker, under [`PanicPolicy::Isolate`] a fresh panic
+    /// naming the first [`ChunkPanic`] (drivers that opted into isolation
+    /// should read [`Session::wait_results`] instead).
     pub fn wait(&mut self) -> Vec<R> {
+        self.wait_results()
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(result) => result,
+                Err(chunk_panic) => panic!("{chunk_panic}"),
+            })
+            .collect()
+    }
+
+    /// The panic-isolating barrier: waits for the in-flight round and
+    /// returns one `Result` per chunk in chunk-index order —
+    /// `Err(ChunkPanic)` for chunks whose job panicked under
+    /// [`PanicPolicy::Isolate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is in flight.  Under [`PanicPolicy::FailFast`] a
+    /// job panic is still re-raised here (isolation is a pool policy, not a
+    /// per-barrier choice), so every returned slot is `Ok` under that
+    /// policy.
+    pub fn wait_results(&mut self) -> Vec<Result<R, ChunkPanic>> {
         let results = match &mut self.inner {
             SessionInner::Inline { run, pending } => {
                 let (input, n_chunks) = pending.take().expect("no round is in flight");
@@ -369,6 +481,12 @@ impl<I, R> Session<'_, I, R> {
         self.wait()
     }
 
+    /// Submits a round and immediately waits at its panic-isolating barrier.
+    pub fn run_results(&mut self, input: I, n_chunks: usize) -> Vec<Result<R, ChunkPanic>> {
+        self.submit(input, n_chunks);
+        self.wait_results()
+    }
+
     /// `true` while a submitted round has not been waited for.
     pub fn in_flight(&self) -> bool {
         match &self.inner {
@@ -377,11 +495,12 @@ impl<I, R> Session<'_, I, R> {
         }
     }
 
-    /// Completes any in-flight round (discarding its results) so the session
-    /// can close; called automatically when the driver returns.
+    /// Completes any in-flight round (discarding its results, including any
+    /// isolated [`ChunkPanic`]s) so the session can close; called
+    /// automatically when the driver returns.
     fn drain(&mut self) {
         if self.in_flight() {
-            let _ = self.wait();
+            let _ = self.wait_results();
         }
     }
 }
@@ -395,8 +514,11 @@ struct Shared<I, R> {
     /// a stale worker's claim attempt fail instead of claiming a chunk of a
     /// newer round with an outdated chunk count.
     cursor: AtomicU64,
-    /// Set when a job panicked: workers stop claiming, the driver re-raises.
+    /// Set when a job panicked under [`PanicPolicy::FailFast`]: workers stop
+    /// claiming, the driver re-raises.
     aborted: AtomicBool,
+    /// How workers treat panics caught inside jobs.
+    panic_policy: PanicPolicy,
     to_workers: Condvar,
     to_driver: Condvar,
 }
@@ -405,7 +527,7 @@ struct RoundState<R> {
     round: u64,
     n_chunks: usize,
     remaining: usize,
-    results: Vec<Option<R>>,
+    results: Vec<Option<Result<R, ChunkPanic>>>,
     shutdown: bool,
     panic: Option<Box<dyn Any + Send>>,
 }
@@ -491,6 +613,11 @@ fn worker_loop<I, R, S>(
                 catch_unwind(AssertUnwindSafe(|| job(&mut scratch, input, ci)))
             };
             jobs.fetch_add(1, Ordering::Relaxed);
+            if outcome.is_err() && shared.panic_policy == PanicPolicy::Isolate {
+                // The job may have left the scratch inconsistent; rebuild it
+                // before claiming the next chunk.
+                scratch = init();
+            }
             let mut st = lock(&shared.state);
             if st.round != round {
                 // The driver already abandoned this round (it advances early
@@ -499,13 +626,21 @@ fn worker_loop<I, R, S>(
                 break;
             }
             match outcome {
-                Ok(result) => st.results[ci] = Some(result),
-                Err(payload) => {
-                    shared.aborted.store(true, Ordering::Relaxed);
-                    if st.panic.is_none() {
-                        st.panic = Some(payload);
+                Ok(result) => st.results[ci] = Some(Ok(result)),
+                Err(payload) => match shared.panic_policy {
+                    PanicPolicy::Isolate => {
+                        st.results[ci] = Some(Err(ChunkPanic {
+                            chunk: ci,
+                            message: payload_message(payload.as_ref()),
+                        }));
                     }
-                }
+                    PanicPolicy::FailFast => {
+                        shared.aborted.store(true, Ordering::Relaxed);
+                        if st.panic.is_none() {
+                            st.panic = Some(payload);
+                        }
+                    }
+                },
             }
             st.remaining = st.remaining.saturating_sub(1);
             if st.remaining == 0 || st.panic.is_some() {
@@ -675,6 +810,130 @@ mod tests {
             },
         );
         assert_eq!(out, vec![10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn isolate_records_chunk_panics_and_finishes_the_round() {
+        for policy in [ExecPolicy::Serial, ExecPolicy::Threads(3)] {
+            let pool = WorkerPool::new(policy).with_panic_policy(PanicPolicy::Isolate);
+            let out = pool.session(
+                6,
+                || (),
+                |(), _: &(), ci| {
+                    if ci == 2 || ci == 4 {
+                        panic!("chunk {ci} exploded");
+                    }
+                    ci * 10
+                },
+                |session| session.run_results((), 6),
+            );
+            assert_eq!(out.len(), 6, "{policy:?}: the round runs to completion");
+            for (ci, slot) in out.iter().enumerate() {
+                if ci == 2 || ci == 4 {
+                    let err = slot.as_ref().expect_err("panicked chunk");
+                    assert_eq!(err.chunk, ci);
+                    assert_eq!(err.message, format!("chunk {ci} exploded"));
+                } else {
+                    assert_eq!(slot.as_ref().copied(), Ok(ci * 10), "{policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolate_session_is_reusable_after_a_chunk_panic() {
+        // Same shape as session_survives_a_caught_job_panic, but without the
+        // driver-side catch_unwind: isolation turns the panic into data.
+        let pool = WorkerPool::new(ExecPolicy::Threads(3)).with_panic_policy(PanicPolicy::Isolate);
+        let out = pool.session(
+            6,
+            || 0u32,
+            |hits, round: &u64, ci| {
+                *hits += 1;
+                if *round == 0 && ci == 2 {
+                    panic!("round 0 exploded");
+                }
+                round * 10 + ci as u64
+            },
+            |session| {
+                let first = session.run_results(0u64, 6);
+                assert_eq!(first.iter().filter(|r| r.is_err()).count(), 1);
+                // The next round reuses the same worker set and every chunk
+                // succeeds (the panicked worker's scratch was re-initialized).
+                session.run(1u64, 6)
+            },
+        );
+        assert_eq!(out, vec![10, 11, 12, 13, 14, 15]);
+        assert_eq!(pool.stats().spawns, 3, "no respawn after the panic");
+    }
+
+    #[test]
+    fn isolate_reinitializes_the_scratch_of_a_panicked_worker() {
+        // Serial path so the chunk-to-worker assignment is deterministic:
+        // the scratch counter must restart after the panicked chunk.
+        let pool = WorkerPool::new(ExecPolicy::Serial).with_panic_policy(PanicPolicy::Isolate);
+        let out = pool.session(
+            4,
+            || 0u32,
+            |count, _: &(), ci| {
+                *count += 1;
+                if ci == 1 {
+                    panic!("poisoned");
+                }
+                *count
+            },
+            |session| session.run_results((), 4),
+        );
+        assert_eq!(out[0].as_ref().copied(), Ok(1));
+        assert!(out[1].is_err());
+        assert_eq!(out[2].as_ref().copied(), Ok(1), "fresh scratch after panic");
+        assert_eq!(out[3].as_ref().copied(), Ok(2));
+    }
+
+    #[test]
+    fn failfast_wait_results_still_reraises() {
+        let pool = WorkerPool::new(ExecPolicy::Threads(2));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.session(
+                4,
+                || (),
+                |(), _: &(), ci| {
+                    if ci == 1 {
+                        panic!("fail fast");
+                    }
+                    ci
+                },
+                |session| session.run_results((), 4),
+            )
+        }));
+        assert!(
+            caught.is_err(),
+            "FailFast is a pool policy, not a barrier choice"
+        );
+    }
+
+    #[test]
+    fn isolate_wait_panics_with_the_chunk_message() {
+        // A driver that opted into isolation but reads the plain barrier
+        // still gets a panic naming the chunk.
+        let pool = WorkerPool::new(ExecPolicy::Serial).with_panic_policy(PanicPolicy::Isolate);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.session(
+                2,
+                || (),
+                |(), _: &(), ci| {
+                    if ci == 0 {
+                        panic!("boom");
+                    }
+                    ci
+                },
+                |session| session.run((), 2),
+            )
+        }));
+        let payload = caught.expect_err("must re-raise");
+        let message = payload_message(payload.as_ref());
+        assert!(message.contains("chunk 0"), "got {message:?}");
+        assert!(message.contains("boom"), "got {message:?}");
     }
 
     #[test]

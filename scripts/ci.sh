@@ -14,6 +14,9 @@ cargo test -q
 echo "==> fmt check"
 cargo fmt --all --check
 
+echo "==> panic-site ratchet (lint_unwrap)"
+./scripts/lint_unwrap.sh
+
 echo "==> docs (rustdoc, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 

@@ -355,6 +355,10 @@ fn atpg_vectors_are_confirmed_by_simulation() {
                 panic!("unexpected untestable fault {fault}");
             }
             TestOutcome::PreviouslyDetected => {}
+            TestOutcome::Degraded(_) | TestOutcome::Aborted(_) => {
+                // No budget or cancel token is armed on this engine.
+                panic!("unexpected governed outcome for fault {fault}");
+            }
         }
     }
 }
@@ -471,6 +475,8 @@ fn assert_reports_identical(a: &AtpgReport, b: &AtpgReport, context: &str) {
     assert_eq!(a.total_faults, b.total_faults, "{context}: total_faults");
     assert_eq!(a.detected, b.detected, "{context}: detected");
     assert_eq!(a.untestable, b.untestable, "{context}: untestable");
+    assert_eq!(a.degraded, b.degraded, "{context}: degraded");
+    assert_eq!(a.aborted, b.aborted, "{context}: aborted");
     assert_eq!(a.vectors, b.vectors, "{context}: vectors");
     assert_eq!(a.constrained, b.constrained, "{context}: constrained");
 }
@@ -664,5 +670,107 @@ fn mna_divider_matches_theory() {
         let sol = Mna::new(&c).solve_dc().unwrap();
         let expected = r2 / (r1 + r2);
         assert!((sol.voltage(vout).re - expected).abs() < 1e-9);
+    }
+}
+
+/// The seeded fault-injection harness: under injected panics (isolated),
+/// simulated budget exhaustion (degraded via random patterns) and injected
+/// cancellations, the governed ATPG report is still byte-identical across
+/// every thread count — including `Auto`, which the CI matrix pins to
+/// `MSATPG_THREADS=1/2/8` around this very binary.  The injector is a pure
+/// function of `(seed, fault index)`, so the same faults are hit no matter
+/// how the work is scheduled.
+#[test]
+fn chaos_governed_atpg_reports_are_byte_identical_across_policies() {
+    use msatpg::core::digital_atpg::DegradePolicy;
+    use msatpg::exec::{ChaosInjector, PanicPolicy};
+
+    let circuit = circuits::adder4();
+    let faults = FaultList::collapsed(&circuit);
+    let sim = FaultSimulator::new(&circuit);
+    for seed in [0x01u64, 0xA5A5, 0xDEAD_BEEF] {
+        let chaos = ChaosInjector::new(seed)
+            .with_panic_rate(7)
+            .with_budget_rate(5)
+            .with_cancel_rate(11);
+        let build = || {
+            DigitalAtpg::new(&circuit)
+                .with_chaos(chaos)
+                .with_panic_policy(PanicPolicy::Isolate)
+                .with_degradation(DegradePolicy {
+                    seed,
+                    patterns: 128,
+                })
+        };
+        let reference = build().run(&faults).unwrap();
+        assert_eq!(
+            reference.detected + reference.untestable.len() + reference.aborted.len(),
+            faults.len(),
+            "seed={seed:#x}: every fault is accounted for"
+        );
+        // Both deterministic and degraded vectors are real tests.
+        for vector in &reference.vectors {
+            assert!(
+                sim.detects(vector.fault, &vector.concretize(false))
+                    .unwrap(),
+                "seed={seed:#x}: vector fails to detect its fault"
+            );
+        }
+        for policy in determinism_policies() {
+            let report = build().with_policy(policy).run(&faults).unwrap();
+            assert_reports_identical(
+                &report,
+                &reference,
+                &format!("chaos seed={seed:#x} policy={policy:?}"),
+            );
+        }
+    }
+}
+
+/// Robustness of the long-lived executors: a worker pool that has relayed
+/// injected job panics (isolated per chunk) and serviced a cancelled
+/// campaign still runs a clean campaign byte-identically to a fresh pool,
+/// and cancelled engines recover with a fresh token.
+#[test]
+fn pools_and_engines_stay_reusable_after_every_injected_failure() {
+    use msatpg::digital::fault::StuckAtFault;
+    use msatpg::exec::{CancelToken, ChaosInjector, PanicPolicy, WorkerPool};
+
+    let circuit = circuits::adder4();
+    let faults = FaultList::collapsed(&circuit);
+    let clean_reference = DigitalAtpg::new(&circuit).run(&faults).unwrap();
+    let is_deadline = |aborted: &[(StuckAtFault, msatpg::core::AbortReason)]| {
+        aborted
+            .iter()
+            .all(|(_, r)| *r == msatpg::core::AbortReason::Deadline)
+    };
+    for policy in determinism_policies() {
+        let pool = WorkerPool::new(policy).with_panic_policy(PanicPolicy::Isolate);
+        for seed in 0..3u64 {
+            // Injected worker panics, isolated to their fault targets.
+            let chaotic = DigitalAtpg::new(&circuit)
+                .with_chaos(ChaosInjector::new(seed).with_panic_rate(3))
+                .with_panic_policy(PanicPolicy::Isolate)
+                .run_on(&pool, &faults)
+                .unwrap();
+            assert_eq!(
+                chaotic.detected + chaotic.untestable.len() + chaotic.aborted.len(),
+                faults.len()
+            );
+            // A campaign cancelled after a few targets.
+            let cancelled = DigitalAtpg::new(&circuit)
+                .with_cancel_token(CancelToken::with_step_quota(seed + 2))
+                .run_on(&pool, &faults)
+                .unwrap();
+            assert!(cancelled.aborted_count() > 0);
+            assert!(is_deadline(&cancelled.aborted));
+            // The same pool then runs a clean campaign: no residue.
+            let clean = DigitalAtpg::new(&circuit).run_on(&pool, &faults).unwrap();
+            assert_reports_identical(
+                &clean,
+                &clean_reference,
+                &format!("after chaos seed={seed} policy={policy:?}"),
+            );
+        }
     }
 }
