@@ -98,6 +98,7 @@ mod dot;
 mod expr;
 mod manager;
 mod node;
+pub mod store;
 
 pub use budget::{BddBudget, BddError};
 pub use cube::{Assignment, Cube, CubeIter};
@@ -105,3 +106,4 @@ pub use dot::{to_dot, to_text_tree};
 pub use expr::Expr;
 pub use manager::{BddManager, BddStats, CacheStats, GcReport};
 pub use node::{Bdd, VarId};
+pub use store::{export_bdd, import_bdd, BddStoreError};

@@ -1,0 +1,630 @@
+//! Textual serialization of BDDs (a dddmp-style node-list format).
+//!
+//! The exchange format follows the spirit of CUDD's `dddmp` text dumps: a
+//! small header, the variable order, then one line per node referencing its
+//! children by identifier.  Two properties matter more than the surface
+//! syntax:
+//!
+//! * **stability** — node identifiers are assigned in traversal order
+//!   (depth-first, low child before high), never from arena indices, so the
+//!   output is byte-identical before and after [`BddManager::gc`] cycles
+//!   and independent of free-list slot reuse — the same convention as the
+//!   DOT exporter;
+//! * **complement edges** — the engine stores one polarity per function and
+//!   keeps negation on the edges.  A reference is `T` (the `1` terminal),
+//!   a 1-based node id, or either prefixed with `-` for a complement arc
+//!   (`-T` is the constant `0`).  The canonical invariant — a stored high
+//!   edge is never complemented — is part of the format and is *checked* on
+//!   import, which makes a flipped polarity bit a detectable corruption
+//!   rather than a silently wrong function.
+//!
+//! Import rebuilds the function through the manager's own hash-consing
+//! ([`BddManager::try_ite`] per node, children first), so a loaded BDD is
+//! automatically reduced and shares structure with whatever the target
+//! manager already holds.  Every malformed byte — unknown keyword, dangling
+//! reference, variable-order violation, truncated node list — surfaces as a
+//! structured [`BddStoreError`], never a panic.
+//!
+//! The on-disk envelope (checksums, versioning, atomic writes) lives in
+//! `msatpg_core::store`; this module is only the payload codec.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::budget::BddError;
+use crate::manager::BddManager;
+use crate::node::{Bdd, VarId};
+
+/// Version tag emitted in the `.ver` line; bump on incompatible changes.
+pub const FORMAT_VERSION: &str = "msatpg-dddmp-1";
+
+/// A failure while parsing or rebuilding a serialized BDD.
+#[derive(Debug)]
+pub enum BddStoreError {
+    /// The text is not a well-formed document (the message says why, the
+    /// line number is 1-based; line 0 means the document as a whole).
+    Parse {
+        /// 1-based line of the offending input (0 = whole document).
+        line: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Rebuilding the function hit a manager-side failure (budget, cancel).
+    Bdd(BddError),
+}
+
+impl fmt::Display for BddStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddStoreError::Parse { line, reason } => {
+                write!(f, "BDD store parse error at line {line}: {reason}")
+            }
+            BddStoreError::Bdd(e) => write!(f, "BDD store rebuild failed: {e}"),
+        }
+    }
+}
+
+impl Error for BddStoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BddStoreError::Parse { .. } => None,
+            BddStoreError::Bdd(e) => Some(e),
+        }
+    }
+}
+
+impl From<BddError> for BddStoreError {
+    fn from(e: BddError) -> Self {
+        BddStoreError::Bdd(e)
+    }
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> BddStoreError {
+    BddStoreError::Parse {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Assigns dense, traversal-ordered 1-based identifiers to the nodes
+/// reachable from `f` (complement flags stripped), depth-first, low child
+/// before high — the same ordering as the DOT exporter, so ids are stable
+/// across garbage collection and free-slot reuse.
+fn number_nodes(m: &BddManager, f: Bdd) -> (Vec<Bdd>, HashMap<u32, usize>) {
+    let mut order: Vec<Bdd> = Vec::new();
+    let mut ids: HashMap<u32, usize> = HashMap::new();
+    let mut stack = vec![f.regular()];
+    while let Some(n) = stack.pop() {
+        if n.is_terminal() || ids.contains_key(&n.index()) {
+            continue;
+        }
+        ids.insert(n.index(), order.len() + 1);
+        order.push(n);
+        let (low, high) = m.stored_children(n);
+        stack.push(high.regular());
+        stack.push(low.regular());
+    }
+    (order, ids)
+}
+
+/// Formats an edge target: `T`/`-T` for the terminals, `id`/`-id` for
+/// interior nodes (`-` marks a complement arc).
+fn ref_of(ids: &HashMap<u32, usize>, child: Bdd) -> String {
+    let sign = if child.is_complement() { "-" } else { "" };
+    if child.is_terminal() {
+        format!("{sign}T")
+    } else {
+        match ids.get(&child.index()) {
+            Some(id) => format!("{sign}{id}"),
+            // Unreachable: every child of a numbered node is numbered.
+            None => format!("{sign}?"),
+        }
+    }
+}
+
+/// Serializes `f` to the textual node-list format.
+///
+/// The output depends only on the function's structure and the manager's
+/// variable order, so it is byte-stable across GC cycles.  Newlines in
+/// `name` are replaced by spaces (the name occupies one header line).
+pub fn export_bdd(m: &BddManager, f: Bdd, name: &str) -> String {
+    let (order, ids) = number_nodes(m, f);
+    let clean_name: String = name
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, ".ver {FORMAT_VERSION}");
+    let _ = writeln!(out, ".bdd {clean_name}");
+    let _ = writeln!(out, ".nvars {}", m.var_count());
+    for v in m.var_names() {
+        let _ = writeln!(out, ".var {v}");
+    }
+    let _ = writeln!(out, ".nnodes {}", order.len());
+    let _ = writeln!(out, ".root {}", ref_of(&ids, f));
+    for (i, &n) in order.iter().enumerate() {
+        let (low, high) = m.stored_children(n);
+        let _ = writeln!(
+            out,
+            ".node {} {} {} {}",
+            i + 1,
+            m.node_var(n),
+            ref_of(&ids, low),
+            ref_of(&ids, high)
+        );
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// A parsed (but not yet resolved) edge reference.
+#[derive(Clone, Copy)]
+enum Ref {
+    Terminal { complement: bool },
+    Node { id: usize, complement: bool },
+}
+
+fn parse_ref(token: &str, line: usize, nnodes: usize) -> Result<Ref, BddStoreError> {
+    let (complement, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    if body == "T" {
+        return Ok(Ref::Terminal { complement });
+    }
+    let id: usize = body
+        .parse()
+        .map_err(|_| parse_err(line, format!("malformed node reference `{token}`")))?;
+    if id == 0 || id > nnodes {
+        return Err(parse_err(
+            line,
+            format!("node reference {id} outside 1..={nnodes}"),
+        ));
+    }
+    Ok(Ref::Node { id, complement })
+}
+
+/// One `.node` record: variable (as an index into the `.var` list) and the
+/// two child references.
+struct NodeRecord {
+    var: usize,
+    low: Ref,
+    high: Ref,
+}
+
+/// The fully parsed document, validated but not yet rebuilt.
+struct Document {
+    name: String,
+    vars: Vec<VarId>,
+    root: Ref,
+    nodes: Vec<NodeRecord>,
+}
+
+/// Reads one expected `.keyword value` line.
+fn expect_line<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    keyword: &str,
+) -> Result<(usize, &'a str), BddStoreError> {
+    match lines.next() {
+        Some((no, text)) => match text.strip_prefix(keyword) {
+            Some(rest) if rest.is_empty() || rest.starts_with(' ') => {
+                Ok((no, rest.trim_start_matches(' ')))
+            }
+            _ => Err(parse_err(no, format!("expected `{keyword}`, got `{text}`"))),
+        },
+        None => Err(parse_err(
+            0,
+            format!("unexpected end of input: missing `{keyword}`"),
+        )),
+    }
+}
+
+fn parse_count(value: &str, line: usize, what: &str) -> Result<usize, BddStoreError> {
+    value
+        .parse()
+        .map_err(|_| parse_err(line, format!("malformed {what} count `{value}`")))
+}
+
+/// Parses the document and declares its variables in `m`.
+///
+/// The listed variables must resolve, in file order, to strictly increasing
+/// variable ids in the target manager: loading into a fresh manager always
+/// succeeds, loading into a manager whose existing order disagrees is a
+/// structured error (the function would otherwise be silently reordered).
+fn parse_document(m: &mut BddManager, text: &str) -> Result<Document, BddStoreError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    let (no, ver) = expect_line(&mut lines, ".ver")?;
+    if ver != FORMAT_VERSION {
+        return Err(parse_err(
+            no,
+            format!("unsupported format version `{ver}` (expected `{FORMAT_VERSION}`)"),
+        ));
+    }
+    let (_, name) = expect_line(&mut lines, ".bdd")?;
+    let name = name.to_owned();
+    let (no, nvars) = expect_line(&mut lines, ".nvars")?;
+    let nvars = parse_count(nvars, no, "variable")?;
+    let mut vars: Vec<VarId> = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let (no, var_name) = expect_line(&mut lines, ".var")?;
+        if var_name.is_empty() {
+            return Err(parse_err(no, "empty variable name"));
+        }
+        let id = m.var_id(var_name);
+        if let Some(&prev) = vars.last() {
+            if id <= prev {
+                return Err(parse_err(
+                    no,
+                    format!(
+                        "variable `{var_name}` breaks the target manager's order \
+                         (id {id} after {prev})"
+                    ),
+                ));
+            }
+        }
+        vars.push(id);
+    }
+    let (no, nnodes) = expect_line(&mut lines, ".nnodes")?;
+    let nnodes = parse_count(nnodes, no, "node")?;
+    let (no, root) = expect_line(&mut lines, ".root")?;
+    let root = parse_ref(root, no, nnodes)?;
+
+    let mut nodes: Vec<Option<NodeRecord>> = Vec::new();
+    nodes.resize_with(nnodes, || None);
+    for _ in 0..nnodes {
+        let (no, rest) = expect_line(&mut lines, ".node")?;
+        let mut fields = rest.split_whitespace();
+        let (id, var, low, high) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => return Err(parse_err(no, "expected `.node <id> <var> <low> <high>`")),
+            };
+        if fields.next().is_some() {
+            return Err(parse_err(no, "trailing fields on `.node` line"));
+        }
+        let id: usize = id
+            .parse()
+            .map_err(|_| parse_err(no, format!("malformed node id `{id}`")))?;
+        if id == 0 || id > nnodes {
+            return Err(parse_err(no, format!("node id {id} outside 1..={nnodes}")));
+        }
+        let var: usize = var
+            .parse()
+            .map_err(|_| parse_err(no, format!("malformed variable index `{var}`")))?;
+        if var >= nvars {
+            return Err(parse_err(
+                no,
+                format!("variable index {var} outside 0..{nvars}"),
+            ));
+        }
+        let low = parse_ref(low, no, nnodes)?;
+        let high = parse_ref(high, no, nnodes)?;
+        if let Ref::Node {
+            complement: true, ..
+        }
+        | Ref::Terminal { complement: true } = high
+        {
+            return Err(parse_err(
+                no,
+                "complemented high edge violates the canonical form",
+            ));
+        }
+        let slot = nodes
+            .get_mut(id - 1)
+            .ok_or_else(|| parse_err(no, format!("node id {id} outside 1..={nnodes}")))?;
+        if slot.is_some() {
+            return Err(parse_err(no, format!("duplicate node id {id}")));
+        }
+        *slot = Some(NodeRecord { var, low, high });
+    }
+    let (_, _) = expect_line(&mut lines, ".end")?;
+    if let Some((extra, text)) = lines.next() {
+        return Err(parse_err(
+            extra,
+            format!("trailing content `{text}` after .end"),
+        ));
+    }
+
+    // Every id declared in `.nnodes` must be defined, and the variable
+    // order must strictly increase along every edge — which also rules out
+    // reference cycles and bounds the rebuild depth by the variable count.
+    let mut resolved: Vec<NodeRecord> = Vec::with_capacity(nnodes);
+    for (i, slot) in nodes.into_iter().enumerate() {
+        match slot {
+            Some(rec) => resolved.push(rec),
+            None => return Err(parse_err(0, format!("node id {} is never defined", i + 1))),
+        }
+    }
+    for (i, rec) in resolved.iter().enumerate() {
+        for child in [rec.low, rec.high] {
+            if let Ref::Node { id, .. } = child {
+                let child_var = resolved
+                    .get(id - 1)
+                    .map(|r| r.var)
+                    .ok_or_else(|| parse_err(0, format!("dangling reference to node {id}")))?;
+                if child_var <= rec.var {
+                    return Err(parse_err(
+                        0,
+                        format!(
+                            "node {} (var {}) references node {id} (var {child_var}): \
+                             variable order must strictly increase",
+                            i + 1,
+                            rec.var
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Document {
+        name,
+        vars,
+        root,
+        nodes: resolved,
+    })
+}
+
+/// Rebuilds the node for `id`, children first, memoizing and protecting
+/// every interior result so an auto-GC pass during construction cannot
+/// sweep it.  Depth is bounded by the variable count (checked above).
+fn build_node(
+    m: &mut BddManager,
+    doc: &Document,
+    memo: &mut Vec<Option<Bdd>>,
+    protected: &mut Vec<Bdd>,
+    id: usize,
+) -> Result<Bdd, BddStoreError> {
+    if let Some(Some(b)) = memo.get(id - 1) {
+        return Ok(*b);
+    }
+    let rec = doc
+        .nodes
+        .get(id - 1)
+        .ok_or_else(|| parse_err(0, format!("dangling reference to node {id}")))?;
+    let var = *doc
+        .vars
+        .get(rec.var)
+        .ok_or_else(|| parse_err(0, format!("variable index {} out of range", rec.var)))?;
+    let (low_ref, high_ref) = (rec.low, rec.high);
+    let low = resolve_ref(m, doc, memo, protected, low_ref)?;
+    let high = resolve_ref(m, doc, memo, protected, high_ref)?;
+    let lit = m.literal(var, true);
+    let node = m.try_ite(lit, high, low)?;
+    if !node.is_terminal() {
+        m.protect(node);
+        protected.push(node);
+    }
+    if let Some(slot) = memo.get_mut(id - 1) {
+        *slot = Some(node);
+    }
+    Ok(node)
+}
+
+fn resolve_ref(
+    m: &mut BddManager,
+    doc: &Document,
+    memo: &mut Vec<Option<Bdd>>,
+    protected: &mut Vec<Bdd>,
+    r: Ref,
+) -> Result<Bdd, BddStoreError> {
+    match r {
+        Ref::Terminal { complement: false } => Ok(Bdd::ONE),
+        Ref::Terminal { complement: true } => Ok(Bdd::ZERO),
+        Ref::Node { id, complement } => {
+            let node = build_node(m, doc, memo, protected, id)?;
+            Ok(node.toggled_if(complement))
+        }
+    }
+}
+
+/// Parses `text` and rebuilds the function in `m`, returning the handle and
+/// the stored name.
+///
+/// Variables are declared in `m` as needed (see the ordering contract in
+/// the module docs).  The rebuilt function is *not* left protected; protect
+/// it before the next [`BddManager::gc`] if it must survive one.  On any
+/// malformed input this returns [`BddStoreError::Parse`]; manager-side
+/// failures (budget exhaustion, cancellation) surface as
+/// [`BddStoreError::Bdd`] with the underlying [`BddError`] as
+/// [`Error::source`].
+pub fn import_bdd(m: &mut BddManager, text: &str) -> Result<(Bdd, String), BddStoreError> {
+    let doc = parse_document(m, text)?;
+    let mut memo: Vec<Option<Bdd>> = vec![None; doc.nodes.len()];
+    let mut protected: Vec<Bdd> = Vec::new();
+    let result = resolve_ref(m, &doc, &mut memo, &mut protected, doc.root);
+    for &n in &protected {
+        m.unprotect(n);
+    }
+    let root = result?;
+    Ok((root, doc.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(m: &mut BddManager) -> Bdd {
+        let a = m.var("a");
+        let b = m.var("b");
+        let c = m.var("c");
+        let ab = m.and(a, b);
+        let bc = m.xor(b, c);
+        m.or(ab, bc)
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_and_bytes() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m);
+        let text = export_bdd(&m, f, "sample");
+        let mut m2 = BddManager::new();
+        let (g, name) = import_bdd(&mut m2, &text).unwrap();
+        assert_eq!(name, "sample");
+        assert_eq!(m.sat_count(f), m2.sat_count(g));
+        assert_eq!(
+            m.cubes(f).collect::<Vec<_>>(),
+            m2.cubes(g).collect::<Vec<_>>()
+        );
+        // Re-export of the import is byte-identical (canonical form).
+        assert_eq!(export_bdd(&m2, g, "sample"), text);
+    }
+
+    #[test]
+    fn export_is_stable_across_gc_and_reallocation() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m);
+        let before = export_bdd(&m, f, "stable");
+        m.protect(f);
+        let report = m.gc();
+        assert!(report.reclaimed > 0);
+        assert_eq!(export_bdd(&m, f, "stable"), before);
+        // Allocate into the freed slots (no new variables, which would
+        // legitimately extend the `.var` header): traversal-ordered ids
+        // keep the output byte-identical despite free-list reuse.
+        let a = m.var("a");
+        let c = m.var("c");
+        let _noise = m.xor(a, c);
+        assert_eq!(export_bdd(&m, f, "stable"), before);
+        m.unprotect(f);
+    }
+
+    #[test]
+    fn complemented_roots_and_terminals_roundtrip() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m);
+        let nf = m.not(f);
+        let text = export_bdd(&m, nf, "neg");
+        let mut m2 = BddManager::new();
+        let (g, _) = import_bdd(&mut m2, &text).unwrap();
+        assert_eq!(m.sat_count(nf), m2.sat_count(g));
+
+        for (k, name) in [(Bdd::ONE, "one"), (Bdd::ZERO, "zero")] {
+            let text = export_bdd(&m, k, name);
+            let mut fresh = BddManager::new();
+            let (g, back) = import_bdd(&mut fresh, &text).unwrap();
+            assert_eq!(g, k);
+            assert_eq!(back, name);
+        }
+    }
+
+    #[test]
+    fn import_into_shared_manager_reuses_structure() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m);
+        let text = export_bdd(&m, f, "shared");
+        let live_before = m.live_node_count();
+        let (g, _) = import_bdd(&mut m, &text).unwrap();
+        assert_eq!(g, f, "hash consing must find the existing function");
+        assert_eq!(m.live_node_count(), live_before);
+    }
+
+    #[test]
+    fn conflicting_variable_order_is_an_error() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m); // declares a, b, c
+        let text = export_bdd(&m, f, "ordered");
+        let mut other = BddManager::new();
+        other.var("c"); // c before a/b conflicts with the document order
+        let err = import_bdd(&mut other, &text).unwrap_err();
+        assert!(matches!(err, BddStoreError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        let mut m = BddManager::new();
+        let f = sample(&mut m);
+        let good = export_bdd(&m, f, "target");
+        // Truncation at every line boundary.
+        let lines: Vec<&str> = good.lines().collect();
+        for cut in 0..lines.len() {
+            let partial = lines[..cut].join("\n");
+            let mut fresh = BddManager::new();
+            assert!(
+                import_bdd(&mut fresh, &partial).is_err(),
+                "truncation after {cut} lines must fail"
+            );
+        }
+        // Assorted corruptions.
+        let cases = [
+            good.replace(".ver msatpg-dddmp-1", ".ver msatpg-dddmp-9"),
+            good.replace(".nnodes", ".nnodes x"),
+            good.replace(".node 1 ", ".node 7 "),
+            good.replace(".node 1 ", ".node one "),
+            good.replace(".root ", ".root 999"),
+            format!("{good}.node 9 9 T T\n"),
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            let mut fresh = BddManager::new();
+            let err = import_bdd(&mut fresh, bad);
+            assert!(
+                matches!(err, Err(BddStoreError::Parse { .. })),
+                "case {i} must be a parse error, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn complemented_high_edge_is_rejected() {
+        // Hand-written document with a `-T` high edge.
+        let text = "\
+.ver msatpg-dddmp-1
+.bdd broken
+.nvars 1
+.var a
+.nnodes 1
+.root 1
+.node 1 0 T -T
+.end
+";
+        let mut m = BddManager::new();
+        let err = import_bdd(&mut m, text).unwrap_err();
+        assert!(format!("{err}").contains("canonical"), "{err}");
+    }
+
+    #[test]
+    fn variable_order_violation_in_nodes_is_rejected() {
+        let text = "\
+.ver msatpg-dddmp-1
+.bdd cyclic
+.nvars 2
+.var a
+.var b
+.nnodes 2
+.root 1
+.node 1 1 -T 2
+.node 2 0 T 1
+.end
+";
+        let mut m = BddManager::new();
+        let err = import_bdd(&mut m, text).unwrap_err();
+        assert!(
+            format!("{err}").contains("order must strictly increase"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_source_chains_to_bdd_error() {
+        use crate::budget::BddBudget;
+        use std::error::Error as _;
+        let mut m = BddManager::new();
+        let mut f = m.one();
+        for i in 0..8 {
+            let v = m.var(&format!("v{i}"));
+            f = m.xor(f, v);
+        }
+        let text = export_bdd(&m, f, "big");
+        let mut tiny = BddManager::new();
+        tiny.set_budget(BddBudget::UNLIMITED.with_max_steps(1));
+        let err = import_bdd(&mut tiny, &text).unwrap_err();
+        assert!(matches!(err, BddStoreError::Bdd(_)), "{err:?}");
+        assert!(err.source().is_some(), "source() must expose the BddError");
+    }
+}

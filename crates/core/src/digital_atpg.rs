@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -34,6 +35,7 @@ use msatpg_digital::sim::Simulator;
 use msatpg_exec::{CancelToken, ChaosEvent, ChaosInjector, ExecPolicy, PanicPolicy, WorkerPool};
 
 use crate::constraint::{constraint_bdd, declare_input_variables};
+use crate::store::{self, Checkpoint, CheckpointPolicy};
 use crate::CoreError;
 
 /// The name of the auxiliary composite variable (kept last in the ordering).
@@ -368,6 +370,8 @@ pub struct DigitalAtpg<'a> {
     chaos: Option<ChaosInjector>,
     panic_policy: PanicPolicy,
     degrade: DegradePolicy,
+    checkpoint: Option<(CheckpointPolicy, PathBuf)>,
+    resume: Option<Checkpoint>,
 }
 
 /// A per-fault generation failure the driver translates into an outcome.
@@ -376,6 +380,88 @@ enum GenFailure {
     Bdd(BddError),
     /// The generation job panicked under [`PanicPolicy::Isolate`].
     Panicked,
+}
+
+/// The campaign journal: records every outcome in fault-list order on the
+/// replay driver and flushes the accumulated snapshot per the armed
+/// [`CheckpointPolicy`].  A disarmed journal (no checkpoint configured) is
+/// a no-op.
+///
+/// Flushes go through the store's chaotic write hook so the
+/// [`ChaosInjector`]'s store classes (crash, torn write, bit flip) can
+/// corrupt a checkpoint deterministically in tests; the chaos site is the
+/// journal length at the flush.
+struct CampaignJournal {
+    armed: Option<(CheckpointPolicy, PathBuf)>,
+    chaos: Option<ChaosInjector>,
+    checkpoint: Checkpoint,
+    /// The on-cancel flush fires once, at the first `Aborted(Deadline)`:
+    /// after that every remaining fault aborts the same way, and flushing
+    /// the whole tail one entry at a time would be quadratic.
+    cancel_flushed: bool,
+}
+
+impl CampaignJournal {
+    fn new(
+        armed: Option<(CheckpointPolicy, PathBuf)>,
+        chaos: Option<ChaosInjector>,
+        netlist: &Netlist,
+        faults: &FaultList,
+    ) -> Self {
+        let outcomes = Vec::with_capacity(if armed.is_some() { faults.len() } else { 0 });
+        CampaignJournal {
+            armed,
+            chaos,
+            checkpoint: Checkpoint {
+                circuit: netlist.name().to_owned(),
+                total_faults: faults.len(),
+                faults_digest: store::faults_digest(faults.faults()),
+                outcomes,
+            },
+            cancel_flushed: false,
+        }
+    }
+
+    /// Journals one outcome and flushes if the policy says so.
+    fn record(&mut self, outcome: &TestOutcome) -> Result<(), CoreError> {
+        let Some((policy, _)) = &self.armed else {
+            return Ok(());
+        };
+        self.checkpoint.outcomes.push(outcome.clone());
+        let flush = match outcome {
+            TestOutcome::Aborted(AbortReason::Deadline) => {
+                policy.on_cancel && !std::mem::replace(&mut self.cancel_flushed, true)
+            }
+            TestOutcome::Aborted(_) => policy.on_abort,
+            _ => policy.every != 0 && self.checkpoint.outcomes.len() % policy.every == 0,
+        };
+        if flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The end-of-campaign flush: an armed journal always persists its
+    /// final state, so a completed run leaves a complete snapshot behind.
+    fn finish(&mut self) -> Result<(), CoreError> {
+        if self.armed.is_some() {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), CoreError> {
+        let Some((_, path)) = &self.armed else {
+            return Ok(());
+        };
+        let site = self.checkpoint.outcomes.len() as u64;
+        store::save_checkpoint_chaotic(
+            path,
+            &self.checkpoint,
+            self.chaos.as_ref().map(|c| (c, site)),
+        )
+        .map_err(CoreError::from)
+    }
 }
 
 impl<'a> DigitalAtpg<'a> {
@@ -416,6 +502,8 @@ impl<'a> DigitalAtpg<'a> {
             chaos: None,
             panic_policy: PanicPolicy::FailFast,
             degrade: DegradePolicy::default(),
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -533,6 +621,41 @@ impl<'a> DigitalAtpg<'a> {
     /// budget-aborted faults.
     pub fn with_degradation(mut self, degrade: DegradePolicy) -> Self {
         self.degrade = degrade;
+        self
+    }
+
+    /// Arms campaign checkpointing: every per-fault outcome is journaled
+    /// **in fault-list order** and the journal is flushed to `path` — a
+    /// crash-consistent atomic replace, see [`crate::store`] — per `policy`,
+    /// plus one final flush when the campaign ends.  A reader therefore
+    /// always finds either no file, the previous complete snapshot or the
+    /// new complete snapshot, never a torn one.
+    ///
+    /// Outcomes are journaled at the governed gc+reset boundaries (see
+    /// [`DigitalAtpg::with_budget`]), where each one is a pure function of
+    /// its fault; replaying a journaled prefix is therefore byte-identical
+    /// to recomputing it.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some((policy, path.into()));
+        self
+    }
+
+    /// Resumes the next [`DigitalAtpg::run`] from a snapshot (load one with
+    /// [`store::load_checkpoint`]).  Journaled `Detected`, `Untestable`,
+    /// `PreviouslyDetected` and `Degraded` outcomes are replayed without
+    /// regeneration; journaled `Aborted` outcomes and the unjournaled tail
+    /// are re-attempted under whatever budget or token this engine has
+    /// armed *now*.
+    ///
+    /// An interrupted-then-resumed campaign reproduces the uninterrupted
+    /// report **byte for byte** (up to wall-clock `cpu`) at any thread
+    /// count: the replayed prefix rebuilds the exact fault-dropping state
+    /// the original run had, and governed generation is a pure function of
+    /// the fault.  The snapshot is validated against the campaign's circuit
+    /// and fault list when the run starts; a mismatch is
+    /// [`CoreError::Store`].
+    pub fn with_resume(mut self, checkpoint: Checkpoint) -> Self {
+        self.resume = Some(checkpoint);
         self
     }
 
@@ -691,18 +814,33 @@ impl<'a> DigitalAtpg<'a> {
     ) -> Result<AtpgReport, CoreError> {
         let start = Instant::now();
         let mut replay = ReplayState::new(self.netlist, self.fault_dropping, faults);
+        let slots = self.resume_slots(faults)?;
+        let mut journal =
+            CampaignJournal::new(self.checkpoint.clone(), self.chaos, self.netlist, faults);
         if pool.policy().is_serial() {
             for (k, &fault) in faults.faults().iter().enumerate() {
+                // A journaled non-aborted outcome is replayed verbatim: the
+                // prefix replayed so far rebuilt the exact coverage state
+                // the original run had at this index, so re-deciding would
+                // only recompute the same answer.
+                if let Some(outcome) = slots.get(k).and_then(|s| s.clone()) {
+                    journal.record(&outcome)?;
+                    replay.consume(fault, outcome)?;
+                    continue;
+                }
                 if replay.covered(fault) {
                     replay.detected += 1;
+                    journal.record(&TestOutcome::PreviouslyDetected)?;
                     continue;
                 }
                 let outcome = self.decide(k, fault, None)?;
+                journal.record(&outcome)?;
                 replay.consume(fault, outcome)?;
             }
         } else {
-            self.run_pipelined(pool, faults, &mut replay)?;
+            self.run_pipelined(pool, faults, &mut replay, &mut journal, &slots)?;
         }
+        journal.finish()?;
         Ok(AtpgReport {
             circuit: self.netlist.name().to_owned(),
             total_faults: faults.len(),
@@ -714,6 +852,48 @@ impl<'a> DigitalAtpg<'a> {
             cpu: start.elapsed(),
             constrained: self.constrained,
         })
+    }
+
+    /// Validates the armed resume snapshot (if any) against this campaign
+    /// and expands it into per-index replay slots: `Some` for journaled
+    /// non-aborted outcomes, `None` for journaled aborts (re-attempted
+    /// fresh) and for the unjournaled tail.  The snapshot is consumed — a
+    /// second `run` on the same engine starts from scratch.
+    fn resume_slots(&mut self, faults: &FaultList) -> Result<Vec<Option<TestOutcome>>, CoreError> {
+        let Some(checkpoint) = self.resume.take() else {
+            return Ok(Vec::new());
+        };
+        let mismatch = |reason: String| CoreError::Store { reason };
+        if checkpoint.circuit != self.netlist.name() {
+            return Err(mismatch(format!(
+                "resume snapshot is for circuit `{}`, campaign runs on `{}`",
+                checkpoint.circuit,
+                self.netlist.name()
+            )));
+        }
+        if checkpoint.total_faults != faults.len()
+            || checkpoint.faults_digest != store::faults_digest(faults.faults())
+        {
+            return Err(mismatch(format!(
+                "resume snapshot covers a different fault list \
+                 ({} faults, digest {:016x})",
+                checkpoint.total_faults, checkpoint.faults_digest
+            )));
+        }
+        if checkpoint.outcomes.len() > faults.len() {
+            return Err(mismatch(format!(
+                "resume snapshot journals {} outcomes for {} faults",
+                checkpoint.outcomes.len(),
+                faults.len()
+            )));
+        }
+        let mut slots: Vec<Option<TestOutcome>> = vec![None; faults.len()];
+        for (slot, outcome) in slots.iter_mut().zip(checkpoint.outcomes) {
+            if !matches!(outcome, TestOutcome::Aborted(_)) {
+                *slot = Some(outcome);
+            }
+        }
+        Ok(slots)
     }
 
     /// Decides the outcome of fault-list entry `index` — the one place
@@ -746,7 +926,9 @@ impl<'a> DigitalAtpg<'a> {
                 }
                 Some(ChaosEvent::Budget) => return self.degrade_or_abort(fault),
                 Some(ChaosEvent::Cancel) => return Ok(TestOutcome::Aborted(AbortReason::Deadline)),
-                None => {}
+                // Store-class events never come out of `fires` (they are
+                // drawn by `fires_store` at checkpoint-write sites).
+                Some(_) | None => {}
             }
         }
         // One charge per targeted fault, strictly in replay order: the
@@ -866,6 +1048,8 @@ impl<'a> DigitalAtpg<'a> {
         pool: &WorkerPool,
         faults: &FaultList,
         replay: &mut ReplayState<'a>,
+        journal: &mut CampaignJournal,
+        slots: &[Option<TestOutcome>],
     ) -> Result<(), CoreError> {
         let list = faults.faults();
         let netlist = self.netlist;
@@ -911,7 +1095,11 @@ impl<'a> DigitalAtpg<'a> {
                     .min(list.len());
                 let mut outcomes: Vec<Option<Result<TestOutcome, BddError>>> = Vec::new();
                 for k in base..end.max(base) {
-                    if covered[k].load(Ordering::Relaxed) {
+                    // A resume slot already holds this fault's outcome:
+                    // speculating would just recompute it.
+                    if covered[k].load(Ordering::Relaxed)
+                        || slots.get(k).is_some_and(|s| s.is_some())
+                    {
                         outcomes.push(None);
                         continue;
                     }
@@ -975,9 +1163,17 @@ impl<'a> DigitalAtpg<'a> {
                     // `round + 1` — exactly the serial loop, with inline
                     // generation replaced by the speculative result where
                     // available.
-                    for (j, slot) in outcomes.into_iter().enumerate() {
+                    for (j, speculative) in outcomes.into_iter().enumerate() {
                         let k = round_start + j;
                         let fault = list[k];
+                        // Exactly the serial loop: resume slots replay
+                        // first (they encode the coverage state of the
+                        // original run at this index).
+                        if let Some(outcome) = slots.get(k).and_then(|s| s.clone()) {
+                            journal.record(&outcome)?;
+                            replay.consume(fault, outcome)?;
+                            continue;
+                        }
                         // A flag set by the prescreen was itself a full
                         // coverage scan, and coverage is monotone (blocks
                         // only gain patterns), so the replay can trust it
@@ -986,9 +1182,11 @@ impl<'a> DigitalAtpg<'a> {
                         // alone, never by workers.
                         if covered[k].load(Ordering::Relaxed) || replay.covered(fault) {
                             replay.detected += 1;
+                            journal.record(&TestOutcome::PreviouslyDetected)?;
                             continue;
                         }
-                        let outcome = self.decide(k, fault, slot)?;
+                        let outcome = self.decide(k, fault, speculative)?;
+                        journal.record(&outcome)?;
                         replay.consume(fault, outcome)?;
                     }
                 }

@@ -30,6 +30,7 @@ pub mod digital_atpg;
 pub mod mixed_circuit;
 pub mod propagation;
 pub mod report;
+pub mod store;
 pub mod test_plan;
 
 /// Execution policy and persistent worker pool of the workspace (re-export
@@ -44,6 +45,7 @@ pub use digital_atpg::{
 };
 pub use mixed_circuit::{ConverterBlock, MixedCircuit};
 pub use propagation::{PropagationEngine, PropagationResult};
+pub use store::{Checkpoint, CheckpointPolicy, StoreError};
 pub use test_plan::{AtpgOptions, MixedSignalAtpg, TestPlan};
 
 use std::fmt;
@@ -73,6 +75,15 @@ pub enum CoreError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// A persistence operation (checkpoint write, artifact load) failed.
+    ///
+    /// The structured details live in [`store::StoreError`]; this variant
+    /// carries its rendered message so `CoreError` can stay `Clone` +
+    /// `PartialEq`.
+    Store {
+        /// Explanation of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -88,6 +99,7 @@ impl fmt::Display for CoreError {
                 write!(f, "analog fault activation impossible: {reason}")
             }
             CoreError::Propagation { reason } => write!(f, "propagation error: {reason}"),
+            CoreError::Store { reason } => write!(f, "store error: {reason}"),
         }
     }
 }

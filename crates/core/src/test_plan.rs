@@ -2,6 +2,8 @@
 //! conversion-block tests and constrained digital stuck-at tests combined
 //! into one [`TestPlan`].
 
+use std::path::PathBuf;
+
 use msatpg_analog::coverage::CoverageGraph;
 use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
 use msatpg_bdd::BddBudget;
@@ -12,6 +14,7 @@ use msatpg_exec::{ExecPolicy, WorkerPool};
 use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry, ElementTestRequest};
 use crate::digital_atpg::{AtpgReport, DigitalAtpg};
 use crate::mixed_circuit::{ConverterBlock, MixedCircuit};
+use crate::store::{self, CheckpointPolicy};
 use crate::CoreError;
 
 /// Options controlling a [`MixedSignalAtpg`] run.
@@ -123,6 +126,7 @@ impl TestPlan {
 pub struct MixedSignalAtpg {
     circuit: MixedCircuit,
     options: AtpgOptions,
+    checkpoint: Option<(CheckpointPolicy, PathBuf)>,
 }
 
 impl MixedSignalAtpg {
@@ -131,6 +135,7 @@ impl MixedSignalAtpg {
         MixedSignalAtpg {
             circuit,
             options: AtpgOptions::default(),
+            checkpoint: None,
         }
     }
 
@@ -138,6 +143,41 @@ impl MixedSignalAtpg {
     pub fn with_options(mut self, options: AtpgOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Arms campaign checkpointing for the digital ATPG stages: each stage
+    /// journals its per-fault outcomes into `dir`
+    /// (`digital_constrained.ckpt` / `digital_unconstrained.ckpt`) per
+    /// `policy`, and — when a valid snapshot for the same circuit and fault
+    /// list is already present — resumes from it instead of starting over.
+    /// A missing, corrupt or mismatched snapshot silently falls back to a
+    /// fresh campaign; genuine I/O failures while *writing* a checkpoint
+    /// still surface as [`CoreError::Store`].
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some((policy, dir.into()));
+        self
+    }
+
+    /// Wires the armed checkpoint directory (if any) into one digital
+    /// stage: arms journaling on `stage_file` and resumes from a valid
+    /// pre-existing snapshot.
+    fn checkpointed<'a>(
+        &self,
+        atpg: DigitalAtpg<'a>,
+        faults: &FaultList,
+        stage_file: &str,
+    ) -> DigitalAtpg<'a> {
+        let Some((policy, dir)) = &self.checkpoint else {
+            return atpg;
+        };
+        let path = dir.join(stage_file);
+        let atpg = match store::load_checkpoint(&path, self.circuit.digital(), faults.faults()) {
+            Ok(snapshot) => atpg.with_resume(snapshot),
+            // No snapshot yet, or an unusable one (torn, corrupt, from a
+            // different campaign): start fresh and overwrite it.
+            Err(_) => atpg,
+        };
+        atpg.with_checkpoint(*policy, path)
     }
 
     /// The mixed circuit under test.
@@ -167,9 +207,10 @@ impl MixedSignalAtpg {
         let faults = self.fault_list();
         let lines = self.circuit.constrained_inputs();
         let codes = self.circuit.allowed_codes();
-        let mut atpg = DigitalAtpg::new(self.circuit.digital())
+        let atpg = DigitalAtpg::new(self.circuit.digital())
             .with_budget(self.options.bdd_budget)
             .with_constraints(&lines, &codes)?;
+        let mut atpg = self.checkpointed(atpg, &faults, "digital_constrained.ckpt");
         atpg.run_on(pool, &faults)
     }
 
@@ -191,8 +232,8 @@ impl MixedSignalAtpg {
     /// Propagates ATPG errors.
     pub fn digital_unconstrained_on(&self, pool: &WorkerPool) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
-        let mut atpg =
-            DigitalAtpg::new(self.circuit.digital()).with_budget(self.options.bdd_budget);
+        let atpg = DigitalAtpg::new(self.circuit.digital()).with_budget(self.options.bdd_budget);
+        let mut atpg = self.checkpointed(atpg, &faults, "digital_unconstrained.ckpt");
         atpg.run_on(pool, &faults)
     }
 

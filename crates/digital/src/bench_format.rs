@@ -5,7 +5,7 @@
 //! netlists are available locally they can be loaded with
 //! [`parse`] and used everywhere a synthetic benchmark is used.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, SignalId};
@@ -16,9 +16,11 @@ use crate::DigitalError;
 /// # Errors
 ///
 /// Returns [`DigitalError::ParseError`] describing the offending line when
-/// the text is not well-formed, references undefined signals, or contains
-/// unsupported gates (`DFF` is rejected: this reproduction handles
-/// combinational circuits only).
+/// the text is not well-formed: garbage lines, unsupported gates (`DFF` is
+/// rejected: this reproduction handles combinational circuits only), wrong
+/// arity for unary gates, duplicate signal definitions or `OUTPUT`
+/// declarations, and references to undefined signals are all structured
+/// errors — malformed text can never panic the parser.
 pub fn parse(name: &str, text: &str) -> Result<Netlist, DigitalError> {
     struct GateLine {
         output: String,
@@ -28,6 +30,12 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, DigitalError> {
     let mut input_names = Vec::new();
     let mut output_names = Vec::new();
     let mut gate_lines = Vec::new();
+    // Every name a line *defines* (INPUT or gate output): duplicates would
+    // trip the netlist builder's internal invariants, so they are rejected
+    // here with the offending line attached.  OUTPUT declarations are
+    // tracked separately (they reference, not define).
+    let mut defined: HashSet<String> = HashSet::new();
+    let mut declared_outputs: HashSet<String> = HashSet::new();
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -40,12 +48,29 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, DigitalError> {
         };
         if let Some(rest) = line.strip_prefix("INPUT(") {
             let name = rest.strip_suffix(')').ok_or_else(|| err("missing ')'"))?;
-            input_names.push(name.trim().to_owned());
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("empty INPUT name"));
+            }
+            if !defined.insert(name.to_owned()) {
+                return Err(err(&format!("duplicate definition of signal '{name}'")));
+            }
+            input_names.push(name.to_owned());
         } else if let Some(rest) = line.strip_prefix("OUTPUT(") {
             let name = rest.strip_suffix(')').ok_or_else(|| err("missing ')'"))?;
-            output_names.push(name.trim().to_owned());
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("empty OUTPUT name"));
+            }
+            if !declared_outputs.insert(name.to_owned()) {
+                return Err(err(&format!("duplicate OUTPUT({name})")));
+            }
+            output_names.push(name.to_owned());
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let output = lhs.trim().to_owned();
+            if output.is_empty() {
+                return Err(err("gate with no output name"));
+            }
             let rhs = rhs.trim();
             let open = rhs.find('(').ok_or_else(|| err("missing '(' in gate"))?;
             let close = rhs.rfind(')').ok_or_else(|| err("missing ')' in gate"))?;
@@ -62,6 +87,16 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, DigitalError> {
                 .collect();
             if inputs.is_empty() {
                 return Err(err("gate with no inputs"));
+            }
+            if kind.is_unary() && inputs.len() != 1 {
+                return Err(err(&format!(
+                    "{} takes exactly one input, got {}",
+                    kind.bench_keyword(),
+                    inputs.len()
+                )));
+            }
+            if !defined.insert(output.clone()) {
+                return Err(err(&format!("duplicate definition of signal '{output}'")));
             }
             gate_lines.push(GateLine {
                 output,
@@ -233,5 +268,37 @@ t1 = NAND(a, b)
         ));
         let err = parse("bad", "INPUT(a)\nOUTPUT(y)").unwrap_err();
         assert!(format!("{err}").contains("never defined"));
+    }
+
+    #[test]
+    fn malformed_definitions_are_errors_not_panics() {
+        // Each of these used to reach a netlist-builder assertion; all must
+        // surface as structured parse errors with the offending line.
+        let cases: &[(&str, &str)] = &[
+            ("INPUT(a)\nINPUT(a)", "duplicate definition"),
+            ("INPUT(a)\na = NOT(a)", "duplicate definition"),
+            (
+                "INPUT(a)\nINPUT(b)\nt = AND(a, b)\nt = OR(a, b)",
+                "duplicate definition",
+            ),
+            (
+                "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)",
+                "duplicate OUTPUT",
+            ),
+            ("INPUT(a)\nINPUT(b)\ny = NOT(a, b)", "exactly one input"),
+            ("INPUT(a)\nINPUT(b)\ny = BUF(a, b)", "exactly one input"),
+            ("INPUT()", "empty INPUT"),
+            ("OUTPUT()", "empty OUTPUT"),
+            ("INPUT(a)\n = NOT(a)", "no output name"),
+        ];
+        for (text, needle) in cases {
+            match parse("bad", text) {
+                Err(DigitalError::ParseError { line, reason }) => assert!(
+                    reason.contains(needle),
+                    "for {text:?}: expected {needle:?} in {reason:?} (line {line})"
+                ),
+                other => panic!("for {text:?}: expected ParseError, got {other:?}"),
+            }
+        }
     }
 }

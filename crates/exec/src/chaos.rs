@@ -9,8 +9,9 @@
 //! ATPG reports across `MSATPG_THREADS=1/2/8` *while* failures are being
 //! injected.
 //!
-//! Three failure classes are modeled, mirroring the real failure modes of
-//! the resource-governed ATPG:
+//! Two families of failure classes are modeled.  The **process** classes
+//! mirror the real failure modes of the resource-governed ATPG and are
+//! drawn via [`ChaosInjector::fires`]:
 //!
 //! * [`ChaosEvent::Panic`] — the instrumented code should `panic!`,
 //!   exercising panic isolation ([`crate::PanicPolicy::Isolate`]);
@@ -18,6 +19,16 @@
 //!   BDD budget had been exhausted, exercising graceful degradation;
 //! * [`ChaosEvent::Cancel`] — the instrumented code should fire its
 //!   [`crate::CancelToken`], exercising cooperative cancellation.
+//!
+//! The **store** classes simulate the durability failures a crash-consistent
+//! persistence layer must survive, and are drawn via the independent
+//! [`ChaosInjector::fires_store`] so arming them never perturbs the
+//! process-class decisions at the same sites:
+//!
+//! * [`ChaosEvent::Crash`] — the process dies mid-write: the temporary file
+//!   is written (possibly partially) but never renamed into place;
+//! * [`ChaosEvent::TornWrite`] — a truncated prefix reaches the final path;
+//! * [`ChaosEvent::BitFlip`] — one checksummed payload bit is inverted.
 //!
 //! The mixing function is the same SplitMix64 finalizer used by
 //! `msatpg_digital::prng`, re-stated here because the dependency points the
@@ -33,6 +44,13 @@ pub enum ChaosEvent {
     Budget,
     /// Fire the governing cancellation token at the site.
     Cancel,
+    /// Die mid-write: leave the temporary file, never rename it into place.
+    Crash,
+    /// Let a truncated prefix of the bytes reach the final path.
+    TornWrite,
+    /// Invert one checksummed payload bit before the (otherwise clean)
+    /// write.
+    BitFlip,
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix (identical constants to
@@ -74,6 +92,9 @@ pub struct ChaosInjector {
     panic_in: u64,
     budget_in: u64,
     cancel_in: u64,
+    crash_in: u64,
+    torn_write_in: u64,
+    bit_flip_in: u64,
 }
 
 impl ChaosInjector {
@@ -85,6 +106,9 @@ impl ChaosInjector {
             panic_in: 0,
             budget_in: 0,
             cancel_in: 0,
+            crash_in: 0,
+            torn_write_in: 0,
+            bit_flip_in: 0,
         }
     }
 
@@ -107,6 +131,27 @@ impl ChaosInjector {
         self
     }
 
+    /// Arms mid-write crashes ([`ChaosEvent::Crash`]) at a `1 in rate`
+    /// probability per store site.
+    pub fn with_crash_rate(mut self, rate: u64) -> Self {
+        self.crash_in = rate;
+        self
+    }
+
+    /// Arms torn writes ([`ChaosEvent::TornWrite`]) at a `1 in rate`
+    /// probability per store site.
+    pub fn with_torn_write_rate(mut self, rate: u64) -> Self {
+        self.torn_write_in = rate;
+        self
+    }
+
+    /// Arms single-bit payload corruption ([`ChaosEvent::BitFlip`]) at a
+    /// `1 in rate` probability per store site.
+    pub fn with_bit_flip_rate(mut self, rate: u64) -> Self {
+        self.bit_flip_in = rate;
+        self
+    }
+
     /// The seed this injector was built with.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -119,8 +164,9 @@ impl ChaosInjector {
         rate != 0 && mix(self.seed ^ mix(site.wrapping_add(class << 32))) % rate == 0
     }
 
-    /// The event injected at `site`, if any — a pure function of
-    /// `(seed, site)` and the armed rates.
+    /// The process-class event injected at `site`, if any — a pure
+    /// function of `(seed, site)` and the armed rates.  Store classes are
+    /// drawn separately by [`ChaosInjector::fires_store`].
     pub fn fires(&self, site: u64) -> Option<ChaosEvent> {
         if self.class_fires(site, 1, self.panic_in) {
             Some(ChaosEvent::Panic)
@@ -131,6 +177,34 @@ impl ChaosInjector {
         } else {
             None
         }
+    }
+
+    /// The store-class event injected at store site `site`, if any.
+    ///
+    /// Pure in `(seed, site)` like [`ChaosInjector::fires`], but drawn from
+    /// independent streams (classes 4–6), so the same injector can disturb
+    /// both fault decisions and checkpoint writes without the two
+    /// interfering.  Precedence: `Crash > TornWrite > BitFlip`.
+    pub fn fires_store(&self, site: u64) -> Option<ChaosEvent> {
+        if self.class_fires(site, 4, self.crash_in) {
+            Some(ChaosEvent::Crash)
+        } else if self.class_fires(site, 5, self.torn_write_in) {
+            Some(ChaosEvent::TornWrite)
+        } else if self.class_fires(site, 6, self.bit_flip_in) {
+            Some(ChaosEvent::BitFlip)
+        } else {
+            None
+        }
+    }
+
+    /// A deterministic draw in `0..bound` for store site `site` (class 7
+    /// stream) — used to pick which byte/bit a [`ChaosEvent::BitFlip`] or
+    /// [`ChaosEvent::TornWrite`] hits.  Returns 0 when `bound == 0`.
+    pub fn store_draw(&self, site: u64, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        mix(self.seed ^ mix(site.wrapping_add(7 << 32))) % bound
     }
 }
 
@@ -183,6 +257,52 @@ mod tests {
         let hits = (0..8000).filter(|&s| chaos.fires(s).is_some()).count();
         // 1-in-8 over 8000 sites: expect ~1000, allow a generous band.
         assert!((600..1400).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn store_classes_are_independent_of_process_classes() {
+        let armed = ChaosInjector::new(31)
+            .with_panic_rate(4)
+            .with_budget_rate(4)
+            .with_cancel_rate(4);
+        let both = armed
+            .with_crash_rate(4)
+            .with_torn_write_rate(4)
+            .with_bit_flip_rate(4);
+        // Arming store classes never changes the process-class decisions.
+        for site in 0..512 {
+            assert_eq!(armed.fires(site), both.fires(site));
+        }
+        // And an injector with only process classes never fires a store
+        // event.
+        assert!((0..512).all(|s| armed.fires_store(s).is_none()));
+        // Precedence and rate-1 behavior mirror the process family.
+        let crash = ChaosInjector::new(5)
+            .with_crash_rate(1)
+            .with_torn_write_rate(1)
+            .with_bit_flip_rate(1);
+        assert!((0..64).all(|s| crash.fires_store(s) == Some(ChaosEvent::Crash)));
+        let torn = ChaosInjector::new(5)
+            .with_torn_write_rate(1)
+            .with_bit_flip_rate(1);
+        assert!((0..64).all(|s| torn.fires_store(s) == Some(ChaosEvent::TornWrite)));
+        let flip = ChaosInjector::new(5).with_bit_flip_rate(1);
+        assert!((0..64).all(|s| flip.fires_store(s) == Some(ChaosEvent::BitFlip)));
+    }
+
+    #[test]
+    fn store_draw_is_pure_and_bounded() {
+        let chaos = ChaosInjector::new(123);
+        for site in 0..256 {
+            let d = chaos.store_draw(site, 17);
+            assert!(d < 17);
+            assert_eq!(d, chaos.store_draw(site, 17));
+        }
+        assert_eq!(chaos.store_draw(9, 0), 0);
+        // Different sites spread across the range.
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..256).map(|s| chaos.store_draw(s, 1 << 20)).collect();
+        assert!(distinct.len() > 200);
     }
 
     #[test]

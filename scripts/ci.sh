@@ -26,6 +26,13 @@ for threads in 1 2 8; do
     MSATPG_THREADS=${threads} cargo test -q --release --test proptests
 done
 
+echo "==> kill-and-resume smoke (checkpoint_resume at MSATPG_THREADS=1/2/8)"
+for threads in 1 2 8; do
+    echo "    MSATPG_THREADS=${threads}"
+    MSATPG_THREADS=${threads} cargo test -q --release --test checkpoint_resume
+    MSATPG_THREADS=${threads} cargo run -q --release --example checkpoint_resume
+done
+
 echo "==> perf-regression smoke (bench_kernels --check)"
 cargo run --release -p msatpg-bench --bin bench_kernels -- --check
 

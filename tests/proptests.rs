@@ -727,6 +727,175 @@ fn chaos_governed_atpg_reports_are_byte_identical_across_policies() {
     }
 }
 
+/// A scratch file under the system temp directory, unique per test and
+/// case (the property loops write/read the same slot repeatedly).
+fn scratch_file(tag: &str, case: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "msatpg-proptest-{}-{tag}-{case}",
+        std::process::id()
+    ))
+}
+
+/// Generates a random combinational netlist: a layer of primary inputs
+/// followed by gates drawing from every already-defined signal, with a
+/// random subset of gates (always at least the last) marked as outputs.
+fn random_netlist(rng: &mut SplitMix64, case: usize) -> msatpg::digital::netlist::Netlist {
+    use msatpg::digital::gate::GateKind;
+    use msatpg::digital::netlist::Netlist;
+    const BINARY: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let mut n = Netlist::new(&format!("rand{case}"));
+    let inputs = 2 + rng.below(5);
+    let mut signals = Vec::new();
+    for i in 0..inputs {
+        signals.push(n.input(&format!("i{i}")));
+    }
+    let gates = 1 + rng.below(12);
+    let mut gate_ids = Vec::new();
+    for g in 0..gates {
+        let name = format!("g{g}");
+        let id = if rng.below(4) == 0 {
+            let kind = if rng.bool() {
+                GateKind::Not
+            } else {
+                GateKind::Buf
+            };
+            n.gate(kind, &name, &[signals[rng.below(signals.len())]])
+        } else {
+            let kind = BINARY[rng.below(BINARY.len())];
+            let a = signals[rng.below(signals.len())];
+            let b = signals[rng.below(signals.len())];
+            n.gate(kind, &name, &[a, b])
+        };
+        signals.push(id);
+        gate_ids.push(id);
+    }
+    // The last gate is always an output; earlier gates join at random.
+    let last = gate_ids.len() - 1;
+    for (g, &id) in gate_ids.iter().enumerate() {
+        if g == last || rng.below(3) == 0 {
+            n.mark_output(id);
+        }
+    }
+    n
+}
+
+/// Random netlists survive the crash-consistent store round trip with
+/// identical structure (the `.bench` rendering is byte-identical) and
+/// identical behavior on random patterns.
+#[test]
+fn netlist_store_roundtrip_preserves_structure_and_behavior() {
+    use msatpg::core::store::{load_netlist, save_netlist};
+    use msatpg::digital::bench_format;
+    let mut rng = SplitMix64::new(0x57_0E);
+    for case in 0..CASES {
+        let original = random_netlist(&mut rng, case);
+        let path = scratch_file("netlist", 0);
+        save_netlist(&path, &original).unwrap();
+        let reloaded = load_netlist(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.name(), original.name());
+        assert_eq!(
+            bench_format::write(&reloaded),
+            bench_format::write(&original),
+            "case {case}: .bench rendering diverges"
+        );
+        for _ in 0..8 {
+            let pattern = random_pattern(&mut rng, original.primary_inputs().len());
+            assert_eq!(
+                reloaded.evaluate(&pattern).unwrap(),
+                original.evaluate(&pattern).unwrap(),
+                "case {case}: behavior diverges"
+            );
+        }
+    }
+}
+
+/// Governed chaos campaigns — the richest reports the engine can produce,
+/// with detected, previously-detected, untestable, degraded and all three
+/// abort flavors — survive the report store round trip field-for-field,
+/// and re-saving the reloaded report is byte-identical on disk.
+#[test]
+fn report_store_roundtrip_is_lossless() {
+    use msatpg::core::digital_atpg::DegradePolicy;
+    use msatpg::core::store::{load_report, save_report};
+    use msatpg::exec::{ChaosInjector, PanicPolicy};
+    let circuit = circuits::adder4();
+    let faults = FaultList::collapsed(&circuit);
+    for seed in [0x11u64, 0xC0FFEE, 0xFEED_F00D] {
+        let report = DigitalAtpg::new(&circuit)
+            .with_chaos(
+                ChaosInjector::new(seed)
+                    .with_panic_rate(7)
+                    .with_budget_rate(5)
+                    .with_cancel_rate(11),
+            )
+            .with_panic_policy(PanicPolicy::Isolate)
+            .with_degradation(DegradePolicy { seed, patterns: 64 })
+            .run(&faults)
+            .unwrap();
+        let path = scratch_file("report", seed as usize & 0xff);
+        save_report(&path, &circuit, &report).unwrap();
+        let reloaded = load_report(&path, &circuit).unwrap();
+        assert_reports_identical(&reloaded, &report, &format!("seed={seed:#x}"));
+        assert_eq!(reloaded.cpu, report.cpu, "cpu nanoseconds round trip");
+        // Idempotence: saving the reloaded report reproduces the file.
+        let first = std::fs::read(&path).unwrap();
+        save_report(&path, &circuit, &reloaded).unwrap();
+        let second = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(first, second, "seed={seed:#x}: re-save not byte-identical");
+    }
+}
+
+/// BDDs built under pseudo-random GC interleavings survive the dddmp-style
+/// text round trip into a *fresh* manager: same evaluation, same
+/// satisfying-assignment count, same exact cube cover — and re-exporting
+/// from the importing manager reproduces the text byte-for-byte.
+#[test]
+fn bdd_store_roundtrip_survives_gc_interleaving() {
+    use msatpg::bdd::{export_bdd, import_bdd, Cube};
+    let mut rng = SplitMix64::new(0xB0_D5);
+    for case in 0..CASES {
+        let formula = random_formula(&mut rng, FORMULA_VARS, 4);
+        let mut source = BddManager::new();
+        for i in 0..FORMULA_VARS {
+            source.var(&format!("x{i}"));
+        }
+        let built = build_with_gc(&formula, &mut source, &mut rng);
+        let text = export_bdd(&source, built, &format!("case{case}"));
+        let mut target = BddManager::new();
+        let (imported, name) = import_bdd(&mut target, &text).unwrap();
+        assert_eq!(name, format!("case{case}"));
+        for bits in 0..1u32 << FORMULA_VARS {
+            let mut asg = Assignment::new();
+            for b in 0..FORMULA_VARS {
+                asg.set(b as u32, (bits >> b) & 1 == 1);
+            }
+            assert_eq!(
+                target.eval(imported, &asg),
+                source.eval(built, &asg),
+                "case {case} formula {formula:?} at {bits:05b}"
+            );
+        }
+        assert_eq!(target.sat_count(imported), source.sat_count(built));
+        let imported_cubes: Vec<Cube> = target.cubes(imported).collect();
+        let source_cubes: Vec<Cube> = source.cubes(built).collect();
+        assert_eq!(imported_cubes, source_cubes, "case {case}: cube covers");
+        assert_eq!(
+            export_bdd(&target, imported, &format!("case{case}")),
+            text,
+            "case {case}: re-export not byte-identical"
+        );
+    }
+}
+
 /// Robustness of the long-lived executors: a worker pool that has relayed
 /// injected job panics (isolated per chunk) and serviced a cancelled
 /// campaign still runs a clean campaign byte-identically to a fresh pool,
