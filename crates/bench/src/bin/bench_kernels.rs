@@ -25,10 +25,13 @@ use msatpg_bench::naive::{
     naive_carry_chain, naive_carry_chain_with_activations, naive_signal_functions, naive_sweep,
     NaiveBddManager,
 };
-use msatpg_bench::{adder_carry_chain, adder_carry_chain_with_activations, signal_functions};
+use msatpg_bench::{
+    adder_carry_chain, adder_carry_chain_with_activations, mux_tree, signal_functions,
+};
+use msatpg_core::DigitalAtpg;
 use msatpg_digital::benchmarks;
 use msatpg_digital::fault::FaultList;
-use msatpg_digital::fault_sim::{FaultCones, FaultSimulator};
+use msatpg_digital::fault_sim::{FaultCones, FaultSimulator, WordWidth};
 use msatpg_digital::prng::SplitMix64;
 use msatpg_exec::ExecPolicy;
 
@@ -86,6 +89,90 @@ fn bench_fault_sim(name: &str, pattern_count: usize) -> FaultSimReport {
         ppsfp_seconds,
         speedup: serial_seconds / ppsfp_seconds,
         ppsfp_patterns_per_sec: pattern_count as f64 / ppsfp_seconds,
+    }
+}
+
+struct WideRow {
+    lanes: usize,
+    seconds: f64,
+    patterns_per_sec: f64,
+    speedup_vs_w1: f64,
+}
+
+struct WideFaultSimReport {
+    circuit: String,
+    faults: usize,
+    patterns: usize,
+    rows: Vec<WideRow>,
+}
+
+/// Deterministic (same-host, same-build) floor on the W = 8 patterns/sec
+/// over the one-lane engine.  Only meaningful at `--release`, where the
+/// explicit lane loops vectorize; a debug build records the rows but skips
+/// the floor.
+const WIDE_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Throughput of the widened PPSFP blocks: the same campaign at W = 1, 4
+/// and 8 lanes (64/256/512 patterns per cone walk).  Fault dropping is
+/// disabled so every width performs the identical maximal propagation work
+/// and the rows isolate the widening, not drop timing.
+fn bench_fault_sim_wide(name: &str, pattern_count: usize) -> WideFaultSimReport {
+    let netlist = benchmarks::by_name(name).expect("known benchmark");
+    let faults = FaultList::collapsed(&netlist);
+    let mut rng = SplitMix64::new(0x51BD);
+    let width = netlist.primary_inputs().len();
+    let patterns: Vec<Vec<bool>> = (0..pattern_count)
+        .map(|_| (0..width).map(|_| rng.bool()).collect())
+        .collect();
+    let widths = [
+        (WordWidth::W1, 1usize),
+        (WordWidth::W4, 4),
+        (WordWidth::W8, 8),
+    ];
+    // Cones are a per-campaign precomputation (width-invariant, reused
+    // across every block and restart — see `FaultSimulator::run_with_cones`),
+    // so they stay outside the timed region: the row measures pattern
+    // throughput of the propagation engine itself.
+    let cones = FaultCones::build(&netlist, faults.faults().iter().map(|f| f.signal));
+    // Determinism sanity before timing: the wide engines must reproduce the
+    // one-lane detected vector exactly.
+    let reference = FaultSimulator::new(&netlist)
+        .with_fault_dropping(false)
+        .with_word_width(WordWidth::W1)
+        .run_with_cones(&faults, &patterns, &cones)
+        .expect("one-lane run");
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for (word_width, lanes) in widths {
+        let sim = FaultSimulator::new(&netlist)
+            .with_fault_dropping(false)
+            .with_word_width(word_width);
+        let check = sim
+            .run_with_cones(&faults, &patterns, &cones)
+            .expect("wide run");
+        assert_eq!(
+            check.detected(),
+            reference.detected(),
+            "{name}: {lanes}-lane run must be byte-identical to one lane"
+        );
+        let seconds = time(5, || {
+            std::hint::black_box(sim.run_with_cones(&faults, &patterns, &cones).unwrap());
+        });
+        if lanes == 1 {
+            baseline = seconds;
+        }
+        rows.push(WideRow {
+            lanes,
+            seconds,
+            patterns_per_sec: pattern_count as f64 / seconds,
+            speedup_vs_w1: baseline / seconds,
+        });
+    }
+    WideFaultSimReport {
+        circuit: name.to_owned(),
+        faults: faults.len(),
+        patterns: pattern_count,
+        rows,
     }
 }
 
@@ -169,6 +256,63 @@ fn bench_ppsfp_scaling(name: &str, pattern_count: usize) -> ThreadScalingReport 
     }
 }
 
+struct PipelinedScalingReport {
+    circuit: String,
+    faults: usize,
+    host_cpus: usize,
+    /// Whether any multi-core floor could be enforced on this host (needs
+    /// ≥4 hardware threads; a 1-CPU container records the rows but cannot
+    /// physically speed up).
+    floor_enforced: bool,
+    rows: Vec<ScalingRow>,
+}
+
+/// Thread-scaling of the whole pipelined ATPG campaign driver (covered-fault
+/// pre-screen, generation, PPSFP verification) at 1, 2 and 4 workers — the
+/// end-to-end counterpart of `ppsfp_thread_scaling`'s kernel rows.
+fn bench_pipelined_scaling(name: &str) -> PipelinedScalingReport {
+    let netlist = benchmarks::by_name(name).expect("known benchmark");
+    let faults = FaultList::collapsed(&netlist);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Determinism sanity before timing: the pipelined driver must report
+    // byte-identically at every worker count.
+    let reference = DigitalAtpg::new(&netlist).run(&faults).expect("campaign");
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for workers in [1usize, 2, 4] {
+        let build = || DigitalAtpg::new(&netlist).with_policy(ExecPolicy::Threads(workers));
+        let check = build().run(&faults).expect("campaign");
+        assert_eq!(
+            check.detected, reference.detected,
+            "{name} at {workers} workers"
+        );
+        assert_eq!(
+            check.vectors, reference.vectors,
+            "{name} at {workers} workers"
+        );
+        let seconds = time(3, || {
+            std::hint::black_box(build().run(&faults).unwrap());
+        });
+        if workers == 1 {
+            baseline = seconds;
+        }
+        rows.push(ScalingRow {
+            workers,
+            seconds,
+            speedup: baseline / seconds,
+        });
+    }
+    PipelinedScalingReport {
+        circuit: name.to_owned(),
+        faults: faults.len(),
+        host_cpus,
+        floor_enforced: host_cpus >= 4,
+        rows,
+    }
+}
+
 struct BddReport {
     carry_bits: usize,
     naive_seconds: f64,
@@ -176,6 +320,7 @@ struct BddReport {
     speedup: f64,
     arena_ops_per_sec: f64,
     apply_hit_rate: f64,
+    mux_selects: usize,
     ite_hit_rate: f64,
 }
 
@@ -190,10 +335,17 @@ fn bench_bdd(bits: usize) -> BddReport {
         let mut m = BddManager::new();
         std::hint::black_box(adder_carry_chain(&mut m, bits));
     });
-    // Hit rates from one representative build.
+    // Hit rates from one representative build each.  The carry chain
+    // lowers to and/xor/or and never calls `ite`, so its ITE hit rate is a
+    // meaningless 0.0000 (the 0 recorded by earlier baselines); the ITE
+    // cache is measured on the mux-tree workload, whose sibling sub-trees
+    // re-ask the same (f, g, h) triples at every level.
     let mut m = BddManager::new();
     let _ = adder_carry_chain(&mut m, bits);
     let stats = m.stats();
+    const MUX_SELECTS: usize = 10;
+    let mut mux = BddManager::new();
+    let _ = mux_tree(&mut mux, MUX_SELECTS);
     BddReport {
         carry_bits: bits,
         naive_seconds,
@@ -201,7 +353,8 @@ fn bench_bdd(bits: usize) -> BddReport {
         speedup: naive_seconds / arena_seconds,
         arena_ops_per_sec: ops as f64 / arena_seconds,
         apply_hit_rate: stats.apply_cache.hit_rate(),
-        ite_hit_rate: stats.ite_cache.hit_rate(),
+        mux_selects: MUX_SELECTS,
+        ite_hit_rate: mux.stats().ite_cache.hit_rate(),
     }
 }
 
@@ -384,11 +537,63 @@ const CHECK_RATIO: f64 = 0.4;
 fn check_against_baseline(
     baseline: &Json,
     fault_sim: &[FaultSimReport],
+    wide: &[WideFaultSimReport],
     scaling: &ThreadScalingReport,
     bdd: &BddReport,
     analog: &AnalogReport,
 ) -> Vec<String> {
     let mut violations = Vec::new();
+    // The widened-block floor is absolute, not ratio-toleranced: the W = 8
+    // engine must sustain at least `WIDE_SPEEDUP_FLOOR`x the *committed*
+    // one-lane patterns/sec.  Both numbers come from the same host class,
+    // and the floor only means something where the lane loops vectorize,
+    // so a debug build skips it (and says so).
+    for report in wide {
+        let committed_w1 = baseline
+            .get("fault_sim_wide")
+            .and_then(Json::as_array)
+            .and_then(|entries| {
+                entries.iter().find(|entry| {
+                    entry.get("circuit").and_then(Json::as_str) == Some(report.circuit.as_str())
+                })
+            })
+            .and_then(|entry| entry.get("rows"))
+            .and_then(Json::as_array)
+            .and_then(|rows| {
+                rows.iter()
+                    .find(|row| row.get("lanes").and_then(Json::as_f64) == Some(1.0))
+            })
+            .and_then(|row| row.get("patterns_per_sec"))
+            .and_then(Json::as_f64);
+        let measured_w8 = report
+            .rows
+            .iter()
+            .find(|row| row.lanes == 8)
+            .map(|row| row.patterns_per_sec)
+            .expect("8-lane row is always measured");
+        match committed_w1 {
+            Some(committed) if cfg!(debug_assertions) => {
+                eprintln!(
+                    "note: debug build; skipping the {WIDE_SPEEDUP_FLOOR}x wide-block floor on {} \
+                     (measured {measured_w8:.1} patterns/sec at 8 lanes vs committed {committed:.1} at 1)",
+                    report.circuit
+                );
+            }
+            Some(committed) => {
+                if measured_w8 < committed * WIDE_SPEEDUP_FLOOR {
+                    violations.push(format!(
+                        "fault_sim_wide {}: {measured_w8:.1} patterns/sec at 8 lanes < \
+                         {WIDE_SPEEDUP_FLOOR}x the committed one-lane {committed:.1}",
+                        report.circuit
+                    ));
+                }
+            }
+            None => violations.push(format!(
+                "fault_sim_wide {}: one-lane row missing from the committed baseline",
+                report.circuit
+            )),
+        }
+    }
     let mut ratio_check = |what: &str, measured: f64, committed: Option<f64>| match committed {
         Some(committed) => {
             if measured < committed * CHECK_RATIO {
@@ -453,7 +658,12 @@ fn main() {
         .iter()
         .map(|name| bench_fault_sim(name, 256))
         .collect();
+    let wide: Vec<WideFaultSimReport> = ["c1355", "c1908"]
+        .iter()
+        .map(|name| bench_fault_sim_wide(name, 512))
+        .collect();
     let scaling = bench_ppsfp_scaling("c1355", 256);
+    let pipelined = bench_pipelined_scaling("c432");
     let bdd = bench_bdd(24);
     let memory = bench_bdd_memory(24, "c432");
     let analog = bench_analog();
@@ -476,6 +686,27 @@ fn main() {
             r.ppsfp_patterns_per_sec,
             if i + 1 < fault_sim.len() { "," } else { "" },
         );
+    }
+    json.push_str("  ],\n  \"fault_sim_wide\": [\n");
+    for (i, report) in wide.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"circuit\": \"{}\", \"faults\": {}, \"patterns\": {}, \"rows\": [",
+            report.circuit, report.faults, report.patterns,
+        );
+        for (j, row) in report.rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"lanes\": {}, \"seconds\": {:.6}, \"patterns_per_sec\": {:.1}, \
+                 \"speedup_vs_w1\": {:.2}}}{}",
+                row.lanes,
+                row.seconds,
+                row.patterns_per_sec,
+                row.speedup_vs_w1,
+                if j + 1 < report.rows.len() { ", " } else { "" },
+            );
+        }
+        let _ = write!(json, "]}}{}\n", if i + 1 < wide.len() { "," } else { "" },);
     }
     json.push_str("  ],\n");
     let _ = write!(
@@ -501,15 +732,37 @@ fn main() {
     json.push_str("]},\n");
     let _ = write!(
         json,
+        "  \"pipelined_scaling\": {{\"circuit\": \"{}\", \"faults\": {}, \"host_cpus\": {}, \
+         \"floor_enforced\": {}, \"rows\": [",
+        pipelined.circuit, pipelined.faults, pipelined.host_cpus, pipelined.floor_enforced,
+    );
+    for (i, row) in pipelined.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{{\"workers\": {}, \"seconds\": {:.6}, \"speedup\": {:.2}}}{}",
+            row.workers,
+            row.seconds,
+            row.speedup,
+            if i + 1 < pipelined.rows.len() {
+                ", "
+            } else {
+                ""
+            },
+        );
+    }
+    json.push_str("]},\n");
+    let _ = write!(
+        json,
         "  \"bdd\": {{\"carry_bits\": {}, \"naive_seconds\": {:.6}, \"arena_seconds\": {:.6}, \
          \"speedup\": {:.2}, \"arena_ops_per_sec\": {:.1}, \"apply_hit_rate\": {:.4}, \
-         \"ite_hit_rate\": {:.4}}},\n",
+         \"mux_selects\": {}, \"ite_hit_rate\": {:.4}}},\n",
         bdd.carry_bits,
         bdd.naive_seconds,
         bdd.arena_seconds,
         bdd.speedup,
         bdd.arena_ops_per_sec,
         bdd.apply_hit_rate,
+        bdd.mux_selects,
         bdd.ite_hit_rate,
     );
     let _ = write!(
@@ -553,7 +806,8 @@ fn main() {
         let committed = std::fs::read_to_string("BENCH_kernels.json")
             .expect("--check needs the committed BENCH_kernels.json baseline");
         let baseline = json::parse(&committed).expect("committed baseline parses");
-        let mut violations = check_against_baseline(&baseline, &fault_sim, &scaling, &bdd, &analog);
+        let mut violations =
+            check_against_baseline(&baseline, &fault_sim, &wide, &scaling, &bdd, &analog);
         // Node counts are exact and deterministic: beyond the static
         // floors, the measured counts must equal the committed baseline —
         // any drift means the engines (not the runner) changed, and the
@@ -617,8 +871,40 @@ fn main() {
                     );
                 }
             }
+        } else {
+            eprintln!(
+                "note: host has {} hardware thread(s) (< 4); multi-core scaling floors skipped — \
+                 the ppsfp_thread_scaling and pipelined_scaling rows are recorded for reference \
+                 only, since extra workers cannot physically speed up on this host",
+                scaling.host_cpus
+            );
         }
         return;
+    }
+    // Wide-block floor in record mode: deliberate baseline recordings must
+    // demonstrate the widening actually pays on this build.  The floor
+    // only means something where the lane loops vectorize, so debug builds
+    // record the rows and say why the floor is skipped.
+    for report in &wide {
+        let w8 = report
+            .rows
+            .iter()
+            .find(|r| r.lanes == 8)
+            .expect("8-lane row is always measured");
+        if cfg!(debug_assertions) {
+            eprintln!(
+                "note: debug build; the {WIDE_SPEEDUP_FLOOR}x wide-block floor on {} is recorded \
+                 ({:.2}x at 8 lanes) but not enforced",
+                report.circuit, w8.speedup_vs_w1
+            );
+        } else {
+            assert!(
+                w8.speedup_vs_w1 >= WIDE_SPEEDUP_FLOOR,
+                "wide PPSFP at 8 lanes is only {:.2}x over 1 lane on {} (floor: {WIDE_SPEEDUP_FLOOR}x)",
+                w8.speedup_vs_w1,
+                report.circuit
+            );
+        }
     }
     for r in &fault_sim {
         assert!(

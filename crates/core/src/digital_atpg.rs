@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use msatpg_bdd::{Bdd, BddBudget, BddError, BddManager, Cube, VarId};
 use msatpg_conversion::constraints::AllowedCodes;
 use msatpg_digital::fault::{FaultList, StuckAtFault};
-use msatpg_digital::fault_sim::{word_mask, FaultCones, FaultSimulator, PpsfpScratch};
+use msatpg_digital::fault_sim::{block_mask, FaultCones, FaultSimulator, PpsfpScratch, WordWidth};
 use msatpg_digital::gate::GateKind;
 use msatpg_digital::netlist::{Netlist, SignalId};
 use msatpg_digital::random_tpg::RandomPatternGenerator;
@@ -226,23 +226,86 @@ const REPLAY_CHUNK: usize = 64;
 /// chunk stealing balances the very uneven per-fault generation cost).
 const GENERATE_CHUNK: usize = 8;
 
-/// The sequential fault-dropping replay: consumes per-fault outcomes in
-/// fault-list order and maintains the word-parallel coverage blocks.
+/// The width-generic coverage store behind [`ReplayState`]: generated
+/// patterns accumulate in `64 * W`-wide good-value blocks, and a candidate
+/// fault is checked against a whole block with one cone-bounded propagation
+/// (the same PPSFP kernel the fault simulator uses) instead of one full
+/// faulty evaluation per (fault, pattern).
 ///
-/// Fault-dropping pre-checks run word-parallel: generated patterns
-/// accumulate in 64-wide good-value word blocks, and a candidate fault is
-/// checked against a whole block with one cone-bounded propagation (the
-/// same PPSFP kernel the fault simulator uses) instead of one full faulty
-/// evaluation per (fault, pattern).  Both the serial loop and the pipelined
-/// driver run exactly this state machine, which is what keeps their reports
+/// The coverage answer is a boolean OR over all absorbed patterns, so it is
+/// independent of how those patterns are grouped into blocks — which is why
+/// reports stay byte-identical across widths.
+struct WideCoverage<const W: usize> {
+    cones: FaultCones,
+    scratch: PpsfpScratch<W>,
+    /// Good-value blocks and valid-pattern mask per block; the last block
+    /// is rebuilt as it fills.
+    blocks: Vec<(Vec<[u64; W]>, [u64; W])>,
+    open_block: Vec<Vec<bool>>,
+}
+
+impl<const W: usize> WideCoverage<W> {
+    fn new(netlist: &Netlist, faults: &FaultList) -> Self {
+        WideCoverage {
+            cones: FaultCones::build(netlist, faults.faults().iter().map(|f| f.signal)),
+            scratch: PpsfpScratch::new(netlist),
+            blocks: Vec::new(),
+            open_block: Vec::new(),
+        }
+    }
+
+    fn covered(&mut self, netlist: &Netlist, fault: StuckAtFault) -> bool {
+        let scratch = &mut self.scratch;
+        let cones = &self.cones;
+        self.blocks.iter().any(|(good, mask)| {
+            scratch.detection_block(netlist, cones, fault, good, *mask) != [0; W]
+        })
+    }
+
+    fn absorb(&mut self, netlist: &Netlist, pattern: Vec<bool>) -> Result<(), CoreError> {
+        self.open_block.push(pattern);
+        let words = Simulator::new(netlist)
+            .run_parallel_blocks::<W>(&self.open_block)
+            .map_err(|e| CoreError::Digital(e.to_string()))?;
+        let mask = block_mask::<W>(self.open_block.len());
+        if self.open_block.len() == 1 {
+            self.blocks.push((words, mask));
+        } else {
+            *self.blocks.last_mut().expect("open block exists") = (words, mask);
+        }
+        if self.open_block.len() == 64 * W {
+            self.open_block.clear();
+        }
+        Ok(())
+    }
+}
+
+/// The coverage store at the width the engine runs at (one monomorphized
+/// instantiation per supported lane count).
+enum Dropping {
+    W1(WideCoverage<1>),
+    W4(WideCoverage<4>),
+    W8(WideCoverage<8>),
+}
+
+impl Dropping {
+    fn new(netlist: &Netlist, faults: &FaultList, width: WordWidth) -> Self {
+        match width.lanes() {
+            4 => Dropping::W4(WideCoverage::new(netlist, faults)),
+            8 => Dropping::W8(WideCoverage::new(netlist, faults)),
+            _ => Dropping::W1(WideCoverage::new(netlist, faults)),
+        }
+    }
+}
+
+/// The sequential fault-dropping replay: consumes per-fault outcomes in
+/// fault-list order and maintains the word-parallel coverage blocks
+/// ([`WideCoverage`]).  Both the serial loop and the pipelined driver run
+/// exactly this state machine, which is what keeps their reports
 /// byte-identical.
 struct ReplayState<'n> {
     netlist: &'n Netlist,
-    dropping: Option<(FaultCones, PpsfpScratch, Simulator<'n>)>,
-    /// Good-value words and valid-pattern mask per block; the last block is
-    /// rebuilt as it fills.
-    blocks: Vec<(Vec<u64>, u64)>,
-    open_block: Vec<Vec<bool>>,
+    dropping: Option<Dropping>,
     vectors: Vec<TestVector>,
     untestable: Vec<StuckAtFault>,
     degraded: Vec<StuckAtFault>,
@@ -251,21 +314,16 @@ struct ReplayState<'n> {
 }
 
 impl<'n> ReplayState<'n> {
-    fn new(netlist: &'n Netlist, fault_dropping: bool, faults: &FaultList) -> Self {
-        let dropping = if fault_dropping {
-            Some((
-                FaultCones::build(netlist, faults.faults().iter().map(|f| f.signal)),
-                PpsfpScratch::new(netlist),
-                Simulator::new(netlist),
-            ))
-        } else {
-            None
-        };
+    fn new(
+        netlist: &'n Netlist,
+        fault_dropping: bool,
+        faults: &FaultList,
+        width: WordWidth,
+    ) -> Self {
+        let dropping = fault_dropping.then(|| Dropping::new(netlist, faults, width));
         ReplayState {
             netlist,
             dropping,
-            blocks: Vec::new(),
-            open_block: Vec::new(),
             vectors: Vec::new(),
             untestable: Vec::new(),
             degraded: Vec::new(),
@@ -278,13 +336,12 @@ impl<'n> ReplayState<'n> {
     /// Always `false` with fault dropping disabled.  Coverage is monotone:
     /// blocks only gain patterns, so once covered a fault stays covered.
     fn covered(&mut self, fault: StuckAtFault) -> bool {
-        let Some((cones, scratch, _)) = &mut self.dropping else {
-            return false;
-        };
-        let netlist = self.netlist;
-        self.blocks
-            .iter()
-            .any(|(good, mask)| scratch.detection_word(netlist, cones, fault, good, *mask) != 0)
+        match &mut self.dropping {
+            None => false,
+            Some(Dropping::W1(c)) => c.covered(self.netlist, fault),
+            Some(Dropping::W4(c)) => c.covered(self.netlist, fault),
+            Some(Dropping::W8(c)) => c.covered(self.netlist, fault),
+        }
     }
 
     /// Applies one fault's outcome: bumps the detected count, folds a new
@@ -316,19 +373,12 @@ impl<'n> ReplayState<'n> {
     /// Records a new test vector and folds it into the word-parallel
     /// coverage blocks used by the fault-dropping pre-checks.
     fn absorb_vector(&mut self, vector: TestVector) -> Result<(), CoreError> {
-        if let Some((_, _, word_sim)) = &self.dropping {
-            self.open_block.push(vector.concretize(false));
-            let words = word_sim
-                .run_parallel_all(&self.open_block)
-                .map_err(|e| CoreError::Digital(e.to_string()))?;
-            let mask = word_mask(self.open_block.len());
-            if self.open_block.len() == 1 {
-                self.blocks.push((words, mask));
-            } else {
-                *self.blocks.last_mut().expect("open block exists") = (words, mask);
-            }
-            if self.open_block.len() == 64 {
-                self.open_block.clear();
+        if let Some(dropping) = &mut self.dropping {
+            let pattern = vector.concretize(false);
+            match dropping {
+                Dropping::W1(c) => c.absorb(self.netlist, pattern)?,
+                Dropping::W4(c) => c.absorb(self.netlist, pattern)?,
+                Dropping::W8(c) => c.absorb(self.netlist, pattern)?,
             }
         }
         self.vectors.push(vector);
@@ -362,6 +412,7 @@ pub struct DigitalAtpg<'a> {
     fault_dropping: bool,
     constrained: bool,
     policy: ExecPolicy,
+    width: WordWidth,
     /// The inputs of [`DigitalAtpg::with_constraints`], kept so parallel
     /// workers can rebuild an equivalent engine.
     constraint_spec: Option<(Vec<SignalId>, AllowedCodes)>,
@@ -496,6 +547,7 @@ impl<'a> DigitalAtpg<'a> {
             fault_dropping: true,
             constrained: false,
             policy: ExecPolicy::Serial,
+            width: WordWidth::Auto,
             constraint_spec: None,
             budget: BddBudget::UNLIMITED,
             cancel: None,
@@ -562,6 +614,17 @@ impl<'a> DigitalAtpg<'a> {
     /// serial run.
     pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the PPSFP block width used by the fault-dropping pre-screens
+    /// and the degraded-fault verification (see
+    /// [`WordWidth`]; the default
+    /// honors the `MSATPG_WORD_WIDTH` environment variable).  Reports —
+    /// and checkpoint files — are byte-identical across widths; only the
+    /// wall-clock changes.
+    pub fn with_word_width(mut self, width: WordWidth) -> Self {
+        self.width = width;
         self
     }
 
@@ -813,7 +876,7 @@ impl<'a> DigitalAtpg<'a> {
         faults: &FaultList,
     ) -> Result<AtpgReport, CoreError> {
         let start = Instant::now();
-        let mut replay = ReplayState::new(self.netlist, self.fault_dropping, faults);
+        let mut replay = ReplayState::new(self.netlist, self.fault_dropping, faults, self.width);
         let slots = self.resume_slots(faults)?;
         let mut journal =
             CampaignJournal::new(self.checkpoint.clone(), self.chaos, self.netlist, faults);
@@ -1016,17 +1079,39 @@ impl<'a> DigitalAtpg<'a> {
         if candidates.is_empty() {
             return Ok(None);
         }
+        match self.width.lanes() {
+            4 => self.degrade_verify::<4>(fault, &candidates),
+            8 => self.degrade_verify::<8>(fault, &candidates),
+            _ => self.degrade_verify::<1>(fault, &candidates),
+        }
+    }
+
+    /// The width-generic PPSFP verification behind [`DigitalAtpg::degrade`]:
+    /// scans the candidate patterns in `64 * W`-wide blocks and returns the
+    /// **first** detecting pattern in candidate order (first block, first
+    /// lane, lowest bit), so the chosen vector is independent of the width.
+    fn degrade_verify<const W: usize>(
+        &self,
+        fault: StuckAtFault,
+        candidates: &[Vec<bool>],
+    ) -> Result<Option<TestVector>, CoreError> {
+        let netlist = self.netlist;
         let cones = FaultCones::build(netlist, [fault.signal]);
-        let mut scratch = PpsfpScratch::new(netlist);
+        let mut scratch: PpsfpScratch<W> = PpsfpScratch::new(netlist);
         let simulator = Simulator::new(netlist);
-        for block in candidates.chunks(64) {
+        for block in candidates.chunks(64 * W) {
             let good = simulator
-                .run_parallel_all(block)
+                .run_parallel_blocks::<W>(block)
                 .map_err(|e| CoreError::Digital(e.to_string()))?;
-            let diff =
-                scratch.detection_word(netlist, &cones, fault, &good, word_mask(block.len()));
-            if diff != 0 {
-                let pattern = &block[diff.trailing_zeros() as usize];
+            let diff = scratch.detection_block(
+                netlist,
+                &cones,
+                fault,
+                &good,
+                block_mask::<W>(block.len()),
+            );
+            if let Some(lane) = diff.iter().position(|&w| w != 0) {
+                let pattern = &block[lane * 64 + diff[lane].trailing_zeros() as usize];
                 let observed_output = FaultSimulator::new(netlist)
                     .detecting_output(fault, pattern)
                     .map_err(|e| CoreError::Digital(e.to_string()))?

@@ -36,6 +36,7 @@ pub mod test_plan;
 /// Execution policy and persistent worker pool of the workspace (re-export
 /// of [`msatpg_exec`]).
 pub use msatpg_bdd::{BddBudget, BddError};
+pub use msatpg_digital::fault_sim::WordWidth;
 pub use msatpg_exec::{CancelToken, ChaosInjector, ExecPolicy, PanicPolicy, PoolStats, WorkerPool};
 
 pub use activation::{DeviationSign, StimulusPlan};

@@ -9,6 +9,7 @@ use msatpg_analog::sensitivity::{DeviationReport, WorstCaseAnalysis};
 use msatpg_bdd::BddBudget;
 use msatpg_conversion::fault::ladder_coverage;
 use msatpg_digital::fault::FaultList;
+use msatpg_digital::fault_sim::WordWidth;
 use msatpg_exec::{ExecPolicy, WorkerPool};
 
 use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry, ElementTestRequest};
@@ -39,6 +40,12 @@ pub struct AtpgOptions {
     /// blowing up on pathological cones (see
     /// [`DigitalAtpg::with_budget`](crate::DigitalAtpg::with_budget)).
     pub bdd_budget: BddBudget,
+    /// PPSFP block width of the digital stages (fault-dropping pre-screens
+    /// and degraded-fault verification).  The default honors the
+    /// `MSATPG_WORD_WIDTH` environment variable; every width produces a
+    /// byte-identical [`TestPlan`] (see
+    /// [`DigitalAtpg::with_word_width`](crate::DigitalAtpg::with_word_width)).
+    pub word_width: WordWidth,
 }
 
 impl Default for AtpgOptions {
@@ -51,6 +58,7 @@ impl Default for AtpgOptions {
             collapse_faults: true,
             exec: ExecPolicy::Serial,
             bdd_budget: BddBudget::UNLIMITED,
+            word_width: WordWidth::Auto,
         }
     }
 }
@@ -209,6 +217,7 @@ impl MixedSignalAtpg {
         let codes = self.circuit.allowed_codes();
         let atpg = DigitalAtpg::new(self.circuit.digital())
             .with_budget(self.options.bdd_budget)
+            .with_word_width(self.options.word_width)
             .with_constraints(&lines, &codes)?;
         let mut atpg = self.checkpointed(atpg, &faults, "digital_constrained.ckpt");
         atpg.run_on(pool, &faults)
@@ -232,7 +241,9 @@ impl MixedSignalAtpg {
     /// Propagates ATPG errors.
     pub fn digital_unconstrained_on(&self, pool: &WorkerPool) -> Result<AtpgReport, CoreError> {
         let faults = self.fault_list();
-        let atpg = DigitalAtpg::new(self.circuit.digital()).with_budget(self.options.bdd_budget);
+        let atpg = DigitalAtpg::new(self.circuit.digital())
+            .with_budget(self.options.bdd_budget)
+            .with_word_width(self.options.word_width);
         let mut atpg = self.checkpointed(atpg, &faults, "digital_unconstrained.ckpt");
         atpg.run_on(pool, &faults)
     }

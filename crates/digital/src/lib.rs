@@ -40,6 +40,12 @@
 //! [`fault_sim::FaultSimulator::run_serial`] and the two engines are
 //! property-tested to produce identical detected-fault sets.
 //!
+//! The word further widens to 256/512-bit blocks (`[u64; 4/8]` lane
+//! arrays that auto-vectorize at `--release`) behind the
+//! [`fault_sim::WordWidth`] knob / `MSATPG_WORD_WIDTH` environment
+//! variable, so one cone walk decides up to 512 patterns with results
+//! byte-identical to the one-lane engine.
+//!
 //! # Example
 //!
 //! ```
@@ -76,7 +82,7 @@ pub mod sim;
 pub use msatpg_exec::ExecPolicy;
 
 pub use fault::{FaultList, StuckAtFault};
-pub use fault_sim::{FaultSimResult, FaultSimulator};
+pub use fault_sim::{FaultSimResult, FaultSimulator, WordWidth};
 pub use gate::GateKind;
 pub use logic::Logic;
 pub use netlist::{Gate, GateId, Netlist, SignalId};

@@ -82,6 +82,53 @@ impl<'a> Simulator<'a> {
         }
         Ok(words)
     }
+
+    /// Wide parallel-pattern simulation returning a `W`-lane block per
+    /// signal: pattern `p` lives in bit `p % 64` of lane `p / 64`, so one
+    /// pass fills up to `64 * W` patterns.  `W = 1` is bit-identical to
+    /// [`Simulator::run_parallel_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pattern width does not match or more than
+    /// `64 * W` patterns are supplied.
+    pub fn run_parallel_blocks<const W: usize>(
+        &self,
+        patterns: &[Vec<bool>],
+    ) -> Result<Vec<[u64; W]>, DigitalError> {
+        if patterns.len() > 64 * W {
+            return Err(DigitalError::TooManyPatterns {
+                max: 64 * W,
+                actual: patterns.len(),
+            });
+        }
+        let n_inputs = self.netlist.primary_inputs().len();
+        for p in patterns {
+            if p.len() != n_inputs {
+                return Err(DigitalError::PatternWidthMismatch {
+                    expected: n_inputs,
+                    actual: p.len(),
+                });
+            }
+        }
+        let mut blocks = vec![[0u64; W]; self.netlist.signal_count()];
+        for (i, &sig) in self.netlist.primary_inputs().iter().enumerate() {
+            let mut block = [0u64; W];
+            for (p, pattern) in patterns.iter().enumerate() {
+                if pattern[i] {
+                    block[p / 64] |= 1 << (p % 64);
+                }
+            }
+            blocks[sig.index()] = block;
+        }
+        for gate in self.netlist.gates() {
+            let block = gate
+                .kind
+                .eval_block_iter(gate.inputs.iter().map(|i| &blocks[i.index()]));
+            blocks[gate.output.index()] = block;
+        }
+        Ok(blocks)
+    }
 }
 
 /// Five-valued (D-algebra) simulation with composite values at arbitrary
@@ -210,6 +257,36 @@ mod tests {
             let serial = sim.run(pattern).unwrap()[0];
             assert_eq!((words[0] >> p) & 1 == 1, serial, "pattern {p}");
         }
+    }
+
+    #[test]
+    fn block_simulation_matches_word_simulation() {
+        let n = and_or_circuit();
+        let sim = Simulator::new(&n);
+        // 130 patterns force three lanes at W = 4 (two full, one partial).
+        let patterns: Vec<Vec<bool>> = (0..130u32)
+            .map(|i| vec![i & 1 != 0, i & 2 != 0, i & 4 != 0])
+            .collect();
+        let blocks = sim.run_parallel_blocks::<4>(&patterns).unwrap();
+        for (start, chunk) in patterns.chunks(64).enumerate() {
+            let words = sim.run_parallel_all(chunk).unwrap();
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(blocks[i][start], w, "signal {i} lane {start}");
+            }
+        }
+        for block in &blocks {
+            assert_eq!(block[3], 0, "lane past the pattern count stays zero");
+        }
+        // W = 1 is exactly run_parallel_all.
+        let one = sim.run_parallel_blocks::<1>(&patterns[..64]).unwrap();
+        let flat = sim.run_parallel_all(&patterns[..64]).unwrap();
+        assert!(one.iter().map(|b| b[0]).eq(flat.iter().copied()));
+        // Over-wide inputs are a structured error, not a panic.
+        let many = vec![vec![false, false, false]; 65];
+        assert!(matches!(
+            sim.run_parallel_blocks::<1>(&many),
+            Err(DigitalError::TooManyPatterns { max: 64, .. })
+        ));
     }
 
     #[test]

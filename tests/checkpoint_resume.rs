@@ -20,6 +20,7 @@ use msatpg::core::{CheckpointPolicy, ConverterBlock, CoreError, StoreError};
 use msatpg::digital::benchmarks;
 use msatpg::digital::circuits;
 use msatpg::digital::fault::FaultList;
+use msatpg::digital::fault_sim::WordWidth;
 use msatpg::digital::netlist::SignalId;
 use msatpg::exec::{CancelToken, ChaosInjector, ExecPolicy};
 use msatpg::{MixedCircuit, MixedSignalAtpg};
@@ -117,25 +118,61 @@ fn interrupted_c432_campaign_resumes_byte_identically() {
         "final flush is complete"
     );
 
-    for policy in [
-        ExecPolicy::Serial,
-        ExecPolicy::Threads(2),
-        ExecPolicy::Threads(8),
-        ExecPolicy::Auto,
+    // The resume grid crosses thread policies with pattern-block widths:
+    // the checkpoint was written by a default-width campaign, and replaying
+    // it under 256/512-bit PPSFP verification must not move a single byte.
+    for (policy, width) in [
+        (ExecPolicy::Serial, WordWidth::W8),
+        (ExecPolicy::Threads(2), WordWidth::W4),
+        (ExecPolicy::Threads(8), WordWidth::W1),
+        (ExecPolicy::Auto, WordWidth::Auto),
     ] {
         let resumed = engine(tight)
             .with_resume(snapshot.clone())
             .with_policy(policy)
+            .with_word_width(width)
             .run(&faults)
             .unwrap();
-        assert_reports_identical(&resumed, &reference, &format!("resume {policy:?}"));
+        assert_reports_identical(
+            &resumed,
+            &reference,
+            &format!("resume {policy:?} {width:?}"),
+        );
         assert_eq!(
             report_bytes(&digital, &resumed),
             reference_bytes,
-            "{policy:?}: resumed report not byte-identical on disk"
+            "{policy:?} {width:?}: resumed report not byte-identical on disk"
         );
     }
     std::fs::remove_file(&path).ok();
+}
+
+/// The pattern-block width is invisible on disk: the same campaign
+/// checkpointed at W = 1, 4 and 8 leaves byte-identical snapshot files
+/// behind (outcomes are width-independent and no timing is journaled).
+#[test]
+fn checkpoint_files_are_byte_identical_across_word_widths() {
+    let circuit = circuits::adder4();
+    let faults = FaultList::collapsed(&circuit);
+    let campaign = |width: WordWidth| {
+        let path = scratch("width");
+        DigitalAtpg::new(&circuit)
+            .with_word_width(width)
+            .with_checkpoint(CheckpointPolicy::default(), &path)
+            .run(&faults)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    };
+    let reference = campaign(WordWidth::W1);
+    for width in [WordWidth::W4, WordWidth::W8] {
+        assert_eq!(
+            campaign(width),
+            reference,
+            "{width:?}: checkpoint bytes differ from the one-lane campaign"
+        );
+    }
 }
 
 /// A resume snapshot is validated against the campaign it claims to

@@ -532,13 +532,69 @@ fn parallel_ppsfp_is_byte_identical_to_serial() {
     }
 }
 
+/// The widened PPSFP blocks (256- and 512-bit) are byte-identical to the
+/// one-lane engine on random netlists — same detected *vector* (order
+/// included), same undetected list, same pattern count — across pattern
+/// batches that straddle the wide block boundaries, with and without fault
+/// dropping, serial and pooled.  The serial per-pattern reference anchors
+/// the detected *set* so the whole word-level family cannot drift together.
+#[test]
+fn wide_ppsfp_is_byte_identical_to_one_lane_on_random_netlists() {
+    use msatpg::digital::fault_sim::WordWidth;
+    let mut rng = SplitMix64::new(0x51D3);
+    for case in 0..24 {
+        let n = random_netlist(&mut rng, case);
+        let faults = FaultList::collapsed(&n);
+        // 1..=600 patterns: covers partial lanes, exact multiples and
+        // several 512-bit blocks.
+        let count = 1 + rng.below(600);
+        let patterns: Vec<Vec<bool>> = (0..count)
+            .map(|_| random_pattern(&mut rng, n.primary_inputs().len()))
+            .collect();
+        for dropping in [true, false] {
+            let reference = FaultSimulator::new(&n)
+                .with_fault_dropping(dropping)
+                .with_word_width(WordWidth::W1)
+                .run(&faults, &patterns)
+                .unwrap();
+            let serial = FaultSimulator::new(&n)
+                .with_fault_dropping(dropping)
+                .run_serial(&faults, &patterns)
+                .unwrap();
+            let mut set = reference.detected().to_vec();
+            let mut serial_set = serial.detected().to_vec();
+            set.sort();
+            serial_set.sort();
+            assert_eq!(
+                set, serial_set,
+                "case {case} dropping={dropping}: word engine vs serial"
+            );
+            for width in [WordWidth::W4, WordWidth::W8] {
+                for policy in [ExecPolicy::Threads(1), ExecPolicy::Threads(3)] {
+                    let wide = FaultSimulator::new(&n)
+                        .with_fault_dropping(dropping)
+                        .with_word_width(width)
+                        .with_policy(policy)
+                        .run(&faults, &patterns)
+                        .unwrap();
+                    let tag =
+                        format!("case {case} dropping={dropping} {width:?} policy={policy:?}");
+                    assert_eq!(wide.detected(), reference.detected(), "{tag}");
+                    assert_eq!(wide.undetected(), reference.undetected(), "{tag}");
+                    assert_eq!(wide.patterns_used(), reference.patterns_used(), "{tag}");
+                }
+            }
+        }
+    }
+}
+
 /// A whole PPSFP campaign spawns exactly one worker set, no matter how many
 /// 64-pattern blocks (pool rounds) it runs — the persistent-pool guarantee
 /// that replaced the spawn-per-block scoped pool.
 #[test]
 fn ppsfp_campaign_spawns_one_worker_set() {
     use msatpg::digital::benchmarks;
-    use msatpg::digital::fault_sim::FaultCones;
+    use msatpg::digital::fault_sim::{FaultCones, WordWidth};
     use msatpg::exec::WorkerPool;
     let mut rng = SplitMix64::new(0x5EED);
     let n = benchmarks::by_name("c880").unwrap();
@@ -550,8 +606,12 @@ fn ppsfp_campaign_spawns_one_worker_set() {
         .collect();
     for policy in determinism_policies() {
         let pool = WorkerPool::new(policy);
+        // The barrier count below encodes the 64-pattern (one-lane) block
+        // structure, so the width is pinned: under the CI width matrix a
+        // 512-bit block would fold the 5 rounds into 1.
         let result = FaultSimulator::new(&n)
             .with_policy(policy)
+            .with_word_width(WordWidth::W1)
             .run_with_cones_on(&pool, &faults, &patterns, &cones)
             .unwrap();
         assert!(result.patterns_used() == 300);
@@ -723,6 +783,56 @@ fn chaos_governed_atpg_reports_are_byte_identical_across_policies() {
                 &reference,
                 &format!("chaos seed={seed:#x} policy={policy:?}"),
             );
+        }
+    }
+}
+
+/// The pattern-block width is invisible in campaign reports: a governed
+/// chaos campaign — panics isolated, budgets exhausted into degraded
+/// random-pattern vectors (the code path where the width actually decides
+/// which patterns are batched per cone walk) — produces a byte-identical
+/// [`AtpgReport`] for every `MSATPG_WORD_WIDTH` × thread-count combination.
+#[test]
+fn governed_atpg_reports_are_byte_identical_across_word_widths() {
+    use msatpg::core::digital_atpg::DegradePolicy;
+    use msatpg::digital::fault_sim::WordWidth;
+    use msatpg::exec::{ChaosInjector, PanicPolicy};
+
+    let circuit = circuits::adder4();
+    let faults = FaultList::collapsed(&circuit);
+    for seed in [0x07u64, 0xBADC_AB1E] {
+        let build = |width: WordWidth| {
+            DigitalAtpg::new(&circuit)
+                .with_chaos(
+                    ChaosInjector::new(seed)
+                        .with_panic_rate(7)
+                        .with_budget_rate(3)
+                        .with_cancel_rate(11),
+                )
+                .with_panic_policy(PanicPolicy::Isolate)
+                .with_degradation(DegradePolicy {
+                    seed,
+                    // Three 64-bit words, under one 256-bit block: the wide
+                    // verifier must still pick the same first detecting
+                    // pattern the narrow one finds.
+                    patterns: 192,
+                })
+                .with_word_width(width)
+        };
+        let reference = build(WordWidth::W1).run(&faults).unwrap();
+        assert!(
+            !reference.degraded.is_empty(),
+            "seed={seed:#x}: the chaos rates must actually degrade faults"
+        );
+        for width in [WordWidth::W1, WordWidth::W4, WordWidth::W8] {
+            for policy in determinism_policies() {
+                let report = build(width).with_policy(policy).run(&faults).unwrap();
+                assert_reports_identical(
+                    &report,
+                    &reference,
+                    &format!("seed={seed:#x} width={width:?} policy={policy:?}"),
+                );
+            }
         }
     }
 }
