@@ -244,9 +244,10 @@ mod tests {
         assert_eq!(to_dot(&m, f, "stable"), before);
         assert_eq!(to_text_tree(&m, f), tree_before);
         // Allocate into the freed slots, then render again: traversal-order
-        // ids keep the output byte-identical.
+        // ids keep the output byte-identical.  (`f` is the only handle that
+        // survived the collection; `a`/`b`/`c` literal nodes were swept.)
         let d = m.var("d");
-        let _noise = m.xor(d, a);
+        let _noise = m.xor(d, f);
         assert_eq!(to_dot(&m, f, "stable"), before);
         assert_eq!(to_text_tree(&m, f), tree_before);
         m.unprotect(f);

@@ -27,6 +27,15 @@
 //!   every `TestPlan` built on top are byte-identical with collection on
 //!   or off.  A watermark armed via [`BddManager::set_auto_gc`] triggers
 //!   collection automatically at operation entry;
+//! * **dynamic variable reordering** — the global order is a permutation
+//!   (`var` ↔ level) maintained beside the arena, so [`VarId`]s are never
+//!   renumbered.  Adjacent-level swap ([`BddManager::try_swap_adjacent`])
+//!   rewrites the affected nodes in place (handles stay valid) and
+//!   sifting ([`BddManager::try_sift`]) walks every variable to a locally
+//!   optimal level under a growth cap, governed by the same budget and
+//!   cancellation machinery.  A [`DvoSchedule`] armed via
+//!   [`BddManager::set_dvo`] reorders automatically at the auto-GC safe
+//!   points; see [`reorder`] for the swap mechanics on complement edges;
 //!
 //! and the performance plumbing carried over from the arena overhaul:
 //!
@@ -98,6 +107,7 @@ mod dot;
 mod expr;
 mod manager;
 mod node;
+pub mod reorder;
 pub mod store;
 
 pub use budget::{BddBudget, BddError};
@@ -106,4 +116,5 @@ pub use dot::{to_dot, to_text_tree};
 pub use expr::Expr;
 pub use manager::{BddManager, BddStats, CacheStats, GcReport};
 pub use node::{Bdd, VarId};
+pub use reorder::{DvoSchedule, SiftReport};
 pub use store::{export_bdd, import_bdd, BddStoreError};

@@ -91,7 +91,7 @@ const EMPTY: u32 = u32::MAX;
 /// [`CancelToken`] (amortizes the atomic load / deadline clock read).
 const CANCEL_POLL_INTERVAL: u64 = 256;
 /// `Node::var` sentinel of a swept (free-listed) arena slot.
-const FREED: VarId = VarId::MAX - 1;
+pub(crate) const FREED: VarId = VarId::MAX - 1;
 
 /// FNV-1a over a few words, with a final avalanche so the low bits (used to
 /// index power-of-two tables) depend on every input bit.
@@ -246,10 +246,10 @@ const ITE_EMPTY: IteEntry = IteEntry {
 /// Open-addressed, linear-probed hash-consing table mapping node contents to
 /// their arena index.
 #[derive(Clone)]
-struct UniqueTable {
+pub(crate) struct UniqueTable {
     /// Node indices; `EMPTY` marks a vacant slot.  Length is a power of two.
     slots: Vec<u32>,
-    len: usize,
+    pub(crate) len: usize,
 }
 
 impl UniqueTable {
@@ -265,7 +265,7 @@ impl UniqueTable {
     }
 
     /// A fresh table sized so `live` entries sit under 50 % load.
-    fn for_live(live: usize) -> Self {
+    pub(crate) fn for_live(live: usize) -> Self {
         let want = (live.max(1) * 2).next_power_of_two();
         Self::with_slots(want.max(UNIQUE_INITIAL_SLOTS))
     }
@@ -278,7 +278,13 @@ impl UniqueTable {
     /// Finds the node `(var, low, high)` in the table, or the vacant slot
     /// where it belongs.  Returns `Ok(node_index)` or `Err(slot_index)`.
     #[inline]
-    fn probe(&self, nodes: &[Node], var: VarId, low: Bdd, high: Bdd) -> Result<u32, usize> {
+    pub(crate) fn probe(
+        &self,
+        nodes: &[Node],
+        var: VarId,
+        low: Bdd,
+        high: Bdd,
+    ) -> Result<u32, usize> {
         let mask = self.mask();
         let mut slot = fnv_mix([var, low.0, high.0]) as usize & mask;
         loop {
@@ -306,7 +312,7 @@ impl UniqueTable {
 
     /// Inserts a node index into whatever slot its hash chain ends at (used
     /// when rebuilding after a sweep; the caller sizes the table up front).
-    fn insert_rehash(&mut self, nodes: &[Node], idx: u32) {
+    pub(crate) fn insert_rehash(&mut self, nodes: &[Node], idx: u32) {
         let node = &nodes[idx as usize];
         let mask = self.mask();
         let mut slot = fnv_mix([node.var, node.low.0, node.high.0]) as usize & mask;
@@ -337,10 +343,13 @@ impl UniqueTable {
 /// operations and a mark-and-sweep garbage collector.
 ///
 /// Variables are declared with [`BddManager::var`] (by name) or
-/// [`BddManager::new_var`], and their declaration order is the global
-/// variable ordering.  Handles stay valid for the manager's lifetime unless
-/// garbage collection is requested; see the crate docs for the
-/// root registry and the auto-GC contract.
+/// [`BddManager::new_var`], and their declaration order is the *initial*
+/// global variable ordering.  Reordering (adjacent-level swap and sifting,
+/// see [`BddManager::try_sift`]) permutes the variable-to-level maps
+/// without renumbering any [`VarId`] or invalidating any handle.  Handles
+/// stay valid for the manager's lifetime unless garbage collection is
+/// requested; see the crate docs for the root registry and the auto-GC
+/// contract.
 ///
 /// # Example
 ///
@@ -362,16 +371,23 @@ impl UniqueTable {
 /// ```
 #[derive(Clone)]
 pub struct BddManager {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     /// Arena indices swept by the collector, ready for reuse.
-    free: Vec<u32>,
-    unique: UniqueTable,
+    pub(crate) free: Vec<u32>,
+    pub(crate) unique: UniqueTable,
     apply_cache: Vec<ApplyEntry>,
     ite_cache: Vec<IteEntry>,
     apply_stats: CacheStats,
     ite_stats: CacheStats,
     names: Vec<String>,
     by_name: HashMap<String, VarId>,
+    /// Ordering position of each declared variable (`var2level[var]`);
+    /// identity until a reorder permutes it.
+    pub(crate) var2level: Vec<u32>,
+    /// Inverse permutation: the variable sitting at each ordering position.
+    pub(crate) level2var: Vec<VarId>,
+    /// Reordering schedule honoured at the auto-GC safe points.
+    dvo: crate::reorder::DvoSchedule,
     /// Counted external roots: node index -> registration count.
     roots: HashMap<u32, usize>,
     /// Operand pin stack: handles the manager itself holds across nested
@@ -428,6 +444,9 @@ impl BddManager {
             ite_stats: CacheStats::default(),
             names: Vec::new(),
             by_name: HashMap::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            dvo: crate::reorder::DvoSchedule::Never,
             roots: HashMap::new(),
             pins: Vec::new(),
             auto_gc_watermark: None,
@@ -573,6 +592,20 @@ impl BddManager {
         self.auto_gc_watermark
     }
 
+    /// Sets the dynamic-variable-ordering schedule honoured at the auto-GC
+    /// safe points (see [`crate::reorder::DvoSchedule`]).  The same handle
+    /// contract as [`BddManager::set_auto_gc`] applies while a
+    /// [`crate::reorder::DvoSchedule::SizeTriggered`] schedule is armed:
+    /// every handle held across manager calls must be protected.
+    pub fn set_dvo(&mut self, schedule: crate::reorder::DvoSchedule) {
+        self.dvo = schedule;
+    }
+
+    /// The currently armed reordering schedule.
+    pub fn dvo(&self) -> crate::reorder::DvoSchedule {
+        self.dvo
+    }
+
     // ------------------------------------------------------------------
     // Resource governance: budgets and cancellation
     // ------------------------------------------------------------------
@@ -624,7 +657,7 @@ impl BddManager {
     /// step against [`BddBudget::max_steps`] and periodically polls the
     /// cancel token.
     #[inline]
-    fn step(&mut self) -> Result<(), BddError> {
+    pub(crate) fn step(&mut self) -> Result<(), BddError> {
         self.steps_used += 1;
         if let Some(limit) = self.budget.max_steps {
             if self.steps_used > limit {
@@ -639,7 +672,7 @@ impl BddManager {
 
     /// Operation-entry poll of the armed cancel token.
     #[inline]
-    fn poll_cancel(&self) -> Result<(), BddError> {
+    pub(crate) fn poll_cancel(&self) -> Result<(), BddError> {
         match &self.cancel {
             Some(token) if token.is_cancelled() => Err(BddError::Cancelled),
             _ => Ok(()),
@@ -729,6 +762,18 @@ impl BddManager {
                 self.auto_gc_watermark = Some(watermark.max(floor));
             }
         }
+        // Size-triggered reordering shares the safe point: operands are
+        // pinned, so sifting (which GCs internally) cannot sweep them, and
+        // swaps never renumber handles.  An interrupted sift (budget or
+        // cancel) is abandoned silently — the operation itself will report
+        // the exhaustion if it persists.
+        if let crate::reorder::DvoSchedule::SizeTriggered(watermark) = self.dvo {
+            if self.live_node_count() >= watermark {
+                let _ = self.try_sift();
+                let floor = self.live_node_count().saturating_mul(2);
+                self.dvo = crate::reorder::DvoSchedule::SizeTriggered(watermark.max(floor));
+            }
+        }
     }
 
     #[inline]
@@ -776,6 +821,10 @@ impl BddManager {
         let id = self.names.len() as VarId;
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
+        // New variables enter the ordering at the bottom (deepest level),
+        // which extends any reordered permutation without disturbing it.
+        self.var2level.push(self.level2var.len() as u32);
+        self.level2var.push(id);
         id
     }
 
@@ -822,14 +871,53 @@ impl BddManager {
         }
     }
 
-    /// Level (ordering position) of the root variable of `f`, or `VarId::MAX`
-    /// for terminals.
+    /// Root variable of `f` (its identity, *not* its ordering position), or
+    /// `VarId::MAX` for terminals.  Use [`BddManager::level_of`] to map a
+    /// variable to its current position in the ordering.
     #[inline]
     pub fn root_var(&self, f: Bdd) -> VarId {
         if f.is_terminal() {
             VarId::MAX
         } else {
             self.nodes[f.index() as usize].var
+        }
+    }
+
+    /// Current ordering position (level) of a declared variable: level 0 is
+    /// the root end of the order.  Declaration order is the initial order;
+    /// reordering permutes levels without renumbering [`VarId`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not declared by this manager.
+    #[inline]
+    pub fn level_of(&self, var: VarId) -> u32 {
+        self.var2level[var as usize]
+    }
+
+    /// The variable currently sitting at ordering position `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `0..var_count()`.
+    #[inline]
+    pub fn var_at_level(&self, level: u32) -> VarId {
+        self.level2var[level as usize]
+    }
+
+    /// The current variable order, root end first.
+    pub fn var_order(&self) -> &[VarId] {
+        &self.level2var
+    }
+
+    /// Level of the root variable of `f`, or `u32::MAX` for terminals (which
+    /// sit below every variable).
+    #[inline]
+    pub(crate) fn root_level(&self, f: Bdd) -> u32 {
+        if f.is_terminal() {
+            u32::MAX
+        } else {
+            self.var2level[self.nodes[f.index() as usize].var as usize]
         }
     }
 
@@ -865,7 +953,7 @@ impl BddManager {
         (node.low.toggled_if(flip), node.high.toggled_if(flip))
     }
 
-    fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Result<Bdd, BddError> {
+    pub(crate) fn mk_node(&mut self, var: VarId, low: Bdd, high: Bdd) -> Result<Bdd, BddError> {
         if low == high {
             return Ok(low);
         }
@@ -1152,7 +1240,13 @@ impl BddManager {
             self.apply_stats.hits += 1;
             return Ok(Bdd(entry.result));
         }
-        let top = self.root_var(f).min(self.root_var(g));
+        // The split variable is the one at the shallower *level*; with a
+        // reordered manager the numerically smaller VarId need not be it.
+        let top = if self.root_level(f) <= self.root_level(g) {
+            self.root_var(f)
+        } else {
+            self.root_var(g)
+        };
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let low = self.and_rec(f0, g0)?;
@@ -1202,7 +1296,11 @@ impl BddManager {
             self.apply_stats.hits += 1;
             return Ok(Bdd(entry.result).toggled_if(parity));
         }
-        let top = self.root_var(f).min(self.root_var(g));
+        let top = if self.root_level(f) <= self.root_level(g) {
+            self.root_var(f)
+        } else {
+            self.root_var(g)
+        };
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let low = self.xor_rec(f0, g0)?;
@@ -1281,7 +1379,14 @@ impl BddManager {
             self.ite_stats.hits += 1;
             return Ok(Bdd(entry.result).toggled_if(flip));
         }
-        let top = self.root_var(f).min(self.root_var(g)).min(self.root_var(h));
+        let (lf, lg, lh) = (self.root_level(f), self.root_level(g), self.root_level(h));
+        let top = if lf <= lg && lf <= lh {
+            self.root_var(f)
+        } else if lg <= lh {
+            self.root_var(g)
+        } else {
+            self.root_var(h)
+        };
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let (h0, h1) = self.cofactors_at(h, top);
@@ -1298,7 +1403,7 @@ impl BddManager {
         Ok(result.toggled_if(flip))
     }
 
-    fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
+    pub(crate) fn cofactors_at(&self, f: Bdd, var: VarId) -> (Bdd, Bdd) {
         if f.is_terminal() || self.root_var(f) != var {
             (f, f)
         } else {
@@ -1330,8 +1435,13 @@ impl BddManager {
         if f.is_terminal() {
             return Ok(f);
         }
+        let target_level = match self.var2level.get(var as usize) {
+            Some(&level) => level,
+            // An undeclared variable is tested nowhere: identity.
+            None => return Ok(f),
+        };
         let node_var = self.nodes[f.index() as usize].var;
-        if node_var > var {
+        if self.var2level[node_var as usize] > target_level {
             return Ok(f);
         }
         let (low, high) = self.children(f);
@@ -1485,7 +1595,8 @@ impl BddManager {
         self.support(f).contains(&var)
     }
 
-    /// Set of variables tested anywhere inside `f`, in ordering position.
+    /// Set of variables tested anywhere inside `f`, sorted by current
+    /// ordering position (root end first).
     pub fn support(&self, f: Bdd) -> Vec<VarId> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
@@ -1499,7 +1610,9 @@ impl BddManager {
             stack.push(node.low.regular());
             stack.push(node.high.regular());
         }
-        vars.into_iter().collect()
+        let mut vars: Vec<VarId> = vars.into_iter().collect();
+        vars.sort_by_key(|&v| self.var2level[v as usize]);
+        vars
     }
 
     /// Number of internal nodes reachable from `f` (the BDD's size).  With
@@ -1559,12 +1672,12 @@ impl BddManager {
         total_vars: u32,
         memo: &mut HashMap<Bdd, u128>,
     ) -> u128 {
-        // Number of assignments below `f` assuming its root is at
-        // `from_level`.
+        // Number of assignments below `f` assuming its root sits at
+        // ordering position `from_level`.
         let level = if f.is_terminal() {
             total_vars
         } else {
-            self.nodes[f.index() as usize].var
+            self.root_level(f)
         };
         let skipped = level - from_level;
         let base = if f.is_zero() {
@@ -1574,10 +1687,9 @@ impl BddManager {
         } else if let Some(&c) = memo.get(&f) {
             c
         } else {
-            let var = self.nodes[f.index() as usize].var;
             let (low, high) = self.children(f);
-            let low = self.sat_count_rec(low, var + 1, total_vars, memo);
-            let high = self.sat_count_rec(high, var + 1, total_vars, memo);
+            let low = self.sat_count_rec(low, level + 1, total_vars, memo);
+            let high = self.sat_count_rec(high, level + 1, total_vars, memo);
             let c = low + high;
             memo.insert(f, c);
             c

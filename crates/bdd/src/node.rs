@@ -5,9 +5,11 @@ use std::fmt;
 
 /// Identifier of a Boolean variable inside a [`crate::BddManager`].
 ///
-/// The numeric value of a `VarId` is also its position in the global variable
-/// ordering: smaller ids appear closer to the root of every BDD managed by the
-/// same manager.
+/// A `VarId` names a variable *identity*, assigned in declaration order and
+/// never renumbered.  Its position in the global variable ordering starts
+/// out equal to its numeric value but can move when the manager reorders
+/// (adjacent-level swap, sifting); query the current position with
+/// [`crate::BddManager::level_of`].
 pub type VarId = u32;
 
 /// A reference to a (reduced, ordered, complement-edged) BDD node owned by a

@@ -139,8 +139,13 @@ pub fn export_bdd(m: &BddManager, f: Bdd, name: &str) -> String {
     let _ = writeln!(out, ".ver {FORMAT_VERSION}");
     let _ = writeln!(out, ".bdd {clean_name}");
     let _ = writeln!(out, ".nvars {}", m.var_count());
-    for v in m.var_names() {
-        let _ = writeln!(out, ".var {v}");
+    // Variables are listed in *ordering position* (level order) and node
+    // records reference them by position in this list, so a dump taken
+    // after reordering is still internally consistent: variable indices
+    // strictly increase along every edge.  For a never-reordered manager
+    // level order equals declaration order and the output is unchanged.
+    for &v in m.var_order() {
+        let _ = writeln!(out, ".var {}", m.var_name(v));
     }
     let _ = writeln!(out, ".nnodes {}", order.len());
     let _ = writeln!(out, ".root {}", ref_of(&ids, f));
@@ -150,7 +155,7 @@ pub fn export_bdd(m: &BddManager, f: Bdd, name: &str) -> String {
             out,
             ".node {} {} {} {}",
             i + 1,
-            m.node_var(n),
+            m.level_of(m.node_var(n)),
             ref_of(&ids, low),
             ref_of(&ids, high)
         );
@@ -230,9 +235,10 @@ fn parse_count(value: &str, line: usize, what: &str) -> Result<usize, BddStoreEr
 /// Parses the document and declares its variables in `m`.
 ///
 /// The listed variables must resolve, in file order, to strictly increasing
-/// variable ids in the target manager: loading into a fresh manager always
-/// succeeds, loading into a manager whose existing order disagrees is a
-/// structured error (the function would otherwise be silently reordered).
+/// *ordering positions* (levels) in the target manager: loading into a
+/// fresh manager always succeeds, loading into a manager whose existing
+/// order disagrees is a structured error (the function would otherwise be
+/// silently reordered).
 fn parse_document(m: &mut BddManager, text: &str) -> Result<Document, BddStoreError> {
     let mut lines = text
         .lines()
@@ -259,12 +265,14 @@ fn parse_document(m: &mut BddManager, text: &str) -> Result<Document, BddStoreEr
         }
         let id = m.var_id(var_name);
         if let Some(&prev) = vars.last() {
-            if id <= prev {
+            if m.level_of(id) <= m.level_of(prev) {
                 return Err(parse_err(
                     no,
                     format!(
                         "variable `{var_name}` breaks the target manager's order \
-                         (id {id} after {prev})"
+                         (level {} after {})",
+                        m.level_of(id),
+                        m.level_of(prev)
                     ),
                 ));
             }

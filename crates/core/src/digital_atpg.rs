@@ -35,6 +35,7 @@ use msatpg_digital::sim::Simulator;
 use msatpg_exec::{CancelToken, ChaosEvent, ChaosInjector, ExecPolicy, PanicPolicy, WorkerPool};
 
 use crate::constraint::{constraint_bdd, declare_input_variables};
+use crate::ordering::{DvoMode, StaticOrder};
 use crate::store::{self, Checkpoint, CheckpointPolicy};
 use crate::CoreError;
 
@@ -423,6 +424,8 @@ pub struct DigitalAtpg<'a> {
     degrade: DegradePolicy,
     checkpoint: Option<(CheckpointPolicy, PathBuf)>,
     resume: Option<Checkpoint>,
+    static_order: StaticOrder,
+    dvo: DvoMode,
 }
 
 /// A per-fault generation failure the driver translates into an outcome.
@@ -516,9 +519,26 @@ impl CampaignJournal {
 }
 
 impl<'a> DigitalAtpg<'a> {
-    /// Builds the generator for a netlist without constraints (`Fc = 1`).
+    /// Builds the generator for a netlist without constraints (`Fc = 1`),
+    /// declaring the input variables in netlist order (the paper's order).
     pub fn new(netlist: &'a Netlist) -> Self {
+        Self::new_ordered(netlist, StaticOrder::Declaration)
+    }
+
+    /// Builds the generator with the primary-input variables declared in
+    /// the order computed by the static heuristic `order` (see
+    /// [`StaticOrder`]); the composite variable `D` stays last regardless.
+    /// Everything downstream addresses variables by name, so any order
+    /// produces equivalent (though not byte-identical) results — only the
+    /// OBDD sizes change.
+    pub fn new_ordered(netlist: &'a Netlist, order: StaticOrder) -> Self {
         let mut manager = BddManager::new();
+        // Pre-declare the inputs in the heuristic's order; the by-name
+        // declaration below is then a no-op lookup that returns the
+        // literals in netlist order for the signal table.
+        for &pi in &crate::ordering::pi_order(netlist, order) {
+            manager.var_id(netlist.signal_name(pi));
+        }
         let pi_literals = declare_input_variables(&mut manager, netlist);
         // The composite variable is declared last, as prescribed by the
         // paper's ordering.
@@ -556,6 +576,8 @@ impl<'a> DigitalAtpg<'a> {
             degrade: DegradePolicy::default(),
             checkpoint: None,
             resume: None,
+            static_order: order,
+            dvo: DvoMode::Never,
         }
     }
 
@@ -625,6 +647,23 @@ impl<'a> DigitalAtpg<'a> {
     /// wall-clock changes.
     pub fn with_word_width(mut self, width: WordWidth) -> Self {
         self.width = width;
+        self
+    }
+
+    /// Sets the dynamic-variable-ordering mode (the default honors the
+    /// `MSATPG_DVO` environment variable; see [`DvoMode`]).  When active,
+    /// the engine's manager is sifted to convergence immediately — a
+    /// deterministic construction-time safe point where the signal
+    /// functions and `Fc` are the only protected roots — so apply this
+    /// *after* [`Self::with_constraints`] and [`Self::with_budget`]; the
+    /// pipelined worker engines replay the same sequence.  A sift
+    /// interrupted by the budget leaves the manager consistent and the
+    /// outcome deterministic, so the builder stays infallible.
+    pub fn with_dvo(mut self, mode: DvoMode) -> Self {
+        self.dvo = mode;
+        if mode.is_active() {
+            let _ = self.manager.try_sift_until_convergence();
+        }
         self
     }
 
@@ -1142,6 +1181,8 @@ impl<'a> DigitalAtpg<'a> {
         let budget = self.budget;
         let cancel = self.cancel.clone();
         let chaos = self.chaos;
+        let static_order = self.static_order;
+        let dvo = self.dvo;
         // Replay-side coverage flags: set by the driver strictly between
         // rounds (prescreen), read by the workers to skip doomed
         // speculation.  They only gate whether a speculative outcome is
@@ -1157,7 +1198,7 @@ impl<'a> DigitalAtpg<'a> {
         pool.session(
             chunks_per_round,
             || {
-                let engine = DigitalAtpg::new(netlist);
+                let engine = DigitalAtpg::new_ordered(netlist, static_order);
                 let engine = match &spec {
                     Some((lines, codes)) => engine
                         .with_constraints(lines, codes)
@@ -1167,7 +1208,10 @@ impl<'a> DigitalAtpg<'a> {
                 // Worker engines mirror the primary's governance so their
                 // speculative results match inline generation bit for bit;
                 // they only *observe* the cancel token (never charge it).
-                let engine = engine.with_budget(budget);
+                // The variable order is replayed too: same static order,
+                // same sift at the same safe point (constraints and budget
+                // armed), so speculative cubes match the driver's.
+                let engine = engine.with_budget(budget).with_dvo(dvo);
                 match &cancel {
                     Some(token) => engine.with_cancel_token(token.clone()),
                     None => engine,

@@ -28,6 +28,7 @@ pub mod analog_atpg;
 pub mod constraint;
 pub mod digital_atpg;
 pub mod mixed_circuit;
+pub mod ordering;
 pub mod propagation;
 pub mod report;
 pub mod store;
@@ -45,6 +46,7 @@ pub use digital_atpg::{
     AbortReason, AtpgReport, DegradePolicy, DigitalAtpg, TestOutcome, TestVector,
 };
 pub use mixed_circuit::{ConverterBlock, MixedCircuit};
+pub use ordering::{pi_order, DvoMode, StaticOrder, DVO_ENV_VAR};
 pub use propagation::{PropagationEngine, PropagationResult};
 pub use store::{Checkpoint, CheckpointPolicy, StoreError};
 pub use test_plan::{AtpgOptions, MixedSignalAtpg, TestPlan};

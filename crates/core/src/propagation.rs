@@ -17,6 +17,7 @@ use msatpg_digital::netlist::{Netlist, SignalId};
 use msatpg_digital::sim::CompositeSimulator;
 
 use crate::digital_atpg::apply_gate;
+use crate::ordering::{pi_order, DvoMode, StaticOrder};
 use crate::CoreError;
 
 /// The name of the composite variable (kept last in the ordering).
@@ -44,12 +45,33 @@ pub struct PropagationResult {
 /// OBDD-based propagation engine bound to one digital netlist.
 pub struct PropagationEngine<'a> {
     netlist: &'a Netlist,
+    order: StaticOrder,
+    dvo: DvoMode,
 }
 
 impl<'a> PropagationEngine<'a> {
-    /// Creates a propagation engine.
+    /// Creates a propagation engine (declaration input order, dynamic
+    /// reordering per the `MSATPG_DVO` environment variable).
     pub fn new(netlist: &'a Netlist) -> Self {
-        PropagationEngine { netlist }
+        PropagationEngine {
+            netlist,
+            order: StaticOrder::Declaration,
+            dvo: DvoMode::Auto,
+        }
+    }
+
+    /// Sets the static heuristic that orders the external input variables
+    /// of the per-call OBDD managers (`D` stays last; see [`StaticOrder`]).
+    pub fn with_static_order(mut self, order: StaticOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the dynamic-variable-ordering mode applied once per search,
+    /// right after the output functions are built (see [`DvoMode`]).
+    pub fn with_dvo(mut self, dvo: DvoMode) -> Self {
+        self.dvo = dvo;
+        self
     }
 
     /// Searches for an assignment to the external primary inputs that
@@ -106,9 +128,9 @@ impl<'a> PropagationEngine<'a> {
             });
         }
         let mut manager = BddManager::new();
-        // External inputs first (declaration order = PI order), D last.
+        // External inputs first (in the static heuristic's order), D last.
         let mut values: Vec<Option<Bdd>> = vec![None; self.netlist.signal_count()];
-        for &pi in self.netlist.primary_inputs() {
+        for &pi in &pi_order(self.netlist, self.order) {
             if pi == composite_line {
                 continue;
             }
@@ -151,6 +173,12 @@ impl<'a> PropagationEngine<'a> {
             manager.protect(f);
         }
         manager.gc_if_above(GC_WATERMARK);
+        // Deterministic reordering safe point: only the protected output
+        // functions survive into the Boolean-difference search, so a sift
+        // here shrinks exactly what that search will traverse.
+        if self.dvo.is_active() {
+            let _ = manager.try_sift_until_convergence();
+        }
         Ok((manager, outputs, d_var))
     }
 

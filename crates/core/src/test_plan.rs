@@ -15,6 +15,7 @@ use msatpg_exec::{ExecPolicy, WorkerPool};
 use crate::analog_atpg::{AnalogAtpg, AnalogTestEntry, ElementTestRequest};
 use crate::digital_atpg::{AtpgReport, DigitalAtpg};
 use crate::mixed_circuit::{ConverterBlock, MixedCircuit};
+use crate::ordering::DvoMode;
 use crate::store::{self, CheckpointPolicy};
 use crate::CoreError;
 
@@ -46,6 +47,13 @@ pub struct AtpgOptions {
     /// byte-identical [`TestPlan`] (see
     /// [`DigitalAtpg::with_word_width`](crate::DigitalAtpg::with_word_width)).
     pub word_width: WordWidth,
+    /// Dynamic variable reordering of the digital OBDD engines.  The
+    /// default honors the `MSATPG_DVO` environment variable; every mode
+    /// produces an *equivalent* [`TestPlan`] (same coverage and outcome
+    /// taxonomy, possibly different test cubes — see
+    /// [`DigitalAtpg::with_dvo`](crate::DigitalAtpg::with_dvo)), and within
+    /// one mode the plan stays byte-identical across thread counts.
+    pub dvo: DvoMode,
 }
 
 impl Default for AtpgOptions {
@@ -59,6 +67,7 @@ impl Default for AtpgOptions {
             exec: ExecPolicy::Serial,
             bdd_budget: BddBudget::UNLIMITED,
             word_width: WordWidth::Auto,
+            dvo: DvoMode::Auto,
         }
     }
 }
@@ -218,7 +227,8 @@ impl MixedSignalAtpg {
         let atpg = DigitalAtpg::new(self.circuit.digital())
             .with_budget(self.options.bdd_budget)
             .with_word_width(self.options.word_width)
-            .with_constraints(&lines, &codes)?;
+            .with_constraints(&lines, &codes)?
+            .with_dvo(self.options.dvo);
         let mut atpg = self.checkpointed(atpg, &faults, "digital_constrained.ckpt");
         atpg.run_on(pool, &faults)
     }
@@ -243,7 +253,8 @@ impl MixedSignalAtpg {
         let faults = self.fault_list();
         let atpg = DigitalAtpg::new(self.circuit.digital())
             .with_budget(self.options.bdd_budget)
-            .with_word_width(self.options.word_width);
+            .with_word_width(self.options.word_width)
+            .with_dvo(self.options.dvo);
         let mut atpg = self.checkpointed(atpg, &faults, "digital_unconstrained.ckpt");
         atpg.run_on(pool, &faults)
     }

@@ -20,28 +20,36 @@ echo "==> panic-site ratchet (lint_unwrap)"
 echo "==> docs (rustdoc, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Thread counts and PPSFP word widths are paired diagonally (1 thread at 8
-# lanes, 2 at 4, 8 at 1) instead of a full 3x3 product: every width and
-# every thread count is exercised through the env knobs while the suite
-# runs three times, not nine.  The suites additionally cross widths and
-# policies internally, so the pairing loses no coverage.
-echo "==> determinism matrix (proptests at MSATPG_THREADS x MSATPG_WORD_WIDTH = 1:8/2:4/8:1)"
-for pair in 1:8 2:4 8:1; do
-    threads=${pair%:*}
-    width=${pair#*:}
-    echo "    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width}"
-    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} \
+# Thread counts, PPSFP word widths and the BDD variable-ordering mode are
+# paired diagonally (1 thread at 8 lanes without sifting, 2 at 4 and 8 at 1
+# with sifting to convergence) instead of a full 3x3x2 product: every
+# width, every thread count and both DVO modes are exercised through the
+# env knobs while the suite runs three times, not eighteen.  The suites
+# additionally cross widths, policies and DVO modes internally, so the
+# pairing loses no coverage.
+echo "==> determinism matrix (proptests + dvo_equivalence at MSATPG_THREADS:MSATPG_WORD_WIDTH:MSATPG_DVO = 1:8:never/2:4:until-convergence/8:1:until-convergence)"
+for triple in 1:8:never 2:4:until-convergence 8:1:until-convergence; do
+    threads=${triple%%:*}
+    rest=${triple#*:}
+    width=${rest%%:*}
+    dvo=${rest#*:}
+    echo "    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo}"
+    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo} \
         cargo test -q --release --test proptests
+    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo} \
+        cargo test -q --release --test dvo_equivalence
 done
 
-echo "==> kill-and-resume smoke (checkpoint_resume at MSATPG_THREADS x MSATPG_WORD_WIDTH = 1:8/2:4/8:1)"
-for pair in 1:8 2:4 8:1; do
-    threads=${pair%:*}
-    width=${pair#*:}
-    echo "    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width}"
-    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} \
+echo "==> kill-and-resume smoke (checkpoint_resume at MSATPG_THREADS:MSATPG_WORD_WIDTH:MSATPG_DVO = 1:8:never/2:4:until-convergence/8:1:until-convergence)"
+for triple in 1:8:never 2:4:until-convergence 8:1:until-convergence; do
+    threads=${triple%%:*}
+    rest=${triple#*:}
+    width=${rest%%:*}
+    dvo=${rest#*:}
+    echo "    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo}"
+    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo} \
         cargo test -q --release --test checkpoint_resume
-    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} \
+    MSATPG_THREADS=${threads} MSATPG_WORD_WIDTH=${width} MSATPG_DVO=${dvo} \
         cargo run -q --release --example checkpoint_resume
 done
 

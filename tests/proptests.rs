@@ -224,6 +224,174 @@ fn bdd_gc_interleaving_is_invisible() {
     );
 }
 
+/// Adjacent-level swaps are invisible to the algebra: after every swap of a
+/// random adjacent level pair, the BDD of a random formula still agrees
+/// with brute-force evaluation on *every* assignment (exhaustive over all
+/// 2^8 inputs), the satisfying-assignment count is unchanged, and the
+/// manager passes the full canonical-form validator
+/// (`BddManager::check_invariants`: var↔level permutation consistency,
+/// regular high edges, reduction, strictly increasing child levels, exact
+/// unique-table membership).  The protected root handle is never
+/// renumbered — the original `Bdd` value keeps denoting the function.
+#[test]
+fn bdd_swap_adjacent_preserves_semantics_and_invariants() {
+    const SWAP_VARS: usize = 8;
+    let mut rng = SplitMix64::new(0x5A4B);
+    for case in 0..CASES {
+        let formula = random_formula(&mut rng, SWAP_VARS, 4);
+        let mut m = BddManager::new();
+        for i in 0..SWAP_VARS {
+            m.var(&format!("x{i}"));
+        }
+        let f = formula.build(&mut m);
+        m.protect(f);
+        let expected_count = m.sat_count(f);
+        for swap in 0..12 {
+            let level = rng.below(SWAP_VARS - 1) as u32;
+            m.swap_adjacent(level);
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("case {case} swap {swap} level {level}: {e}"));
+            for bits in 0..1u32 << SWAP_VARS {
+                let inputs: Vec<bool> = (0..SWAP_VARS).map(|b| (bits >> b) & 1 == 1).collect();
+                let mut asg = Assignment::new();
+                for (i, &v) in inputs.iter().enumerate() {
+                    asg.set(i as u32, v);
+                }
+                assert_eq!(
+                    m.eval(f, &asg),
+                    formula.eval(&inputs),
+                    "case {case} swap {swap} level {level} at {bits:08b}"
+                );
+            }
+            assert_eq!(
+                m.sat_count(f),
+                expected_count,
+                "case {case} swap {swap}: sat count drifted"
+            );
+        }
+        m.unprotect(f);
+    }
+}
+
+/// Builds `f` while interleaving garbage collections *and* full sifting
+/// passes at pseudo-random points, protecting exactly what a correct
+/// client would keep alive (sifting collects internally, so it has the
+/// same root-protection contract as `gc`).  Returns the built handle and
+/// accumulates the number of level swaps performed into `swaps`.
+fn build_with_gc_and_sift(
+    f: &Formula,
+    m: &mut BddManager,
+    rng: &mut SplitMix64,
+    swaps: &mut u64,
+) -> msatpg::bdd::Bdd {
+    let result = match f {
+        Formula::Var(i) => m.var(&format!("x{i}")),
+        Formula::Not(a) => {
+            let ba = build_with_gc_and_sift(a, m, rng, swaps);
+            m.not(ba)
+        }
+        Formula::And(a, b) => {
+            let ba = build_with_gc_and_sift(a, m, rng, swaps);
+            m.protect(ba);
+            let bb = build_with_gc_and_sift(b, m, rng, swaps);
+            m.unprotect(ba);
+            m.and(ba, bb)
+        }
+        Formula::Or(a, b) => {
+            let ba = build_with_gc_and_sift(a, m, rng, swaps);
+            m.protect(ba);
+            let bb = build_with_gc_and_sift(b, m, rng, swaps);
+            m.unprotect(ba);
+            m.or(ba, bb)
+        }
+        Formula::Xor(a, b) => {
+            let ba = build_with_gc_and_sift(a, m, rng, swaps);
+            m.protect(ba);
+            let bb = build_with_gc_and_sift(b, m, rng, swaps);
+            m.unprotect(ba);
+            m.xor(ba, bb)
+        }
+    };
+    if rng.below(3) == 0 {
+        m.protect(result);
+        if rng.bool() {
+            let _ = m.gc();
+        } else {
+            *swaps += m.sift().swaps as u64;
+        }
+        m.unprotect(result);
+    }
+    result
+}
+
+/// Sifting interleaved with garbage collection is invisible to the
+/// algebra: a build sprinkled with `gc()` and `sift()` calls agrees with
+/// the never-reordered build on every evaluation and on the
+/// satisfying-assignment count; two identical interleaved runs are
+/// byte-identical in their DOT renderings and cube covers (reordering is
+/// deterministic); and one more sift on the finished manager neither
+/// renumbers the protected root nor breaks the canonical invariants.
+#[test]
+fn bdd_sift_and_gc_interleaving_is_invisible() {
+    use msatpg::bdd::{to_dot, Cube};
+    let mut swaps = 0u64;
+    for case in 0..CASES {
+        let seed = 0x51F7u64.wrapping_add((case as u64) << 8);
+        let formula = {
+            let mut frng = SplitMix64::new(seed);
+            random_formula(&mut frng, FORMULA_VARS, 4)
+        };
+        let mut plain = BddManager::new();
+        for i in 0..FORMULA_VARS {
+            plain.var(&format!("x{i}"));
+        }
+        let reference = formula.build(&mut plain);
+        let mut run = || {
+            let mut rng = SplitMix64::new(seed ^ 0xABCD_EF01);
+            let mut m = BddManager::new();
+            for i in 0..FORMULA_VARS {
+                m.var(&format!("x{i}"));
+            }
+            let built = build_with_gc_and_sift(&formula, &mut m, &mut rng, &mut swaps);
+            (m, built)
+        };
+        let (mut first, built) = run();
+        let (second, twin) = run();
+        assert_eq!(
+            to_dot(&first, built, "f"),
+            to_dot(&second, twin, "f"),
+            "case {case}: twin interleaved runs diverge in DOT"
+        );
+        let first_cubes: Vec<Cube> = first.cubes(built).collect();
+        let twin_cubes: Vec<Cube> = second.cubes(twin).collect();
+        assert_eq!(first_cubes, twin_cubes, "case {case}: twin cube covers");
+        first
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // One more full sift on the finished manager: the protected root
+        // still denotes the same function afterwards.
+        first.protect(built);
+        swaps += first.sift().swaps as u64;
+        first
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case} after final sift: {e}"));
+        for bits in 0..1u32 << FORMULA_VARS {
+            let mut asg = Assignment::new();
+            for b in 0..FORMULA_VARS {
+                asg.set(b as u32, (bits >> b) & 1 == 1);
+            }
+            assert_eq!(
+                first.eval(built, &asg),
+                plain.eval(reference, &asg),
+                "case {case} formula {formula:?} at {bits:05b}"
+            );
+        }
+        assert_eq!(first.sat_count(built), plain.sat_count(reference));
+        first.unprotect(built);
+    }
+    assert!(swaps > 0, "the interleaving must actually have reordered");
+}
+
 /// Shannon expansion: f = (x AND f|x=1) OR (!x AND f|x=0) for every variable.
 #[test]
 fn bdd_shannon_expansion() {
